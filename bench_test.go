@@ -1,0 +1,201 @@
+// Benchmarks regenerating the paper's performance claims, one group per
+// experiment in EXPERIMENTS.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Absolute numbers are machine-dependent; the claims are about shape: who
+// wins, by roughly what factor, and how gaps scale with input size.
+package tmdb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tmdb"
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+	"tmdb/internal/tmql"
+)
+
+func benchQuery(b *testing.B, eng *tmdb.Engine, q string, s core.Strategy, ji planner.JoinImpl) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Query(q, engine.Options{Strategy: s, Joins: ji})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Value.Len() == 0 && i == 0 {
+			b.Log("warning: empty result")
+		}
+	}
+}
+
+func xyzEngine(nx, ny, nz int) *tmdb.Engine {
+	cat, db := datagen.XYZ(datagen.Spec{
+		NX: nx, NY: ny, NZ: nz, Keys: max(1, nx/4), DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+	})
+	return tmdb.New(cat, db)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- B1: flattening vs nested-loop processing (paper §1/§2 motivation) ---
+
+func BenchmarkB1NaiveVsUnnestIN(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	for _, n := range []int{100, 400} {
+		eng := xyzEngine(n, 2*n, 0)
+		b.Run(fmt.Sprintf("naive/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyNaive, planner.ImplAuto)
+		})
+		b.Run(fmt.Sprintf("semijoin-nl/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplNestedLoop)
+		})
+		b.Run(fmt.Sprintf("semijoin-hash/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplHash)
+		})
+	}
+}
+
+// --- B2: semijoin/antijoin vs nest join when grouping is unnecessary ---
+
+func BenchmarkB2SemiVsNestJoin(b *testing.B) {
+	flat := `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	grouped := `SELECT x FROM X x WHERE COUNT(SELECT y.a FROM Y y WHERE x.b = y.d AND y.d = x.b) >= COUNT({1})`
+	for _, n := range []int{200, 800} {
+		eng := xyzEngine(n, 2*n, 0)
+		b.Run(fmt.Sprintf("flat-semijoin/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, flat, core.StrategyNestJoin, planner.ImplAuto)
+		})
+		b.Run(fmt.Sprintf("nestjoin-sigma/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, grouped, core.StrategyNestJoin, planner.ImplAuto)
+		})
+	}
+}
+
+// --- B3: nest join vs outerjoin+ν* vs Kim on COUNT between blocks ---
+
+func BenchmarkB3NestJoinVsOuterNest(b *testing.B) {
+	const q = `SELECT r FROM R r WHERE r.B = COUNT(SELECT s.D FROM S s WHERE r.C = s.C)`
+	for _, n := range []int{200, 800} {
+		cat, db := datagen.RS(n, 2*n, n/5, 0.3, 11)
+		eng := tmdb.New(cat, db)
+		b.Run(fmt.Sprintf("nestjoin/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplAuto)
+		})
+		b.Run(fmt.Sprintf("outerjoin-nest/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyOuterJoin, planner.ImplAuto)
+		})
+		b.Run(fmt.Sprintf("kim-buggy/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyKim, planner.ImplAuto)
+		})
+	}
+}
+
+// --- B4: nest join physical implementations (§6 Implementation) ---
+
+func BenchmarkB4NestJoinImpls(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	for _, n := range []int{200, 800} {
+		eng := xyzEngine(n, 10*n, 0)
+		for _, impl := range []struct {
+			name string
+			ji   planner.JoinImpl
+		}{
+			{"nested-loop", planner.ImplNestedLoop},
+			{"hash", planner.ImplHash},
+			{"sort-merge", planner.ImplMerge},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", impl.name, n), func(b *testing.B) {
+				benchQuery(b, eng, q, core.StrategyNestJoin, impl.ji)
+			})
+		}
+	}
+}
+
+// --- B5: nesting depth — §8 chains ---
+
+func BenchmarkB5ChainDepth(b *testing.B) {
+	q2 := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	q3 := `SELECT x FROM X x
+ WHERE x.a SUBSETEQ
+   SELECT y.a FROM Y y
+   WHERE x.b = y.b AND
+     y.c SUBSETEQ SELECT z.c FROM Z z WHERE y.d = z.d`
+	eng := xyzEngine(150, 300, 300)
+	for _, c := range []struct {
+		name string
+		q    string
+		s    core.Strategy
+	}{
+		{"2block-naive", q2, core.StrategyNaive},
+		{"2block-nestjoin", q2, core.StrategyNestJoin},
+		{"3block-naive", q3, core.StrategyNaive},
+		{"3block-nestjoin", q3, core.StrategyNestJoin},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			benchQuery(b, eng, c.q, c.s, planner.ImplAuto)
+		})
+	}
+}
+
+// --- T1/Q12-adjacent microbenches: the operators themselves ---
+
+func BenchmarkSelectClauseNesting(b *testing.B) {
+	const q = `SELECT (b = x.b, ys = SELECT y.a FROM Y y WHERE x.b = y.d) FROM X x`
+	eng := xyzEngine(300, 900, 0)
+	b.Run("naive", func(b *testing.B) {
+		benchQuery(b, eng, q, core.StrategyNaive, planner.ImplAuto)
+	})
+	b.Run("nestjoin", func(b *testing.B) {
+		benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplAuto)
+	})
+}
+
+func BenchmarkUnnestCollapse(b *testing.B) {
+	const q = `UNNEST(SELECT (SELECT (a = x.b, b = y.a) FROM Y y WHERE x.b = y.d) FROM X x)`
+	eng := xyzEngine(300, 900, 0)
+	b.Run("naive", func(b *testing.B) {
+		benchQuery(b, eng, q, core.StrategyNaive, planner.ImplAuto)
+	})
+	b.Run("flat-join", func(b *testing.B) {
+		benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplAuto)
+	})
+}
+
+func BenchmarkParseBindTranslate(b *testing.B) {
+	cat, _ := datagen.XYZ(datagen.DefaultSpec())
+	eng := tmdb.New(cat, nil)
+	_ = eng
+	const q = `SELECT x FROM X x
+ WHERE x.a SUBSETEQ
+   SELECT y.a FROM Y y
+   WHERE x.b = y.b AND
+     y.c SUBSETEQ SELECT z.c FROM Z z WHERE y.d = z.d`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := parseBind(cat, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.NewTranslator(cat).Translate(e, core.StrategyNestJoin); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func parseBind(cat *tmdb.Catalog, q string) (tmql.Expr, error) {
+	e, err := tmql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return tmql.NewBinder(cat).Bind(e)
+}

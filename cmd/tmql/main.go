@@ -1,0 +1,184 @@
+// Command tmql is an interactive shell (and one-shot runner) for TM queries
+// over the built-in sample databases. It shows results, logical plans, and
+// lets you switch unnesting strategies to compare the paper's techniques.
+//
+// Usage:
+//
+//	tmql                           # REPL over the company database
+//	tmql -db xyz                   # REPL over the synthetic X/Y/Z database
+//	tmql -q 'SELECT d.name FROM DEPT d'
+//	tmql -q '...' -strategy naive -explain
+//
+// REPL commands:
+//
+//	\strategy naive|nestjoin|kim|outerjoin
+//	\joins auto|nl|hash|merge
+//	\explain <query>
+//	\tables
+//	\quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+)
+
+func main() {
+	var (
+		dbName   = flag.String("db", "company", "sample database: company | xyz | table1 | rs")
+		query    = flag.String("q", "", "run one query and exit")
+		strategy = flag.String("strategy", "nestjoin", "naive | nestjoin | kim | outerjoin")
+		joins    = flag.String("joins", "auto", "auto | nl | hash | merge")
+		explain  = flag.Bool("explain", false, "print the logical plan instead of executing")
+	)
+	flag.Parse()
+
+	eng, err := openDB(*dbName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts, err := makeOptions(*strategy, *joins)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *query != "" {
+		if err := runOne(eng, *query, opts, *explain); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	repl(eng, opts)
+}
+
+func openDB(name string) (*engine.Engine, error) {
+	switch name {
+	case "company":
+		cat, db := datagen.Company(8, 60, 1)
+		return engine.New(cat, db), nil
+	case "xyz":
+		cat, db := datagen.XYZ(datagen.Spec{
+			NX: 100, NY: 300, NZ: 200, Keys: 20, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 1,
+		})
+		return engine.New(cat, db), nil
+	case "table1":
+		cat, db := datagen.Table1()
+		return engine.New(cat, db), nil
+	case "rs":
+		cat, db := datagen.RS(100, 300, 20, 0.3, 1)
+		return engine.New(cat, db), nil
+	}
+	return nil, fmt.Errorf("unknown database %q (company | xyz | table1 | rs)", name)
+}
+
+func makeOptions(strategy, joins string) (engine.Options, error) {
+	var opts engine.Options
+	switch strategy {
+	case "naive":
+		opts.Strategy = core.StrategyNaive
+	case "nestjoin":
+		opts.Strategy = core.StrategyNestJoin
+	case "kim":
+		opts.Strategy = core.StrategyKim
+	case "outerjoin":
+		opts.Strategy = core.StrategyOuterJoin
+	default:
+		return opts, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	switch joins {
+	case "auto":
+		opts.Joins = planner.ImplAuto
+	case "nl":
+		opts.Joins = planner.ImplNestedLoop
+	case "hash":
+		opts.Joins = planner.ImplHash
+	case "merge":
+		opts.Joins = planner.ImplMerge
+	default:
+		return opts, fmt.Errorf("unknown join impl %q", joins)
+	}
+	return opts, nil
+}
+
+func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) error {
+	if explain {
+		plan, err := eng.Explain(q, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return nil
+	}
+	res, err := eng.Query(q, opts)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Value.Elems() {
+		fmt.Println(row)
+	}
+	fmt.Printf("-- %d rows in %v (strategy %s, %d eval steps)\n",
+		res.Value.Len(), res.Duration, opts.Strategy, res.EvalSteps)
+	return nil
+}
+
+func repl(eng *engine.Engine, opts engine.Options) {
+	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
+	fmt.Printf("strategy=%s; \\strategy, \\joins, \\explain, \\tables, \\quit\n", opts.Strategy)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("tmql> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		switch {
+		case line == "\\quit" || line == "\\q":
+			return
+		case line == "\\tables":
+			for _, n := range eng.DB().Names() {
+				tab, _ := eng.DB().Table(n)
+				et, _ := eng.Catalog().ElementType(n)
+				fmt.Printf("%-8s %6d rows   %s\n", n, tab.Len(), et)
+			}
+		case strings.HasPrefix(line, "\\strategy "):
+			o, err := makeOptions(strings.TrimSpace(strings.TrimPrefix(line, "\\strategy ")), "auto")
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			opts.Strategy = o.Strategy
+			fmt.Printf("strategy = %s\n", opts.Strategy)
+		case strings.HasPrefix(line, "\\joins "):
+			o, err := makeOptions("nestjoin", strings.TrimSpace(strings.TrimPrefix(line, "\\joins ")))
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			opts.Joins = o.Joins
+			fmt.Println("join impl updated")
+		case strings.HasPrefix(line, "\\explain "):
+			if err := runOne(eng, strings.TrimPrefix(line, "\\explain "), opts, true); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			if err := runOne(eng, line, opts, false); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	}
+}

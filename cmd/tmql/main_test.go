@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+)
+
+func TestOpenDBAllSamples(t *testing.T) {
+	for _, name := range []string{"company", "xyz", "table1", "rs"} {
+		eng, err := openDB(name)
+		if err != nil {
+			t.Errorf("openDB(%s): %v", name, err)
+			continue
+		}
+		if len(eng.DB().Names()) == 0 {
+			t.Errorf("openDB(%s): no tables", name)
+		}
+	}
+	if _, err := openDB("nope"); err == nil {
+		t.Error("unknown db should fail")
+	}
+}
+
+func TestMakeOptions(t *testing.T) {
+	cases := []struct {
+		strategy, joins string
+		wantS           core.Strategy
+		wantJ           planner.JoinImpl
+	}{
+		{"naive", "auto", core.StrategyNaive, planner.ImplAuto},
+		{"nestjoin", "nl", core.StrategyNestJoin, planner.ImplNestedLoop},
+		{"kim", "hash", core.StrategyKim, planner.ImplHash},
+		{"outerjoin", "merge", core.StrategyOuterJoin, planner.ImplMerge},
+	}
+	for _, c := range cases {
+		opts, err := makeOptions(c.strategy, c.joins)
+		if err != nil {
+			t.Errorf("makeOptions(%s,%s): %v", c.strategy, c.joins, err)
+			continue
+		}
+		if opts.Strategy != c.wantS || opts.Joins != c.wantJ {
+			t.Errorf("makeOptions(%s,%s) = %+v", c.strategy, c.joins, opts)
+		}
+	}
+	if _, err := makeOptions("bogus", "auto"); err == nil {
+		t.Error("bad strategy should fail")
+	}
+	if _, err := makeOptions("naive", "bogus"); err == nil {
+		t.Error("bad joins should fail")
+	}
+}
+
+func TestRunOne(t *testing.T) {
+	eng, err := openDB("table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := engine.Options{}
+	if err := runOne(eng, "SELECT x FROM X x", opts, false); err != nil {
+		t.Errorf("runOne: %v", err)
+	}
+	if err := runOne(eng, "SELECT x FROM X x", opts, true); err != nil {
+		t.Errorf("runOne explain: %v", err)
+	}
+	if err := runOne(eng, "SELECT", opts, false); err == nil {
+		t.Error("bad query should error")
+	}
+}

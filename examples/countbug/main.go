@@ -1,0 +1,60 @@
+// Countbug: the §2 COUNT bug, end to end. Runs the nested query
+//
+//	SELECT * FROM R WHERE R.B = (SELECT COUNT(*) FROM S WHERE R.C = S.C)
+//
+// under all four strategies and shows that Kim's transformation silently
+// drops the dangling R tuples with B = 0, while the outerjoin repair and the
+// paper's nest join return the nested semantics exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tmdb"
+	"tmdb/internal/datagen"
+	"tmdb/internal/value"
+)
+
+const q = `SELECT r FROM R r WHERE r.B = COUNT(SELECT s.D FROM S s WHERE r.C = s.C)`
+
+func main() {
+	cat, db := datagen.RS(60, 120, 12, 0.3, 4)
+	eng := tmdb.New(cat, db)
+
+	oracle, err := eng.Query(q, tmdb.Options{Strategy: tmdb.Naive})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("nested semantics (naive oracle): %d tuples\n\n", oracle.Value.Len())
+
+	for _, s := range []tmdb.Strategy{tmdb.Kim, tmdb.OuterJoin, tmdb.NestJoin} {
+		res, err := eng.Query(q, tmdb.Options{Strategy: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lost := value.Diff(oracle.Value, res.Value)
+		status := "CORRECT"
+		if lost.Len() > 0 {
+			status = fmt.Sprintf("WRONG — lost %d dangling tuples", lost.Len())
+		}
+		fmt.Printf("%-10s %4d tuples in %8v   %s\n", s, res.Value.Len(), res.Duration, status)
+		if lost.Len() > 0 {
+			fmt.Println("  lost tuples (all have B = 0 and a C matching no S tuple):")
+			for i, r := range lost.Elems() {
+				if i == 5 {
+					fmt.Printf("    … %d more\n", lost.Len()-5)
+					break
+				}
+				fmt.Printf("    %s\n", r)
+			}
+		}
+	}
+
+	fmt.Println("\nplan under the paper's strategy (nest join preserves dangling tuples):")
+	plan, err := eng.Explain(q, tmdb.Options{Strategy: tmdb.NestJoin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan)
+}

@@ -1,0 +1,40 @@
+// Export: run a nested analytical query over the company database and emit
+// the complex-object result as JSON — sets render as arrays, tuples as
+// objects — demonstrating downstream interop with the value model.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"tmdb"
+)
+
+func main() {
+	cat, db := tmdb.CompanyExample(5, 40, 7)
+	eng := tmdb.New(cat, db)
+
+	// Per city: the departments located there and team size statistics —
+	// SELECT-clause nesting two levels deep, compiled through nest joins.
+	q := `SELECT (city = d.address.city,
+	              dept = d.name,
+	              headcount = COUNT(SELECT e FROM EMP e
+	                                WHERE e.address.city = d.address.city),
+	              minors = SELECT c.name FROM EMP e, e.children c
+	                       WHERE e.address.city = d.address.city AND c.age < 18)
+	      FROM DEPT d`
+
+	res, err := eng.Query(q, tmdb.Options{Strategy: tmdb.NestJoin})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res.Value); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "-- %d rows in %v\n", res.Value.Len(), res.Duration)
+}

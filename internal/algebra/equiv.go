@@ -1,0 +1,388 @@
+package algebra
+
+import (
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// Rewrite rules over logical plans implementing the §6 algebraic properties
+// of the nest join and standard cleanup rules. The nest join has "less
+// pleasant algebraic properties" than the regular join — it is neither
+// commutative nor associative — so the rule set is deliberately small and
+// every rule matches one of the identities the paper states:
+//
+//	πX(X △ Y) = X                            (projection elimination)
+//	σp(x)(X △ Y) = σp(x)(X) △ Y              (selection pushdown: the nest
+//	                                          join preserves X's tuples
+//	                                          one-to-one, so left-only
+//	                                          selections commute)
+//	(X ⋈r(x,y) Y) △r(x,z) Z = (X △r(x,z) Z) ⋈r(x,y) Y   — not implemented as
+//	a rewrite (it needs cost guidance to be useful) but verified as a tested
+//	equivalence in equiv_test.go.
+//
+// Optimize applies the rules bottom-up until a fixpoint. It is semantics-
+// preserving (property-tested against execution of both plans) and optional:
+// the engine's measured comparisons run un-optimized plans so strategies
+// stay directly comparable.
+func Optimize(b *Builder, p Plan) (Plan, error) {
+	for {
+		q, changed, err := rewriteOnce(b, p)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return q, nil
+		}
+		p = q
+	}
+}
+
+func rewriteOnce(b *Builder, p Plan) (Plan, bool, error) {
+	// Rewrite children first.
+	switch n := p.(type) {
+	case *Select:
+		in, ch, err := rewriteOnce(b, n.In)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			s, err := b.Select(in, n.Var, n.Pred)
+			return s, true, err
+		}
+	case *Map:
+		in, ch, err := rewriteOnce(b, n.In)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			m, err := b.Map(in, n.Var, n.Out)
+			return m, true, err
+		}
+	case *Join:
+		l, chL, err := rewriteOnce(b, n.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := rewriteOnce(b, n.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if chL || chR {
+			j, err := b.Join(n.Kind, l, r, n.LVar, n.RVar, n.Pred)
+			return j, true, err
+		}
+	case *NestJoin:
+		l, chL, err := rewriteOnce(b, n.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := rewriteOnce(b, n.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if chL || chR {
+			j, err := b.NestJoin(l, r, n.LVar, n.RVar, n.Pred, n.Fn, n.Label)
+			return j, true, err
+		}
+	case *Nest:
+		in, ch, err := rewriteOnce(b, n.In)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			nn, err := b.Nest(in, n.Attrs, n.Label, n.NullAware)
+			return nn, true, err
+		}
+	case *Unnest:
+		in, ch, err := rewriteOnce(b, n.In)
+		if err != nil {
+			return nil, false, err
+		}
+		if ch {
+			u, err := b.Unnest(in, n.Attr)
+			return u, true, err
+		}
+	case *SetOp:
+		l, chL, err := rewriteOnce(b, n.L)
+		if err != nil {
+			return nil, false, err
+		}
+		r, chR, err := rewriteOnce(b, n.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if chL || chR {
+			s, err := b.SetOp(n.Kind, l, r)
+			return s, true, err
+		}
+	}
+
+	// Root rules.
+	if q, ok, err := ruleSelectTrue(p); err != nil || ok {
+		return q, ok, err
+	}
+	if q, ok, err := ruleMergeSelects(b, p); err != nil || ok {
+		return q, ok, err
+	}
+	if q, ok, err := rulePushSelectLeftOfNestJoin(b, p); err != nil || ok {
+		return q, ok, err
+	}
+	if q, ok, err := ruleProjectAwayNestJoin(b, p); err != nil || ok {
+		return q, ok, err
+	}
+	return p, false, nil
+}
+
+// ruleSelectTrue drops σ[true].
+func ruleSelectTrue(p Plan) (Plan, bool, error) {
+	s, ok := p.(*Select)
+	if !ok {
+		return p, false, nil
+	}
+	if lit, ok := s.Pred.(*tmql.Lit); ok && lit.V.Kind() == value.KindBool && lit.V.AsBool() {
+		return s.In, true, nil
+	}
+	return p, false, nil
+}
+
+// ruleMergeSelects fuses σp(σq(X)) into σ(p ∧ q)(X), renaming q's variable
+// to p's.
+func ruleMergeSelects(b *Builder, p Plan) (Plan, bool, error) {
+	outer, ok := p.(*Select)
+	if !ok {
+		return p, false, nil
+	}
+	inner, ok := outer.In.(*Select)
+	if !ok {
+		return p, false, nil
+	}
+	innerPred := renameVar(inner.Pred, inner.Var, outer.Var)
+	merged := &tmql.Binary{Op: tmql.OpAnd, L: innerPred, R: outer.Pred}
+	s, err := b.Select(inner.In, outer.Var, merged)
+	return s, err == nil, err
+}
+
+// rulePushSelectLeftOfNestJoin pushes σ[p(x)](X △ Y) to σ[p(x)](X) △ Y when
+// the predicate references only attributes of the left operand (i.e. not the
+// nest-join label). Sound because the nest join emits each left tuple
+// exactly once, extended — left-only predicates see the same values before
+// and after.
+func rulePushSelectLeftOfNestJoin(b *Builder, p Plan) (Plan, bool, error) {
+	s, ok := p.(*Select)
+	if !ok {
+		return p, false, nil
+	}
+	nj, ok := s.In.(*NestJoin)
+	if !ok {
+		return p, false, nil
+	}
+	if exprUsesLabel(s.Pred, s.Var, nj.Label) {
+		return p, false, nil
+	}
+	// The predicate must be evaluable on the un-extended left element: it
+	// may only select fields present in L's element type.
+	if !fieldsSubset(s.Pred, s.Var, nj.L.Elem()) {
+		return p, false, nil
+	}
+	pushed, err := b.Select(nj.L, nj.LVar, renameVar(s.Pred, s.Var, nj.LVar))
+	if err != nil {
+		return p, false, nil
+	}
+	out, err := b.NestJoin(pushed, nj.R, nj.LVar, nj.RVar, nj.Pred, nj.Fn, nj.Label)
+	return out, err == nil, err
+}
+
+// ruleProjectAwayNestJoin implements πX(X △ Y) = X: a Map over a NestJoin
+// that projects exactly (a subset of) the left operand's attributes never
+// observes the group, so the nest join is dead.
+func ruleProjectAwayNestJoin(b *Builder, p Plan) (Plan, bool, error) {
+	m, ok := p.(*Map)
+	if !ok {
+		return p, false, nil
+	}
+	nj, ok := m.In.(*NestJoin)
+	if !ok {
+		return p, false, nil
+	}
+	if exprUsesLabel(m.Out, m.Var, nj.Label) {
+		return p, false, nil
+	}
+	if !fieldsSubset(m.Out, m.Var, nj.L.Elem()) {
+		return p, false, nil
+	}
+	out, err := b.Map(nj.L, nj.LVar, renameVar(m.Out, m.Var, nj.LVar))
+	if err != nil {
+		return p, false, nil
+	}
+	return out, true, nil
+}
+
+// exprUsesLabel reports whether e contains v.label (field selection of the
+// nest-join label on the operator variable) or uses v whole (which would
+// expose the label).
+func exprUsesLabel(e tmql.Expr, v, label string) bool {
+	exposed := false
+	var walk func(n tmql.Expr)
+	walk = func(n tmql.Expr) {
+		if exposed || n == nil {
+			return
+		}
+		if fs, ok := n.(*tmql.FieldSel); ok {
+			if inner, ok := fs.X.(*tmql.Var); ok && inner.Name == v {
+				if fs.Label == label {
+					exposed = true
+				}
+				return // v is consumed by this selection
+			}
+			walk(fs.X)
+			return
+		}
+		if vr, ok := n.(*tmql.Var); ok {
+			if vr.Name == v {
+				exposed = true // whole-tuple use
+			}
+			return
+		}
+		for _, c := range childrenOf(n) {
+			walk(c)
+		}
+	}
+	walk(e)
+	return exposed
+}
+
+// fieldsSubset reports whether every v.field selection in e names a field of
+// elem (so e is evaluable against elem) and e does not use v whole unless
+// elem covers it — conservatively false on whole-tuple use.
+func fieldsSubset(e tmql.Expr, v string, elem *types.Type) bool {
+	ok := true
+	var walk func(n tmql.Expr)
+	walk = func(n tmql.Expr) {
+		if !ok || n == nil {
+			return
+		}
+		if fs, isFS := n.(*tmql.FieldSel); isFS {
+			if inner, isVar := fs.X.(*tmql.Var); isVar && inner.Name == v {
+				if _, has := elem.Field(fs.Label); !has {
+					ok = false
+				}
+				return
+			}
+			walk(fs.X)
+			return
+		}
+		if vr, isVar := n.(*tmql.Var); isVar {
+			if vr.Name == v {
+				ok = false // whole-tuple use: not a pure projection of elem
+			}
+			return
+		}
+		for _, c := range childrenOf(n) {
+			walk(c)
+		}
+	}
+	walk(e)
+	return ok
+}
+
+// childrenOf returns the direct child expressions of n (binders included —
+// callers above only inspect Var/FieldSel patterns that shadowing cannot
+// produce for operator variables, which are fresh by construction).
+func childrenOf(n tmql.Expr) []tmql.Expr {
+	var out []tmql.Expr
+	first := true
+	tmql.Walk(n, func(c tmql.Expr) bool {
+		if first {
+			first = false
+			return true
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}
+
+// renameVar renames free occurrences of old to new inside e.
+func renameVar(e tmql.Expr, old, newName string) tmql.Expr {
+	if old == newName {
+		return e
+	}
+	return substFreeVar(e, old, newName)
+}
+
+func substFreeVar(e tmql.Expr, old, newName string) tmql.Expr {
+	switch n := e.(type) {
+	case nil:
+		return nil
+	case *tmql.Var:
+		if n.Name == old {
+			return &tmql.Var{Name: newName}
+		}
+		return n
+	case *tmql.Lit, *tmql.TableRef:
+		return e
+	case *tmql.FieldSel:
+		return &tmql.FieldSel{X: substFreeVar(n.X, old, newName), Label: n.Label}
+	case *tmql.TupleCons:
+		fs := make([]tmql.TupleField, len(n.Fields))
+		for i, f := range n.Fields {
+			fs[i] = tmql.TupleField{Label: f.Label, E: substFreeVar(f.E, old, newName)}
+		}
+		return &tmql.TupleCons{Fields: fs}
+	case *tmql.SetCons:
+		es := make([]tmql.Expr, len(n.Elems))
+		for i, el := range n.Elems {
+			es[i] = substFreeVar(el, old, newName)
+		}
+		return &tmql.SetCons{Elems: es}
+	case *tmql.ListCons:
+		es := make([]tmql.Expr, len(n.Elems))
+		for i, el := range n.Elems {
+			es[i] = substFreeVar(el, old, newName)
+		}
+		return &tmql.ListCons{Elems: es}
+	case *tmql.Binary:
+		return &tmql.Binary{Op: n.Op, L: substFreeVar(n.L, old, newName), R: substFreeVar(n.R, old, newName)}
+	case *tmql.Unary:
+		return &tmql.Unary{Op: n.Op, X: substFreeVar(n.X, old, newName)}
+	case *tmql.Agg:
+		return &tmql.Agg{Kind: n.Kind, X: substFreeVar(n.X, old, newName)}
+	case *tmql.Quant:
+		over := substFreeVar(n.Over, old, newName)
+		pred := n.Pred
+		if n.Var != old {
+			pred = substFreeVar(n.Pred, old, newName)
+		}
+		return &tmql.Quant{Kind: n.Kind, Var: n.Var, Over: over, Pred: pred}
+	case *tmql.SFW:
+		froms := make([]tmql.FromItem, len(n.Froms))
+		shadowed := false
+		for i, f := range n.Froms {
+			src := f.Src
+			if !shadowed {
+				src = substFreeVar(f.Src, old, newName)
+			}
+			froms[i] = tmql.FromItem{Var: f.Var, Src: src}
+			if f.Var == old {
+				shadowed = true
+			}
+		}
+		where, result := n.Where, n.Result
+		if !shadowed {
+			where = substFreeVar(n.Where, old, newName)
+			result = substFreeVar(n.Result, old, newName)
+		}
+		return &tmql.SFW{Result: result, Froms: froms, Where: where}
+	case *tmql.Let:
+		def := substFreeVar(n.Def, old, newName)
+		body := n.Body
+		if n.V != old {
+			body = substFreeVar(n.Body, old, newName)
+		}
+		return &tmql.Let{V: n.V, Def: def, Body: body}
+	case *tmql.Unnest:
+		return &tmql.Unnest{X: substFreeVar(n.X, old, newName)}
+	}
+	return e
+}

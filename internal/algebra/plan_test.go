@@ -1,0 +1,279 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"tmdb/internal/datagen"
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+)
+
+func builder() *Builder {
+	cat, _ := datagen.XYZ(datagen.DefaultSpec())
+	return NewBuilder(cat)
+}
+
+func TestScanTyping(t *testing.T) {
+	b := builder()
+	s, err := b.Scan("X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xT, _, _ := datagen.XYZTypes()
+	if !types.Equal(s.Elem(), xT) {
+		t.Errorf("Scan elem = %s", s.Elem())
+	}
+	if _, err := b.Scan("NOPE"); err == nil {
+		t.Error("unknown extension should fail")
+	}
+}
+
+func TestSelectTyping(t *testing.T) {
+	b := builder()
+	s, _ := b.Scan("X")
+	sel, err := b.Select(s, "x", tmql.MustParse("x.b > 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(sel.Elem(), s.Elem()) {
+		t.Error("Select must preserve element type")
+	}
+	if _, err := b.Select(s, "x", tmql.MustParse("x.b + 1")); err == nil {
+		t.Error("non-boolean predicate should fail")
+	}
+	if _, err := b.Select(s, "x", tmql.MustParse("x.nosuch = 1")); err == nil {
+		t.Error("unknown field should fail")
+	}
+}
+
+func TestMapAndProjectTyping(t *testing.T) {
+	b := builder()
+	s, _ := b.Scan("X")
+	m, err := b.Map(s, "x", tmql.MustParse("(n = x.b + 1)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Elem().String() != "(n : INT)" {
+		t.Errorf("Map elem = %s", m.Elem())
+	}
+	p, err := b.Project(s, "x", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Elem().String() != "(b : INT)" {
+		t.Errorf("Project elem = %s", p.Elem())
+	}
+	if _, err := b.Project(s, "x", "nosuch"); err == nil {
+		t.Error("projecting unknown label should fail")
+	}
+}
+
+func TestJoinTyping(t *testing.T) {
+	b := builder()
+	x, _ := b.Scan("X")
+	z, _ := b.Scan("Z")
+	j, err := b.Join(JoinInner, x, z, "x", "z", tmql.MustParse("x.b = z.d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Elem().Fields) != 4 { // a, b from X; c, d from Z
+		t.Errorf("join elem = %s", j.Elem())
+	}
+	// Semijoin keeps left type.
+	sj, err := b.Join(JoinSemi, x, z, "x", "z", tmql.MustParse("x.b = z.d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(sj.Elem(), x.Elem()) {
+		t.Error("semijoin must keep left element type")
+	}
+	// Label collision: X and Y both have attributes a and b.
+	y, _ := b.Scan("Y")
+	if _, err := b.Join(JoinInner, x, y, "x", "y", tmql.MustParse("x.b = y.b")); err == nil ||
+		!strings.Contains(err.Error(), "collision") {
+		t.Errorf("collision should fail: %v", err)
+	}
+	// Same variable name on both sides.
+	if _, err := b.Join(JoinInner, x, z, "v", "v", tmql.MustParse("TRUE")); err == nil {
+		t.Error("identical join variables should fail")
+	}
+	// Non-boolean predicate.
+	if _, err := b.Join(JoinInner, x, z, "x", "z", tmql.MustParse("x.b + z.d")); err == nil {
+		t.Error("non-boolean join predicate should fail")
+	}
+}
+
+func TestNestJoinTyping(t *testing.T) {
+	b := builder()
+	x, _ := b.Scan("X")
+	y, _ := b.Scan("Y")
+	nj, err := b.NestJoin(x, y, "x", "y", tmql.MustParse("x.b = y.b"), tmql.MustParse("y.a"), "zs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := nj.Elem().Field("zs")
+	if !ok || ft.String() != "P INT" {
+		t.Errorf("nest join label type = %v", ft)
+	}
+	// Default function is the identity on the right variable.
+	nj2, err := b.NestJoin(x, y, "x", "y", tmql.MustParse("x.b = y.b"), nil, "ys")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft2, _ := nj2.Elem().Field("ys")
+	if !types.Equal(ft2, types.SetOf(y.Elem())) {
+		t.Errorf("identity nest join label type = %s", ft2)
+	}
+	// Label freshness (paper side condition): X already has attribute a.
+	if _, err := b.NestJoin(x, y, "x", "y", tmql.MustParse("TRUE"), nil, "a"); err == nil ||
+		!strings.Contains(err.Error(), "already occurs") {
+		t.Errorf("label collision should fail: %v", err)
+	}
+}
+
+func TestNestTyping(t *testing.T) {
+	b := builder()
+	y, _ := b.Scan("Y")
+	n, err := b.Nest(y, []string{"a", "c"}, "grp", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := n.Elem()
+	if _, ok := et.Field("a"); ok {
+		t.Error("nested attribute must leave the top level")
+	}
+	g, ok := et.Field("grp")
+	if !ok || g.Kind != types.KSet || g.Elem.Kind != types.KTuple {
+		t.Errorf("grp type = %v", g)
+	}
+	if _, err := b.Nest(y, []string{"nosuch"}, "g", false); err == nil {
+		t.Error("unknown nest attribute should fail")
+	}
+	if _, err := b.Nest(y, nil, "g", false); err == nil {
+		t.Error("empty nest attribute list should fail")
+	}
+	if _, err := b.Nest(y, []string{"a", "a"}, "g", false); err == nil {
+		t.Error("duplicate nest attribute should fail")
+	}
+	if _, err := b.Nest(y, []string{"a"}, "b", false); err == nil {
+		t.Error("label colliding with grouping attribute should fail")
+	}
+}
+
+func TestUnnestTyping(t *testing.T) {
+	b := builder()
+	x, _ := b.Scan("X") // a : P INT (scalar elements), b : INT
+	u, err := b.Unnest(x, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.Scalar() {
+		t.Error("unnesting P INT should be scalar")
+	}
+	if ft, _ := u.Elem().Field("a"); ft != types.Int {
+		t.Errorf("unnested a type = %v", ft)
+	}
+	// Tuple-element unnest via a nest first.
+	y, _ := b.Scan("Y")
+	n, _ := b.Nest(y, []string{"a"}, "grp", false)
+	u2, err := b.Unnest(n, "grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u2.Scalar() {
+		t.Error("unnesting tuples should not be scalar")
+	}
+	if _, ok := u2.Elem().Field("a"); !ok {
+		t.Errorf("unnest elem = %s", u2.Elem())
+	}
+	if _, err := b.Unnest(x, "b"); err == nil {
+		t.Error("unnesting non-set attribute should fail")
+	}
+	if _, err := b.Unnest(x, "nosuch"); err == nil {
+		t.Error("unknown attribute should fail")
+	}
+}
+
+func TestSetOpTyping(t *testing.T) {
+	b := builder()
+	x1, _ := b.Scan("X")
+	x2, _ := b.Scan("X")
+	s, err := b.SetOp(SetUnion, x1, x2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !types.Equal(s.Elem(), x1.Elem()) {
+		t.Errorf("union elem = %s", s.Elem())
+	}
+	z, _ := b.Scan("Z")
+	if _, err := b.SetOp(SetDiff, x1, z); err == nil {
+		t.Error("set op over incompatible elements should fail")
+	}
+}
+
+func TestEvalSetTyping(t *testing.T) {
+	b := builder()
+	e, err := b.EvalSet(tmql.MustParse("{1, 2}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Elem() != types.Int {
+		t.Errorf("EvalSet elem = %s", e.Elem())
+	}
+	if _, err := b.EvalSet(tmql.MustParse("1 + 1")); err == nil {
+		t.Error("EvalSet over scalar should fail")
+	}
+}
+
+func TestExplainAndCountOps(t *testing.T) {
+	b := builder()
+	x, _ := b.Scan("X")
+	y, _ := b.Scan("Y")
+	nj, _ := b.NestJoin(x, y, "x", "y", tmql.MustParse("x.b = y.b"), tmql.MustParse("y.a"), "zs")
+	sel, _ := b.Select(nj, "x", tmql.MustParse("x.a SUBSETEQ x.zs"))
+	proj, _ := b.Project(sel, "x", "a", "b")
+	out := Explain(proj)
+	for _, frag := range []string{"Map", "Select", "NestJoin", "Scan(X)", "Scan(Y)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain output missing %s:\n%s", frag, out)
+		}
+	}
+	// Children are indented deeper than parents.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 || strings.HasPrefix(lines[0], " ") || !strings.HasPrefix(lines[4], "      ") {
+		t.Errorf("Explain indentation wrong:\n%s", out)
+	}
+	ops := CountOps(proj)
+	want := map[string]int{"Map": 1, "Select": 1, "NestJoin": 1, "Scan": 2}
+	for k, v := range want {
+		if ops[k] != v {
+			t.Errorf("CountOps[%s] = %d, want %d", k, ops[k], v)
+		}
+	}
+}
+
+func TestPlanWalkEarlyStop(t *testing.T) {
+	b := builder()
+	x, _ := b.Scan("X")
+	sel, _ := b.Select(x, "x", tmql.MustParse("TRUE"))
+	var n int
+	Walk(sel, func(Plan) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("Walk early stop visited %d", n)
+	}
+}
+
+func TestJoinKindStrings(t *testing.T) {
+	names := map[JoinKind]string{
+		JoinInner: "Join", JoinSemi: "SemiJoin", JoinAnti: "AntiJoin", JoinLeftOuter: "OuterJoin",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%v.String() = %s", k, k.String())
+		}
+	}
+	if SetUnion.String() != "Union" || SetIntersect.String() != "Intersect" || SetDiff.String() != "Diff" {
+		t.Error("SetOpKind strings broken")
+	}
+}

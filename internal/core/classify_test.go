@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tmdb/internal/tmql"
+)
+
+func freshGen() func() string {
+	n := 0
+	return func() string { n++; return fmt.Sprintf("v%d", n) }
+}
+
+// classifyStr classifies the predicate src with subquery variable z.
+func classifyStr(t *testing.T, src string) Classification {
+	t.Helper()
+	e, err := tmql.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Classify(e, "z", freshGen())
+}
+
+// TestTable2Classification reproduces the paper's Table 2: each predicate
+// form between query blocks and its rewriting (∃ / ¬∃ / grouping).
+func TestTable2Classification(t *testing.T) {
+	cases := []struct {
+		pred  string
+		class Class
+		inner string // expected P′ rendering ("" for grouping; v1 is the fresh var)
+	}{
+		// --- upper half: SQL-expressible predicates ---
+		{"z = {}", ClassNotExists, "true"},
+		{"{} = z", ClassNotExists, "true"},
+		{"COUNT(z) = 0", ClassNotExists, "true"},
+		{"0 = COUNT(z)", ClassNotExists, "true"},
+		{"COUNT(z) <= 0", ClassNotExists, "true"},
+		{"COUNT(z) < 1", ClassNotExists, "true"},
+		{"z <> {}", ClassExists, "true"},
+		{"COUNT(z) <> 0", ClassExists, "true"},
+		{"COUNT(z) > 0", ClassExists, "true"},
+		{"COUNT(z) >= 1", ClassExists, "true"},
+		{"0 < COUNT(z)", ClassExists, "true"},
+		{"1 <= COUNT(z)", ClassExists, "true"},
+		{"x.a = COUNT(z)", ClassGrouping, ""}, // the COUNT bug's predicate
+		{"COUNT(z) = x.a", ClassGrouping, ""},
+		{"COUNT(z) = 2", ClassGrouping, ""},
+		{"x.a IN z", ClassExists, "v1 = x.a"},
+		{"x.a NOT IN z", ClassNotExists, "v1 = x.a"},
+		{"NOT (x.a IN z)", ClassNotExists, "v1 = x.a"},
+		{"NOT (x.a NOT IN z)", ClassExists, "v1 = x.a"},
+		{"x.a + 1 IN z", ClassExists, "v1 = x.a + 1"},
+		// --- lower half: TM set-valued predicates ---
+		{"x.a SUBSET z", ClassGrouping, ""},
+		{"x.a SUBSETEQ z", ClassGrouping, ""}, // the SUBSETEQ bug's predicate
+		{"x.a SUPSET z", ClassGrouping, ""},
+		{"x.a SUPSETEQ z", ClassNotExists, "v1 NOT IN x.a"},
+		{"z SUBSETEQ x.a", ClassNotExists, "v1 NOT IN x.a"},
+		{"NOT (x.a SUPSETEQ z)", ClassExists, "v1 NOT IN x.a"},
+		{"z SUPSETEQ x.a", ClassGrouping, ""},
+		{"x.a = z", ClassGrouping, ""},
+		{"z = x.a", ClassGrouping, ""},
+		{"x.a <> z", ClassGrouping, ""},
+		{"x.a INTERSECT z = {}", ClassNotExists, "v1 IN x.a"},
+		{"z INTERSECT x.a = {}", ClassNotExists, "v1 IN x.a"},
+		{"x.a INTERSECT z <> {}", ClassExists, "v1 IN x.a"},
+		{"NOT (x.a INTERSECT z = {})", ClassExists, "v1 IN x.a"},
+		// quantifiers over x.a need grouping; over z they are flat
+		{"FORALL w IN x.a (w IN z)", ClassGrouping, ""},
+		{"FORALL w IN x.a (w NOT IN z)", ClassGrouping, ""},
+		{"EXISTS v IN z (TRUE)", ClassExists, "true"},
+		{"NOT EXISTS v IN z (TRUE)", ClassNotExists, "true"},
+		{"EXISTS v IN z (v = x.a)", ClassExists, "v = x.a"},
+		{"NOT EXISTS v IN z (v = x.a)", ClassNotExists, "v = x.a"},
+		{"FORALL v IN z (v <> x.a)", ClassNotExists, "NOT v <> x.a"},
+		{"EXISTS v IN z (v IN x.a)", ClassExists, "v IN x.a"},
+		// --- outside the table: conservative grouping ---
+		{"x.a = SUM(z)", ClassGrouping, ""},
+		{"MIN(z) < x.a", ClassGrouping, ""},
+		{"x.a IN z OR x.b = 1", ClassGrouping, ""},
+		{"COUNT(z) = COUNT(z)", ClassGrouping, ""},
+		{"EXISTS v IN z (v IN z)", ClassGrouping, ""}, // double occurrence
+	}
+	for _, c := range cases {
+		got := classifyStr(t, c.pred)
+		if got.Class != c.class {
+			t.Errorf("Classify(%q) = %s, want %s", c.pred, got.Class, c.class)
+			continue
+		}
+		if c.class == ClassGrouping {
+			continue
+		}
+		if got.Inner == nil {
+			t.Errorf("Classify(%q): nil inner predicate", c.pred)
+			continue
+		}
+		if gotInner := tmql.Format(got.Inner); gotInner != c.inner {
+			t.Errorf("Classify(%q) inner = %q, want %q", c.pred, gotInner, c.inner)
+		}
+	}
+}
+
+func TestClassifyFreshVarUsage(t *testing.T) {
+	got := classifyStr(t, "x.a IN z")
+	if got.V != "v1" {
+		t.Errorf("fresh variable = %q", got.V)
+	}
+	// The inner predicate must reference the fresh variable and not z.
+	free := tmql.FreeVars(got.Inner)
+	if !free["v1"] || free["z"] {
+		t.Errorf("inner free vars: %v", free)
+	}
+}
+
+func TestClassifyQuantKeepsOwnVariable(t *testing.T) {
+	got := classifyStr(t, "EXISTS s IN z (s = x.a)")
+	if got.Class != ClassExists || got.V != "s" {
+		t.Errorf("got %s var %q", got.Class, got.V)
+	}
+}
+
+func TestClassifyNoZ(t *testing.T) {
+	// A predicate not mentioning z should never reach Classify; the
+	// conservative answer is grouping.
+	if got := classifyStr(t, "x.a = 1"); got.Class != ClassGrouping {
+		t.Errorf("got %s", got.Class)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassExists.String() != "exists" || ClassNotExists.String() != "not-exists" ||
+		ClassGrouping.String() != "grouping" {
+		t.Error("Class.String broken")
+	}
+}
+
+func TestSubstVar(t *testing.T) {
+	e := tmql.MustParse("x.a IN z AND EXISTS z IN s (z = 1)")
+	out := SubstVar(e, "z", tmql.MustParse("q.zs"))
+	got := tmql.Format(out)
+	// Free z replaced; the quantifier-bound z untouched.
+	want := "x.a IN q.zs AND EXISTS z IN s (z = 1)"
+	if got != want {
+		t.Errorf("SubstVar = %q, want %q", got, want)
+	}
+}
+
+func TestSubstVarShadowingInSFW(t *testing.T) {
+	e := tmql.MustParse("SELECT z FROM z.items z WHERE z.v IN w")
+	out := SubstVar(e, "z", tmql.MustParse("other"))
+	got := tmql.Format(out)
+	// The FROM source's z is free (bound only after), the rest bound.
+	want := "SELECT z FROM other.items z WHERE z.v IN w"
+	if got != want {
+		t.Errorf("SubstVar = %q, want %q", got, want)
+	}
+}
+
+func TestReplaceNode(t *testing.T) {
+	e := tmql.MustParse("x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)").(*tmql.Binary)
+	sub := e.R
+	out := ReplaceNode(e, sub, &tmql.Var{Name: "z"})
+	if got := tmql.Format(out); got != "x.a IN z" {
+		t.Errorf("ReplaceNode = %q", got)
+	}
+}
+
+func TestInlineLets(t *testing.T) {
+	e := tmql.MustParse("x.a IN z WITH z = SELECT y.a FROM Y y WHERE x.b = y.b")
+	out := InlineLets(e)
+	if got := tmql.Format(out); got != "x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" {
+		t.Errorf("InlineLets = %q", got)
+	}
+	// Chained WITHs.
+	e = tmql.MustParse("a IN w WITH a = 1 + 1, w = {2}")
+	if got := tmql.Format(InlineLets(e)); got != "1 + 1 IN {2}" {
+		t.Errorf("InlineLets chain = %q", got)
+	}
+}

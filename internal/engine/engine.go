@@ -1,0 +1,155 @@
+// Package engine wires the full pipeline: parse → bind → translate
+// (strategy) → physically plan → execute. It is the implementation behind
+// the public tmdb package.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/core"
+	"tmdb/internal/exec"
+	"tmdb/internal/planner"
+	"tmdb/internal/schema"
+	"tmdb/internal/storage"
+	"tmdb/internal/tmql"
+	"tmdb/internal/value"
+)
+
+// Engine executes TM queries against a catalog and database.
+type Engine struct {
+	cat *schema.Catalog
+	db  *storage.DB
+}
+
+// New returns an engine over the given schema and data.
+func New(cat *schema.Catalog, db *storage.DB) *Engine {
+	return &Engine{cat: cat, db: db}
+}
+
+// Catalog returns the engine's schema catalog.
+func (e *Engine) Catalog() *schema.Catalog { return e.cat }
+
+// DB returns the engine's database.
+func (e *Engine) DB() *storage.DB { return e.db }
+
+// Options configure one query execution.
+type Options struct {
+	// Strategy selects the unnesting strategy (default: the paper's
+	// nest-join strategy).
+	Strategy core.Strategy
+	// Joins selects the physical join family (default: auto — hash when an
+	// equi-key exists).
+	Joins planner.JoinImpl
+	// Rewrite additionally applies the §6 algebraic rewrite rules
+	// (selection pushdown through nest joins, dead nest-join elimination,
+	// select fusion) after translation. Off by default so strategy
+	// comparisons measure the translation alone.
+	Rewrite bool
+}
+
+// Result is the outcome of a query execution.
+type Result struct {
+	// Value is the query result (a set for SFW queries).
+	Value value.Value
+	// Plan is the logical plan that was executed.
+	Plan algebra.Plan
+	// Expr is the bound query expression.
+	Expr tmql.Expr
+	// Duration is the wall-clock execution time (translation + execution,
+	// excluding parse/bind).
+	Duration time.Duration
+	// EvalSteps counts elementary expression-evaluation steps performed by
+	// operators and naive evaluation — a machine-independent work measure.
+	EvalSteps int64
+}
+
+// Query parses, binds, translates, and executes a TM query string.
+func (e *Engine) Query(src string, opts Options) (*Result, error) {
+	expr, err := tmql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.QueryExpr(expr, opts)
+}
+
+// QueryExpr executes an already parsed (possibly already bound) expression.
+func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
+	bound, err := tmql.NewBinder(e.cat).Bind(expr)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	tr := core.NewTranslator(e.cat)
+	plan, err := tr.Translate(bound, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Rewrite {
+		plan, err = algebra.Optimize(tr.Builder(), plan)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx := exec.NewCtx(e.db)
+	it, err := planner.New(ctx, planner.Options{Joins: opts.Joins}).Compile(plan)
+	if err != nil {
+		return nil, err
+	}
+	v, err := exec.Collect(it)
+	if err != nil {
+		return nil, fmt.Errorf("engine: executing %s: %w", plan.Describe(), err)
+	}
+	return &Result{
+		Value:     v,
+		Plan:      plan,
+		Expr:      bound,
+		Duration:  time.Since(start),
+		EvalSteps: ctx.Ev.Steps,
+	}, nil
+}
+
+// Explain parses, binds, and translates a query, returning the logical plan
+// rendering without executing it.
+func (e *Engine) Explain(src string, opts Options) (string, error) {
+	expr, err := tmql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	bound, err := tmql.NewBinder(e.cat).Bind(expr)
+	if err != nil {
+		return "", err
+	}
+	tr := core.NewTranslator(e.cat)
+	plan, err := tr.Translate(bound, opts.Strategy)
+	if err != nil {
+		return "", err
+	}
+	if opts.Rewrite {
+		plan, err = algebra.Optimize(tr.Builder(), plan)
+		if err != nil {
+			return "", err
+		}
+	}
+	return algebra.Explain(plan), nil
+}
+
+// ExplainCosts renders the logical plan annotated with the cost model's
+// per-node estimates.
+func (e *Engine) ExplainCosts(src string, opts Options) (string, error) {
+	expr, err := tmql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	bound, err := tmql.NewBinder(e.cat).Bind(expr)
+	if err != nil {
+		return "", err
+	}
+	tr := core.NewTranslator(e.cat)
+	plan, err := tr.Translate(bound, opts.Strategy)
+	if err != nil {
+		return "", err
+	}
+	return planner.NewEstimator(e.db).ExplainCosts(plan), nil
+}

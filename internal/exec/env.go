@@ -1,0 +1,16 @@
+package exec
+
+import (
+	"tmdb/internal/eval"
+	"tmdb/internal/value"
+)
+
+// env1 and env2 build the small environments operators evaluate their
+// embedded expressions under.
+func env1(name string, v value.Value) *eval.Env {
+	return (*eval.Env)(nil).Bind(name, v)
+}
+
+func env2(n1 string, v1 value.Value, n2 string, v2 value.Value) *eval.Env {
+	return (*eval.Env)(nil).Bind(n1, v1).Bind(n2, v2)
+}

@@ -1,0 +1,111 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"tmdb/internal/tmql"
+	"tmdb/internal/value"
+)
+
+// MergeNestJoin is the sort-merge implementation of the nest join: both
+// inputs are sorted by their equi-keys; a single merge pass pairs each run of
+// equal-keyed left elements with the matching right run. As §6 requires, the
+// output order follows the left operand, each left element appearing exactly
+// once with its full group.
+//
+// Only the nest-join variant of the merge join is provided: the inner merge
+// join is subsumed by HashJoin/NLJoin in the planner, while the merge *nest*
+// join exists to demonstrate §6's point that any common join method adapts.
+type MergeNestJoin struct {
+	Ctx          *Ctx
+	L, R         Iterator
+	LVar, RVar   string
+	LKeys, RKeys []tmql.Expr
+	Residual     tmql.Expr
+	Fn           tmql.Expr
+	Label        string
+
+	left  []sortedRow
+	right []sortedRow
+	li    int
+	rlo   int
+}
+
+// Open drains and sorts both inputs by key.
+func (j *MergeNestJoin) Open() error {
+	if len(j.LKeys) == 0 || len(j.LKeys) != len(j.RKeys) {
+		return fmt.Errorf("exec: MergeNestJoin needs matching non-empty key lists")
+	}
+	var err error
+	j.left, err = drainSorted(j.Ctx, j.L, j.LVar, j.LKeys)
+	if err != nil {
+		return err
+	}
+	j.right, err = drainSorted(j.Ctx, j.R, j.RVar, j.RKeys)
+	if err != nil {
+		return err
+	}
+	j.li, j.rlo = 0, 0
+	return nil
+}
+
+func drainSorted(c *Ctx, in Iterator, varName string, keys []tmql.Expr) ([]sortedRow, error) {
+	rows, err := Drain(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]sortedRow, len(rows))
+	for i, v := range rows {
+		k, err := evalKey(c, keys, varName, v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sortedRow{key: k, v: v}
+	}
+	sort.SliceStable(out, func(i, k int) bool {
+		if c := value.Compare(out[i].key, out[k].key); c != 0 {
+			return c < 0
+		}
+		return value.Less(out[i].v, out[k].v)
+	})
+	return out, nil
+}
+
+// Next emits the next left element with its group.
+func (j *MergeNestJoin) Next() (value.Value, bool, error) {
+	if j.li >= len(j.left) {
+		return value.Value{}, false, nil
+	}
+	l := j.left[j.li]
+	j.li++
+	// Advance the right cursor to the first key ≥ l.key. Because the left is
+	// also sorted, rlo never moves backwards across Next calls.
+	for j.rlo < len(j.right) && value.Compare(j.right[j.rlo].key, l.key) < 0 {
+		j.rlo++
+	}
+	group := value.NewSetBuilder(0)
+	for ri := j.rlo; ri < len(j.right) && value.Compare(j.right[ri].key, l.key) == 0; ri++ {
+		r := j.right[ri]
+		env := env2(j.LVar, l.v, j.RVar, r.v)
+		match, err := j.Ctx.evalPred(j.Residual, env)
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		if !match {
+			continue
+		}
+		g, err := j.Ctx.evalIn(j.Fn, env)
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		group.Add(g)
+	}
+	return l.v.Extend(j.Label, group.Build()), true, nil
+}
+
+// Close releases the sorted runs.
+func (j *MergeNestJoin) Close() error {
+	j.left, j.right = nil, nil
+	return nil
+}

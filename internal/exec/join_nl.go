@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"fmt"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// NLJoin is the nested-loop implementation of the flat join family. The right
+// input is materialized once in Open and rescanned per left element; the
+// predicate may be arbitrary (no equi-key required). Kind selects inner,
+// semi, anti, or left-outer behavior.
+type NLJoin struct {
+	Ctx        *Ctx
+	Kind       algebra.JoinKind
+	L, R       Iterator
+	LVar, RVar string
+	Pred       tmql.Expr
+	// RElem is needed by the outer join to build the NULL padding; nil
+	// otherwise.
+	RElem *types.Type
+
+	right      []value.Value
+	cur        value.Value
+	ri         int
+	matchedCur bool
+	state      nlState
+	pad        value.Value
+}
+
+type nlState uint8
+
+const (
+	nlNeedLeft nlState = iota
+	nlScanRight
+	nlDone
+)
+
+// Open materializes the right input and opens the left.
+func (j *NLJoin) Open() error {
+	var err error
+	j.right, err = Drain(j.R)
+	if err != nil {
+		return err
+	}
+	if j.Kind == algebra.JoinLeftOuter {
+		if j.RElem == nil {
+			return fmt.Errorf("exec: outer NLJoin needs RElem for NULL padding")
+		}
+		j.pad = nullTuple(j.RElem)
+	}
+	j.state = nlNeedLeft
+	return j.L.Open()
+}
+
+// nullTuple builds a tuple of the given type with NULL in every attribute —
+// the relational outerjoin padding (TM itself has no NULLs; this exists for
+// the Ganski–Wong baseline).
+func nullTuple(t *types.Type) value.Value {
+	fs := make([]value.Field, 0, len(t.Fields))
+	for _, f := range t.Fields {
+		fs = append(fs, value.F(f.Label, value.Null))
+	}
+	return value.TupleOf(fs...)
+}
+
+// Next produces the next output tuple according to the join kind.
+func (j *NLJoin) Next() (value.Value, bool, error) {
+	for {
+		switch j.state {
+		case nlDone:
+			return value.Value{}, false, nil
+		case nlNeedLeft:
+			l, ok, err := j.L.Next()
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			if !ok {
+				j.state = nlDone
+				return value.Value{}, false, nil
+			}
+			j.cur = l
+			switch j.Kind {
+			case algebra.JoinSemi, algebra.JoinAnti:
+				matched, err := j.anyMatch()
+				if err != nil {
+					return value.Value{}, false, err
+				}
+				if matched == (j.Kind == algebra.JoinSemi) {
+					return j.cur, true, nil
+				}
+				continue
+			default:
+				j.ri = 0
+				j.matchedCur = false
+				j.state = nlScanRight
+			}
+		case nlScanRight:
+			for j.ri < len(j.right) {
+				r := j.right[j.ri]
+				j.ri++
+				ok, err := j.Ctx.evalPred(j.Pred, env2(j.LVar, j.cur, j.RVar, r))
+				if err != nil {
+					return value.Value{}, false, err
+				}
+				if ok {
+					j.matchedCur = true
+					return j.cur.Concat(r), true, nil
+				}
+			}
+			// Right side exhausted for this left element.
+			j.state = nlNeedLeft
+			if j.Kind == algebra.JoinLeftOuter && !j.matchedCur {
+				return j.cur.Concat(j.pad), true, nil
+			}
+		}
+	}
+}
+
+// anyMatch reports whether the current left element matches any right
+// element (semi/antijoin early-out probe).
+func (j *NLJoin) anyMatch() (bool, error) {
+	for _, r := range j.right {
+		ok, err := j.Ctx.evalPred(j.Pred, env2(j.LVar, j.cur, j.RVar, r))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Close closes the left input and releases the materialized right side.
+func (j *NLJoin) Close() error {
+	j.right = nil
+	return j.L.Close()
+}
+
+// NLNestJoin is the nested-loop implementation of the paper's nest join
+// X △[Q, G; a] Y: per left element the full right side is scanned, matching
+// elements pass through the join function G, and the left element is emitted
+// exactly once, extended with the (possibly empty) set of G-images. This is
+// the implementation of reference — any predicate, no ordering or key
+// assumptions — and the baseline the hash and merge variants are verified
+// against.
+type NLNestJoin struct {
+	Ctx        *Ctx
+	L, R       Iterator
+	LVar, RVar string
+	Pred       tmql.Expr
+	Fn         tmql.Expr
+	Label      string
+
+	right []value.Value
+}
+
+// Open materializes the right input and opens the left.
+func (j *NLNestJoin) Open() error {
+	var err error
+	j.right, err = Drain(j.R)
+	if err != nil {
+		return err
+	}
+	return j.L.Open()
+}
+
+// Next emits the next left element extended with its group.
+func (j *NLNestJoin) Next() (value.Value, bool, error) {
+	l, ok, err := j.L.Next()
+	if err != nil || !ok {
+		return value.Value{}, false, err
+	}
+	group := value.NewSetBuilder(0)
+	for _, r := range j.right {
+		env := env2(j.LVar, l, j.RVar, r)
+		match, err := j.Ctx.evalPred(j.Pred, env)
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		if !match {
+			continue
+		}
+		g, err := j.Ctx.evalIn(j.Fn, env)
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		group.Add(g)
+	}
+	return l.Extend(j.Label, group.Build()), true, nil
+}
+
+// Close closes the left input and releases the materialized right side.
+func (j *NLNestJoin) Close() error {
+	j.right = nil
+	return j.L.Close()
+}

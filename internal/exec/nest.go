@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+
+	"tmdb/internal/value"
+)
+
+// NestIter implements the NF² nest ν[attrs→label] and its NULL-aware variant
+// ν* (§6): input tuples are grouped by all attributes outside Attrs; each
+// group yields one tuple of the grouping attributes extended with Label = the
+// set of Attrs-projections. Under NullAware, a projection whose every
+// attribute is NULL is dropped from the group set, so an outerjoin's padding
+// rows nest to ∅ — the identity X △ Y = ν*[a](X ⟗ Y) depends on exactly
+// this.
+type NestIter struct {
+	In        Iterator
+	Attrs     []string
+	Label     string
+	NullAware bool
+
+	out []value.Value
+	i   int
+}
+
+// Open materializes the input and performs the grouping.
+func (n *NestIter) Open() error {
+	rows, err := Drain(n.In)
+	if err != nil {
+		return err
+	}
+	nested := make(map[string]bool, len(n.Attrs))
+	for _, a := range n.Attrs {
+		nested[a] = true
+	}
+	type group struct {
+		rest value.Value
+		b    *value.SetBuilder
+	}
+	order := make([]string, 0)
+	groups := make(map[string]*group)
+	for _, r := range rows {
+		if r.Kind() != value.KindTuple {
+			return fmt.Errorf("exec: nest over non-tuple %s", r)
+		}
+		var restFields, projFields []value.Field
+		allNull := true
+		for _, f := range r.Fields() {
+			if nested[f.Label] {
+				projFields = append(projFields, f)
+				if !f.V.IsNull() {
+					allNull = false
+				}
+			} else {
+				restFields = append(restFields, f)
+			}
+		}
+		rest := value.TupleOf(restFields...)
+		k := value.Key(rest)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rest: rest, b: value.NewSetBuilder(1)}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if n.NullAware && allNull {
+			continue // ν*: NULL padding nests to the empty set
+		}
+		g.b.Add(value.TupleOf(projFields...))
+	}
+	n.out = n.out[:0]
+	for _, k := range order {
+		g := groups[k]
+		n.out = append(n.out, g.rest.Extend(n.Label, g.b.Build()))
+	}
+	n.i = 0
+	return nil
+}
+
+// Next returns the next group tuple.
+func (n *NestIter) Next() (value.Value, bool, error) {
+	if n.i >= len(n.out) {
+		return value.Value{}, false, nil
+	}
+	v := n.out[n.i]
+	n.i++
+	return v, true, nil
+}
+
+// Close releases the grouped output.
+func (n *NestIter) Close() error { n.out = nil; return nil }
+
+// UnnestIter implements μ[attr]: each input tuple t yields one tuple per
+// element of the set t.attr; tuples with t.attr = ∅ produce nothing (the
+// dangling-tuple loss that motivates the nest join). Tuple-typed elements are
+// concatenated into the remainder of t; scalar elements are re-attached under
+// the attribute's own label.
+type UnnestIter struct {
+	In   Iterator
+	Attr string
+	// Scalar selects the scalar-element behavior (set by the planner from
+	// the algebra node's typing).
+	Scalar bool
+
+	cur   value.Value // current input tuple with Attr dropped
+	elems []value.Value
+	ei    int
+	done  bool
+}
+
+// Open opens the input.
+func (u *UnnestIter) Open() error {
+	u.done = false
+	u.elems = nil
+	u.ei = 0
+	return u.In.Open()
+}
+
+// Next returns the next flattened tuple.
+func (u *UnnestIter) Next() (value.Value, bool, error) {
+	for {
+		if u.ei < len(u.elems) {
+			e := u.elems[u.ei]
+			u.ei++
+			if u.Scalar {
+				return u.cur.Extend(u.Attr, e), true, nil
+			}
+			if e.Kind() != value.KindTuple {
+				return value.Value{}, false, fmt.Errorf("exec: unnest element %s is not a tuple", e)
+			}
+			return u.cur.Concat(e), true, nil
+		}
+		if u.done {
+			return value.Value{}, false, nil
+		}
+		t, ok, err := u.In.Next()
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		if !ok {
+			u.done = true
+			continue
+		}
+		s, found := t.Get(u.Attr)
+		if !found {
+			return value.Value{}, false, fmt.Errorf("exec: unnest attribute %s missing in %s", u.Attr, t)
+		}
+		if s.Kind() != value.KindSet {
+			return value.Value{}, false, fmt.Errorf("exec: unnest attribute %s is not a set in %s", u.Attr, t)
+		}
+		u.cur = t.Drop(u.Attr)
+		u.elems = s.Elems()
+		u.ei = 0
+	}
+}
+
+// Close closes the input.
+func (u *UnnestIter) Close() error { return u.In.Close() }
+
+// SetOpIter implements plan-level Union / Intersect / Diff by materializing
+// the right input into a key set and streaming the left. Union additionally
+// emits right elements unseen on the left.
+type SetOpIter struct {
+	// Kind: 0 = union, 1 = intersect, 2 = diff (mirrors algebra.SetOpKind).
+	Kind int
+	L, R Iterator
+
+	right     map[string]value.Value
+	rightKeys []string
+	seen      map[string]bool
+	phase     int // 0 = streaming left, 1 = draining right (union only)
+	ri        int
+}
+
+// Open materializes the right input.
+func (s *SetOpIter) Open() error {
+	rows, err := Drain(s.R)
+	if err != nil {
+		return err
+	}
+	s.right = make(map[string]value.Value, len(rows))
+	s.rightKeys = s.rightKeys[:0]
+	for _, r := range rows {
+		k := value.Key(r)
+		if _, dup := s.right[k]; !dup {
+			s.right[k] = r
+			s.rightKeys = append(s.rightKeys, k)
+		}
+	}
+	s.seen = make(map[string]bool)
+	s.phase = 0
+	s.ri = 0
+	return s.L.Open()
+}
+
+// Next returns the next element of the combination.
+func (s *SetOpIter) Next() (value.Value, bool, error) {
+	for s.phase == 0 {
+		v, ok, err := s.L.Next()
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		if !ok {
+			if s.Kind == 0 {
+				s.phase = 1
+				break
+			}
+			return value.Value{}, false, nil
+		}
+		k := value.Key(v)
+		if s.seen[k] {
+			continue
+		}
+		s.seen[k] = true
+		_, inRight := s.right[k]
+		switch s.Kind {
+		case 0: // union: left always passes
+			return v, true, nil
+		case 1: // intersect
+			if inRight {
+				return v, true, nil
+			}
+		case 2: // diff
+			if !inRight {
+				return v, true, nil
+			}
+		}
+	}
+	// Union phase 1: right elements not already emitted.
+	for s.ri < len(s.rightKeys) {
+		k := s.rightKeys[s.ri]
+		s.ri++
+		if !s.seen[k] {
+			s.seen[k] = true
+			return s.right[k], true, nil
+		}
+	}
+	return value.Value{}, false, nil
+}
+
+// Close releases state and closes the left input.
+func (s *SetOpIter) Close() error {
+	s.right = nil
+	s.seen = nil
+	return s.L.Close()
+}

@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"sort"
+
+	"tmdb/internal/tmql"
+	"tmdb/internal/value"
+)
+
+// Filter implements σ: it yields input elements satisfying Pred(Var).
+type Filter struct {
+	Ctx  *Ctx
+	In   Iterator
+	Var  string
+	Pred tmql.Expr
+}
+
+// Open opens the input.
+func (f *Filter) Open() error { return f.In.Open() }
+
+// Next returns the next qualifying element.
+func (f *Filter) Next() (value.Value, bool, error) {
+	for {
+		v, ok, err := f.In.Next()
+		if err != nil || !ok {
+			return value.Value{}, false, err
+		}
+		keep, err := f.Ctx.evalPred(f.Pred, env1(f.Var, v))
+		if err != nil {
+			return value.Value{}, false, err
+		}
+		if keep {
+			return v, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close() error { return f.In.Close() }
+
+// MapIter applies Out(Var) to every input element.
+type MapIter struct {
+	Ctx *Ctx
+	In  Iterator
+	Var string
+	Out tmql.Expr
+}
+
+// Open opens the input.
+func (m *MapIter) Open() error { return m.In.Open() }
+
+// Next returns Out applied to the next input element.
+func (m *MapIter) Next() (value.Value, bool, error) {
+	v, ok, err := m.In.Next()
+	if err != nil || !ok {
+		return value.Value{}, false, err
+	}
+	out, err := m.Ctx.evalIn(m.Out, env1(m.Var, v))
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	return out, true, nil
+}
+
+// Close closes the input.
+func (m *MapIter) Close() error { return m.In.Close() }
+
+// Distinct removes duplicates (TM collections are sets; operators such as Map
+// may introduce duplicates that must not reach set-valued results).
+type Distinct struct {
+	In   Iterator
+	seen map[string]bool
+}
+
+// Open opens the input and resets the seen table.
+func (d *Distinct) Open() error {
+	d.seen = make(map[string]bool)
+	return d.In.Open()
+}
+
+// Next returns the next not-yet-seen element.
+func (d *Distinct) Next() (value.Value, bool, error) {
+	for {
+		v, ok, err := d.In.Next()
+		if err != nil || !ok {
+			return value.Value{}, false, err
+		}
+		k := value.Key(v)
+		if !d.seen[k] {
+			d.seen[k] = true
+			return v, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (d *Distinct) Close() error { d.seen = nil; return d.In.Close() }
+
+// Sort materializes its input in Open and emits it ordered by the canonical
+// value order of the key expressions (then by the full element, making the
+// order total and deterministic). It underlies the sort-merge join variants.
+type Sort struct {
+	Ctx  *Ctx
+	In   Iterator
+	Var  string
+	Keys []tmql.Expr
+	rows []sortedRow
+	i    int
+}
+
+type sortedRow struct {
+	key value.Value // tuple of key values (label-free list encoded as a list value)
+	v   value.Value
+}
+
+// Open drains and sorts the input.
+func (s *Sort) Open() error {
+	if err := s.In.Open(); err != nil {
+		return err
+	}
+	defer s.In.Close()
+	s.rows = s.rows[:0]
+	for {
+		v, ok, err := s.In.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		k, err := evalKey(s.Ctx, s.Keys, s.Var, v)
+		if err != nil {
+			return err
+		}
+		s.rows = append(s.rows, sortedRow{key: k, v: v})
+	}
+	sort.SliceStable(s.rows, func(i, j int) bool {
+		if c := value.Compare(s.rows[i].key, s.rows[j].key); c != 0 {
+			return c < 0
+		}
+		return value.Less(s.rows[i].v, s.rows[j].v)
+	})
+	s.i = 0
+	return nil
+}
+
+// Next returns the next element in key order.
+func (s *Sort) Next() (value.Value, bool, error) {
+	if s.i >= len(s.rows) {
+		return value.Value{}, false, nil
+	}
+	v := s.rows[s.i].v
+	s.i++
+	return v, true, nil
+}
+
+// Close releases the sorted rows.
+func (s *Sort) Close() error { s.rows = nil; return nil }
+
+// evalKey evaluates the key expressions for element v bound to varName and
+// packs them into one list value (lists compare lexicographically, which is
+// exactly the composite-key order the merge joins need).
+func evalKey(c *Ctx, keys []tmql.Expr, varName string, v value.Value) (value.Value, error) {
+	env := env1(varName, v)
+	ks := make([]value.Value, len(keys))
+	for i, k := range keys {
+		kv, err := c.evalIn(k, env)
+		if err != nil {
+			return value.Value{}, err
+		}
+		ks[i] = kv
+	}
+	return value.ListOf(ks...), nil
+}

@@ -1,0 +1,256 @@
+// Package planner compiles logical algebra plans into physical exec
+// iterators. Its central decision mirrors §6 "Implementation": join-family
+// operators get hash implementations whenever an equi-key can be extracted
+// from the predicate (with the right operand as build side — mandatory for
+// the nest join), falling back to nested loops for arbitrary predicates. The
+// nest join may alternatively be compiled to sort-merge for ablation
+// experiments.
+package planner
+
+import (
+	"fmt"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/exec"
+	"tmdb/internal/tmql"
+)
+
+// JoinImpl selects the physical family used for joins with extractable
+// equi-keys.
+type JoinImpl uint8
+
+// Physical join implementation choices.
+const (
+	ImplAuto JoinImpl = iota // hash when keys exist, else nested loop
+	ImplNestedLoop
+	ImplHash
+	ImplMerge // nest join only; others fall back to hash
+)
+
+// String names the implementation choice.
+func (ji JoinImpl) String() string {
+	switch ji {
+	case ImplAuto:
+		return "auto"
+	case ImplNestedLoop:
+		return "nested-loop"
+	case ImplHash:
+		return "hash"
+	case ImplMerge:
+		return "sort-merge"
+	}
+	return "impl?"
+}
+
+// Options configure physical planning.
+type Options struct {
+	// Joins picks the implementation family for all join-like operators.
+	Joins JoinImpl
+}
+
+// Planner compiles logical plans to iterators over a context.
+type Planner struct {
+	ctx  *exec.Ctx
+	opts Options
+}
+
+// New returns a planner executing against ctx.
+func New(ctx *exec.Ctx, opts Options) *Planner {
+	return &Planner{ctx: ctx, opts: opts}
+}
+
+// Compile turns a logical plan into a physical iterator tree.
+func (p *Planner) Compile(plan algebra.Plan) (exec.Iterator, error) {
+	switch n := plan.(type) {
+	case *algebra.Scan:
+		return &exec.TableScan{Ctx: p.ctx, Table: n.Table}, nil
+
+	case *algebra.EvalNode:
+		return &exec.EvalScan{Ctx: p.ctx, Expr: n.Expr}, nil
+
+	case *algebra.Select:
+		in, err := p.Compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Filter{Ctx: p.ctx, In: in, Var: n.Var, Pred: n.Pred}, nil
+
+	case *algebra.Map:
+		in, err := p.Compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		// Map may collapse distinct inputs onto one value; a Distinct keeps
+		// set semantics downstream.
+		return &exec.Distinct{In: &exec.MapIter{Ctx: p.ctx, In: in, Var: n.Var, Out: n.Out}}, nil
+
+	case *algebra.Join:
+		return p.compileJoin(n)
+
+	case *algebra.NestJoin:
+		return p.compileNestJoin(n)
+
+	case *algebra.Nest:
+		in, err := p.Compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.NestIter{In: in, Attrs: n.Attrs, Label: n.Label, NullAware: n.NullAware}, nil
+
+	case *algebra.Unnest:
+		in, err := p.Compile(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.UnnestIter{In: in, Attr: n.Attr, Scalar: n.Scalar()}, nil
+
+	case *algebra.SetOp:
+		l, err := p.Compile(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.Compile(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.SetOpIter{Kind: int(n.Kind), L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("planner: unhandled plan node %T", plan)
+}
+
+func (p *Planner) compileJoin(n *algebra.Join) (exec.Iterator, error) {
+	l, err := p.Compile(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.Compile(n.R)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	useHash := len(lk) > 0
+	switch p.opts.Joins {
+	case ImplNestedLoop:
+		useHash = false
+	case ImplHash, ImplMerge:
+		if len(lk) == 0 {
+			return nil, fmt.Errorf("planner: hash join requested but no equi-key in %s", tmql.Format(n.Pred))
+		}
+		useHash = true
+	}
+	if !useHash {
+		return &exec.NLJoin{
+			Ctx: p.ctx, Kind: n.Kind, L: l, R: r,
+			LVar: n.LVar, RVar: n.RVar, Pred: n.Pred, RElem: n.R.Elem(),
+		}, nil
+	}
+	return &exec.HashJoin{
+		Ctx: p.ctx, Kind: n.Kind, L: l, R: r,
+		LVar: n.LVar, RVar: n.RVar,
+		LKeys: lk, RKeys: rk, Residual: residual, RElem: n.R.Elem(),
+	}, nil
+}
+
+func (p *Planner) compileNestJoin(n *algebra.NestJoin) (exec.Iterator, error) {
+	l, err := p.Compile(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.Compile(n.R)
+	if err != nil {
+		return nil, err
+	}
+	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	impl := p.opts.Joins
+	if impl == ImplAuto {
+		if len(lk) > 0 {
+			impl = ImplHash
+		} else {
+			impl = ImplNestedLoop
+		}
+	}
+	if impl != ImplNestedLoop && len(lk) == 0 {
+		return nil, fmt.Errorf("planner: %s nest join requested but no equi-key in %s",
+			impl, tmql.Format(n.Pred))
+	}
+	switch impl {
+	case ImplNestedLoop:
+		return &exec.NLNestJoin{
+			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+			Pred: n.Pred, Fn: n.Fn, Label: n.Label,
+		}, nil
+	case ImplMerge:
+		return &exec.MergeNestJoin{
+			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+		}, nil
+	default:
+		return &exec.HashNestJoin{
+			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+		}, nil
+	}
+}
+
+// ExtractEquiKeys splits a join predicate over (lvar, rvar) into equi-key
+// pairs and a residual: every top-level conjunct of the form e1 = e2 with
+// FreeVars(e1) ⊆ {lvar} and FreeVars(e2) ⊆ {rvar} (either orientation)
+// becomes a key pair; the conjunction of everything else is the residual
+// (nil when empty). Constant conjuncts stay in the residual.
+func ExtractEquiKeys(pred tmql.Expr, lvar, rvar string) (lkeys, rkeys []tmql.Expr, residual tmql.Expr) {
+	conjuncts := SplitConjuncts(pred)
+	var rest []tmql.Expr
+	for _, c := range conjuncts {
+		if eq, ok := c.(*tmql.Binary); ok && eq.Op == tmql.OpEq {
+			lf, rf := tmql.FreeVars(eq.L), tmql.FreeVars(eq.R)
+			switch {
+			case onlyVar(lf, lvar) && onlyVar(rf, rvar) && lf[lvar] && rf[rvar]:
+				lkeys = append(lkeys, eq.L)
+				rkeys = append(rkeys, eq.R)
+				continue
+			case onlyVar(lf, rvar) && onlyVar(rf, lvar) && lf[rvar] && rf[lvar]:
+				lkeys = append(lkeys, eq.R)
+				rkeys = append(rkeys, eq.L)
+				continue
+			}
+		}
+		rest = append(rest, c)
+	}
+	return lkeys, rkeys, JoinConjuncts(rest)
+}
+
+// onlyVar reports whether the free-variable set contains nothing but
+// (possibly) v.
+func onlyVar(free map[string]bool, v string) bool {
+	for name := range free {
+		if name != v {
+			return false
+		}
+	}
+	return true
+}
+
+// SplitConjuncts flattens a right- or left-nested AND tree into its
+// conjuncts; a nil predicate yields nil.
+func SplitConjuncts(pred tmql.Expr) []tmql.Expr {
+	if pred == nil {
+		return nil
+	}
+	if b, ok := pred.(*tmql.Binary); ok && b.Op == tmql.OpAnd {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []tmql.Expr{pred}
+}
+
+// JoinConjuncts rebuilds a conjunction from parts (nil for none).
+func JoinConjuncts(parts []tmql.Expr) tmql.Expr {
+	var out tmql.Expr
+	for _, p := range parts {
+		if out == nil {
+			out = p
+		} else {
+			out = &tmql.Binary{Op: tmql.OpAnd, L: out, R: p}
+		}
+	}
+	return out
+}

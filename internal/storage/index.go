@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"tmdb/internal/value"
+)
+
+// HashIndex is an exact-key hash index over a table, keyed by an arbitrary
+// extractor over the element tuples. The exec package builds these on the fly
+// for hash joins; the engine may also keep persistent ones per table.
+//
+// Keys use the collision-free canonical encoding value.Key, so lookups never
+// need a re-check against the key itself (residual join predicates are still
+// re-checked by the operators that own them).
+type HashIndex struct {
+	buckets map[string][]value.Value
+	keys    int
+}
+
+// NewHashIndex returns an empty index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{buckets: make(map[string][]value.Value)}
+}
+
+// BuildHashIndex indexes every row of the table under extract(row).
+func BuildHashIndex(t *Table, extract func(value.Value) (value.Value, error)) (*HashIndex, error) {
+	ix := NewHashIndex()
+	for _, r := range t.Rows() {
+		k, err := extract(r)
+		if err != nil {
+			return nil, err
+		}
+		ix.Add(k, r)
+	}
+	return ix, nil
+}
+
+// Add inserts a row under the given key value.
+func (ix *HashIndex) Add(key, row value.Value) {
+	k := value.Key(key)
+	b, existed := ix.buckets[k]
+	ix.buckets[k] = append(b, row)
+	if !existed {
+		ix.keys++
+	}
+}
+
+// Lookup returns the rows stored under the key (nil if none). The returned
+// slice must not be modified.
+func (ix *HashIndex) Lookup(key value.Value) []value.Value {
+	return ix.buckets[value.Key(key)]
+}
+
+// Contains reports whether any row is stored under the key.
+func (ix *HashIndex) Contains(key value.Value) bool {
+	_, ok := ix.buckets[value.Key(key)]
+	return ok
+}
+
+// Keys returns the number of distinct keys.
+func (ix *HashIndex) Keys() int { return ix.keys }
+
+// Len returns the total number of indexed rows.
+func (ix *HashIndex) Len() int {
+	n := 0
+	for _, b := range ix.buckets {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package storage
+
+import (
+	"tmdb/internal/value"
+)
+
+// Stats summarizes a table for the planner's cost model: cardinality and,
+// per top-level attribute, the number of distinct values and the average
+// set-valued fan-out. The figures are exact (computed in one scan), which is
+// appropriate at the paper's laptop scale; a production system would sample.
+type Stats struct {
+	Card     int
+	Distinct map[string]int
+	// AvgSetLen is the mean cardinality of set-valued attributes, the main
+	// driver of nest-join output size.
+	AvgSetLen map[string]float64
+}
+
+// ComputeStats scans the table once and derives statistics. Non-tuple rows
+// yield Card only.
+func ComputeStats(t *Table) *Stats {
+	s := &Stats{
+		Card:      t.Len(),
+		Distinct:  make(map[string]int),
+		AvgSetLen: make(map[string]float64),
+	}
+	if t.Len() == 0 {
+		return s
+	}
+	first := t.Rows()[0]
+	if first.Kind() != value.KindTuple {
+		return s
+	}
+	distinct := make(map[string]map[string]bool)
+	setLen := make(map[string]int)
+	setCnt := make(map[string]int)
+	for _, r := range t.Rows() {
+		if r.Kind() != value.KindTuple {
+			continue
+		}
+		for _, f := range r.Fields() {
+			m, ok := distinct[f.Label]
+			if !ok {
+				m = make(map[string]bool)
+				distinct[f.Label] = m
+			}
+			m[value.Key(f.V)] = true
+			if f.V.Kind() == value.KindSet {
+				setLen[f.Label] += f.V.Len()
+				setCnt[f.Label]++
+			}
+		}
+	}
+	for l, m := range distinct {
+		s.Distinct[l] = len(m)
+	}
+	for l, n := range setCnt {
+		if n > 0 {
+			s.AvgSetLen[l] = float64(setLen[l]) / float64(n)
+		}
+	}
+	return s
+}
+
+// Selectivity estimates equi-predicate selectivity on the attribute: 1/NDV,
+// defaulting to 0.1 when the attribute is unknown.
+func (s *Stats) Selectivity(attr string) float64 {
+	if d, ok := s.Distinct[attr]; ok && d > 0 {
+		return 1.0 / float64(d)
+	}
+	return 0.1
+}

@@ -1,0 +1,143 @@
+// Package storage provides the in-memory storage substrate: extension tables
+// of complex-object tuples, equi-key hash indexes, and per-table statistics
+// used by the planner's cost model. TM sets are duplicate-free, so a table is
+// a set of tuples; Insert enforces this lazily (deduplication happens on
+// Seal, giving O(n log n) bulk loads instead of per-insert probes).
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// Table is one class extension: a duplicate-free collection of tuples of a
+// fixed element type.
+type Table struct {
+	name   string
+	elem   *types.Type
+	rows   []value.Value
+	sealed bool
+	asSet  *value.Value // cached set view, valid once sealed
+}
+
+// NewTable creates an empty table for elements of the given tuple type.
+func NewTable(name string, elem *types.Type) *Table {
+	return &Table{name: name, elem: elem}
+}
+
+// Name returns the extension name.
+func (t *Table) Name() string { return t.name }
+
+// ElemType returns the element tuple type.
+func (t *Table) ElemType() *types.Type { return t.elem }
+
+// Insert appends a tuple after typechecking it. Tables must not be mutated
+// while scans are open; the engine loads then seals.
+func (t *Table) Insert(v value.Value) error {
+	if t.sealed {
+		return fmt.Errorf("storage: table %s is sealed", t.name)
+	}
+	if t.elem != nil && !types.Check(v, t.elem) {
+		return fmt.Errorf("storage: value %s does not conform to %s element type %s", v, t.name, t.elem)
+	}
+	t.rows = append(t.rows, v)
+	return nil
+}
+
+// MustInsert inserts and panics on type errors; for tests and generators.
+func (t *Table) MustInsert(v value.Value) {
+	if err := t.Insert(v); err != nil {
+		panic(err)
+	}
+}
+
+// Seal deduplicates (set semantics) and freezes the table.
+func (t *Table) Seal() {
+	if t.sealed {
+		return
+	}
+	sort.Slice(t.rows, func(i, j int) bool { return value.Less(t.rows[i], t.rows[j]) })
+	out := t.rows[:0]
+	for i, r := range t.rows {
+		if i == 0 || !value.Equal(r, out[len(out)-1]) {
+			out = append(out, r)
+		}
+	}
+	t.rows = out
+	t.sealed = true
+}
+
+// Len returns the current row count.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the rows; the slice must not be modified. Seal first for set
+// semantics.
+func (t *Table) Rows() []value.Value { return t.rows }
+
+// AsSet returns the table contents as a TM set value (used by the naive
+// evaluator, where a table reference is simply a set-valued constant). The
+// view is cached once the table is sealed, so repeated correlated
+// re-evaluation does not pay the canonicalization again.
+func (t *Table) AsSet() value.Value {
+	if t.sealed {
+		if t.asSet == nil {
+			s := value.SetOf(t.rows...)
+			t.asSet = &s
+		}
+		return *t.asSet
+	}
+	return value.SetOf(t.rows...)
+}
+
+// DB is a collection of extension tables addressed by extension name.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
+
+// Create creates and registers a new empty table.
+func (db *DB) Create(name string, elem *types.Type) (*Table, error) {
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("storage: table %s already exists", name)
+	}
+	t := NewTable(name, elem)
+	db.tables[name] = t
+	return t, nil
+}
+
+// MustCreate creates a table and panics on duplicates; for tests/generators.
+func (db *DB) MustCreate(name string, elem *types.Type) *Table {
+	t, err := db.Create(name, elem)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Table returns the table with the given extension name.
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// SealAll seals every table.
+func (db *DB) SealAll() {
+	for _, t := range db.tables {
+		t.Seal()
+	}
+}
+
+// Names returns all table names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,189 @@
+package tmql
+
+import (
+	"strings"
+	"testing"
+
+	"tmdb/internal/schema"
+	"tmdb/internal/types"
+)
+
+func bindStr(t *testing.T, src string) Expr {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	b := NewBinder(schema.Company())
+	be, err := b.Bind(e)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	return be
+}
+
+func bindErr(t *testing.T, src string) error {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = NewBinder(schema.Company()).Bind(e)
+	if err == nil {
+		t.Fatalf("Bind(%q) should fail", src)
+	}
+	return err
+}
+
+func TestBindResolvesExtensions(t *testing.T) {
+	be := bindStr(t, "SELECT d.name FROM DEPT d")
+	sfw := be.(*SFW)
+	if _, ok := sfw.Froms[0].Src.(*TableRef); !ok {
+		t.Fatalf("DEPT not resolved to TableRef: %T", sfw.Froms[0].Src)
+	}
+	if got := be.Type().String(); got != "P STRING" {
+		t.Errorf("result type = %s, want P STRING", got)
+	}
+}
+
+func TestBindSortExpansion(t *testing.T) {
+	be := bindStr(t, "SELECT d.address.city FROM DEPT d")
+	if got := be.Type().String(); got != "P STRING" {
+		t.Errorf("type = %s", got)
+	}
+}
+
+func TestBindClassRefExpansion(t *testing.T) {
+	// d.emps is P Employee; e.sal must resolve through the class reference.
+	be := bindStr(t, "SELECT e.sal FROM DEPT d, d.emps e")
+	if got := be.Type().String(); got != "P INT" {
+		t.Errorf("type = %s", got)
+	}
+}
+
+func TestBindPaperQ1Q2(t *testing.T) {
+	bindStr(t, `SELECT d FROM DEPT d
+		WHERE (s = d.address.street, c = d.address.city)
+		  IN SELECT (s = e.address.street, c = e.address.city) FROM d.emps e`)
+	be := bindStr(t, `SELECT (dname = d.name,
+			emps = SELECT e FROM EMP e WHERE e.address.city = d.address.city)
+		FROM DEPT d`)
+	tt := be.Type()
+	if tt.Kind != types.KSet || tt.Elem.Kind != types.KTuple {
+		t.Fatalf("Q2 type = %s", tt)
+	}
+	if ft, ok := tt.Elem.Field("emps"); !ok || ft.Kind != types.KSet {
+		t.Errorf("emps field type = %v", ft)
+	}
+}
+
+func TestBindWith(t *testing.T) {
+	be := bindStr(t, "COUNT(z) WITH z = SELECT e.sal FROM EMP e")
+	if be.Type() != types.Int {
+		t.Errorf("COUNT type = %s", be.Type())
+	}
+}
+
+func TestBindQuantifier(t *testing.T) {
+	be := bindStr(t, "SELECT e FROM EMP e WHERE EXISTS c IN e.children (c.age < 18)")
+	if be.Type().Kind != types.KSet {
+		t.Errorf("type = %s", be.Type())
+	}
+}
+
+func TestBindAggTypes(t *testing.T) {
+	cases := map[string]*types.Type{
+		"COUNT(SELECT e.sal FROM EMP e)": types.Int,
+		"SUM(SELECT e.sal FROM EMP e)":   types.Int,
+		"AVG(SELECT e.sal FROM EMP e)":   types.Float,
+		"MIN(SELECT e.name FROM EMP e)":  types.String,
+	}
+	for src, want := range cases {
+		be := bindStr(t, src)
+		if !types.Equal(be.Type(), want) {
+			t.Errorf("%s : %s, want %s", src, be.Type(), want)
+		}
+	}
+}
+
+func TestBindUnnest(t *testing.T) {
+	be := bindStr(t, "UNNEST(SELECT e.children FROM EMP e)")
+	want := "P (age : INT, name : STRING)"
+	if got := be.Type().String(); got != want {
+		t.Errorf("UNNEST type = %s, want %s", got, want)
+	}
+}
+
+func TestBindArithmeticTypes(t *testing.T) {
+	cases := map[string]*types.Type{
+		"1 + 2":           types.Int,
+		"1 + 2.0":         types.Float,
+		"1 / 2":           types.Float, // division is real
+		"5 % 2":           types.Int,
+		"-(3)":            types.Int,
+		"1 < 2":           types.Bool,
+		"1 IN {2}":        types.Bool,
+		"{1} UNION {2.0}": types.SetOf(types.Float),
+	}
+	for src, want := range cases {
+		be := bindStr(t, src)
+		if !types.Equal(be.Type(), want) {
+			t.Errorf("%s : %s, want %s", src, be.Type(), want)
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	cases := []struct {
+		src, frag string
+	}{
+		{"nosuch", "unknown name"},
+		{"SELECT d.nosuch FROM DEPT d", "no field"},
+		{"SELECT d FROM DEPT d WHERE d.name", "WHERE must be BOOL"},
+		{"1 AND 2", "needs BOOL"},
+		{"1 IN 2", "needs a set"},
+		{"{1} SUBSETEQ 3", "needs set operands"},
+		{"1 = \"x\"", "cannot compare"},
+		{"NOT 3", "needs BOOL"},
+		{"-\"x\"", "needs a number"},
+		{"COUNT(1)", "needs a collection"},
+		{"SUM(SELECT e.name FROM EMP e)", "numeric"},
+		{"SELECT x FROM 1 x", "must be a collection"},
+		{"EXISTS v IN 3 (TRUE)", "ranges over a collection"},
+		{"EXISTS v IN {1} (v)", "must be BOOL"},
+		{"{1, \"x\"}", "incompatible"},
+		{"(a = 1, a = 2)", "duplicate tuple label"},
+		{"UNNEST({1})", "set of sets"},
+		{"d.name + 1", "unknown name"},
+	}
+	for _, c := range cases {
+		err := bindErr(t, c.src)
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Bind(%q) error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestBindScopingShadowing(t *testing.T) {
+	// Inner e shadows outer e.
+	be := bindStr(t, `SELECT (n = e.name, k = SELECT e.age FROM e.children e) FROM EMP e`)
+	if be.Type().Kind != types.KSet {
+		t.Fatalf("type = %s", be.Type())
+	}
+	tt := be.Type().Elem
+	if ft, _ := tt.Field("k"); !types.Equal(ft, types.SetOf(types.Int)) {
+		t.Errorf("k type = %s", ft)
+	}
+}
+
+func TestBindNilCatalog(t *testing.T) {
+	b := NewBinder(nil)
+	e := MustParse("1 + 1")
+	be, err := b.Bind(e)
+	if err != nil || be.Type() != types.Int {
+		t.Errorf("bind with nil catalog: %v, %v", be, err)
+	}
+	if _, err := b.Bind(MustParse("SELECT x FROM EMP x")); err == nil {
+		t.Error("EMP should be unknown without catalog")
+	}
+}

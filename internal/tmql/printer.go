@@ -1,0 +1,215 @@
+package tmql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders an expression back to parsable TM surface syntax. The output
+// is fully parenthesized where precedence demands it and round-trips through
+// Parse (tested property: Parse(Format(e)) structurally equals e up to
+// positions).
+func Format(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// Precedence levels matching the parser, loosest first.
+const (
+	precWith = iota
+	precOr
+	precAnd
+	precNot
+	precCmp
+	precSet
+	precAdd
+	precMul
+	precUnary
+	precPostfix
+)
+
+func opPrec(op Op) int {
+	switch op {
+	case OpOr:
+		return precOr
+	case OpAnd:
+		return precAnd
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe,
+		OpIn, OpNotIn, OpSubset, OpSubsetEq, OpSupset, OpSupsetEq:
+		return precCmp
+	case OpUnion, OpIntersect, OpDiff:
+		return precSet
+	case OpAdd, OpSub:
+		return precAdd
+	case OpMul, OpDiv, OpMod:
+		return precMul
+	}
+	return precUnary
+}
+
+func writeExpr(sb *strings.Builder, e Expr, min int) {
+	switch n := e.(type) {
+	case *Lit:
+		sb.WriteString(n.V.String())
+	case *Var:
+		sb.WriteString(n.Name)
+	case *TableRef:
+		sb.WriteString(n.Name)
+	case *FieldSel:
+		writeExpr(sb, n.X, precPostfix)
+		sb.WriteByte('.')
+		sb.WriteString(n.Label)
+	case *TupleCons:
+		// Elements print at precOr so a WITH (Let) gets parentheses — the
+		// comma would otherwise be swallowed by the WITH-binding list.
+		sb.WriteByte('(')
+		for i, f := range n.Fields {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(f.Label)
+			sb.WriteString(" = ")
+			writeExpr(sb, f.E, precOr)
+		}
+		sb.WriteByte(')')
+	case *SetCons:
+		sb.WriteByte('{')
+		for i, el := range n.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, el, precOr)
+		}
+		sb.WriteByte('}')
+	case *ListCons:
+		sb.WriteByte('[')
+		for i, el := range n.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, el, precOr)
+		}
+		sb.WriteByte(']')
+	case *Binary:
+		prec := opPrec(n.Op)
+		if prec < min {
+			sb.WriteByte('(')
+		}
+		// Comparison is non-associative: children print one level tighter.
+		childMin := prec
+		if prec == precCmp {
+			childMin = precSet
+		}
+		writeExpr(sb, n.L, childMin)
+		sb.WriteByte(' ')
+		sb.WriteString(n.Op.String())
+		sb.WriteByte(' ')
+		writeExpr(sb, n.R, childMin+boolToInt(prec != precCmp && isLeftAssoc(n.Op)))
+		if prec < min {
+			sb.WriteByte(')')
+		}
+	case *Unary:
+		if n.Op == OpNot {
+			if precNot < min {
+				sb.WriteByte('(')
+			}
+			sb.WriteString("NOT ")
+			writeExpr(sb, n.X, precNot)
+			if precNot < min {
+				sb.WriteByte(')')
+			}
+			return
+		}
+		if precUnary < min {
+			sb.WriteByte('(')
+		}
+		sb.WriteByte('-')
+		// Guard against "--", which the lexer reads as a line comment: a
+		// negative literal or nested negation is parenthesized.
+		var inner strings.Builder
+		writeExpr(&inner, n.X, precUnary)
+		if strings.HasPrefix(inner.String(), "-") {
+			sb.WriteByte('(')
+			sb.WriteString(inner.String())
+			sb.WriteByte(')')
+		} else {
+			sb.WriteString(inner.String())
+		}
+		if precUnary < min {
+			sb.WriteByte(')')
+		}
+	case *Agg:
+		sb.WriteString(n.Kind.String())
+		sb.WriteByte('(')
+		writeExpr(sb, n.X, 0)
+		sb.WriteByte(')')
+	case *Quant:
+		if precCmp < min {
+			sb.WriteByte('(')
+		}
+		fmt.Fprintf(sb, "%s %s IN ", n.Kind, n.Var)
+		writeExpr(sb, n.Over, precAdd)
+		sb.WriteString(" (")
+		writeExpr(sb, n.Pred, 0)
+		sb.WriteByte(')')
+		if precCmp < min {
+			sb.WriteByte(')')
+		}
+	case *SFW:
+		if min > precWith {
+			sb.WriteByte('(')
+		}
+		sb.WriteString("SELECT ")
+		writeExpr(sb, n.Result, precOr)
+		sb.WriteString(" FROM ")
+		for i, f := range n.Froms {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, f.Src, precPostfix)
+			sb.WriteByte(' ')
+			sb.WriteString(f.Var)
+		}
+		if n.Where != nil {
+			sb.WriteString(" WHERE ")
+			writeExpr(sb, n.Where, 0)
+		}
+		if min > precWith {
+			sb.WriteByte(')')
+		}
+	case *Let:
+		if min > precWith {
+			sb.WriteByte('(')
+		}
+		writeExpr(sb, n.Body, precOr)
+		sb.WriteString(" WITH ")
+		sb.WriteString(n.V)
+		sb.WriteString(" = ")
+		writeExpr(sb, n.Def, precOr)
+		if min > precWith {
+			sb.WriteByte(')')
+		}
+	case *Unnest:
+		sb.WriteString("UNNEST(")
+		writeExpr(sb, n.X, 0)
+		sb.WriteByte(')')
+	default:
+		fmt.Fprintf(sb, "<?%T>", e)
+	}
+}
+
+func isLeftAssoc(op Op) bool {
+	switch op {
+	case OpAnd, OpOr, OpAdd, OpSub, OpMul, OpDiv, OpMod, OpUnion, OpIntersect, OpDiff:
+		return true
+	}
+	return false
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,93 @@
+// Package tmql implements the front-end for the TM SELECT-FROM-WHERE
+// expression sublanguage used throughout the paper: a lexer, a recursive-
+// descent parser producing an AST, a pretty-printer, and a binder performing
+// scope resolution, free-variable analysis, and type inference against a
+// schema catalog.
+//
+// The concrete grammar follows the paper's notation, spelled in ASCII:
+//
+//	SELECT e FROM f1 v1, f2 v2, ... WHERE p WITH z = e', ...
+//	EXISTS v IN e (p)     — ∃v ∈ e (p)
+//	FORALL v IN e (p)     — ∀v ∈ e (p)
+//	e IN s, e NOT IN s, a SUBSET s, a SUBSETEQ s, a SUPSET s, a SUPSETEQ s
+//	s1 UNION s2, s1 INTERSECT s2, s1 MINUS s2
+//	COUNT(s), SUM(s), AVG(s), MIN(s), MAX(s), UNNEST(s)
+//	(l1 = e1, l2 = e2)    — tuple construction
+//	{e1, e2, ...}         — set construction
+package tmql
+
+import "fmt"
+
+// TokKind classifies lexical tokens.
+type TokKind uint8
+
+// Token kinds. Keywords are matched case-insensitively by the lexer and
+// reported with canonical upper-case text.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	TokKeyword // SELECT, FROM, WHERE, WITH, IN, NOT, AND, OR, EXISTS, FORALL, ...
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokDot
+	TokEq    // =
+	TokNe    // <>
+	TokLt    // <
+	TokLe    // <=
+	TokGt    // >
+	TokGe    // >=
+	TokPlus  // +
+	TokMinus // -
+	TokStar  // *
+	TokSlash // /
+	TokPercent
+)
+
+// Pos is a 1-based source position.
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as line:col.
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string // canonical text (keywords upper-cased, strings unescaped)
+	Pos  Pos
+}
+
+// keywords is the set of reserved words. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "WITH": true,
+	"IN": true, "NOT": true, "AND": true, "OR": true,
+	"EXISTS": true, "FORALL": true,
+	"UNION": true, "INTERSECT": true, "MINUS": true,
+	"SUBSET": true, "SUBSETEQ": true, "SUPSET": true, "SUPSETEQ": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"UNNEST": true, "TRUE": true, "FALSE": true,
+}
+
+// Is reports whether the token is the given keyword.
+func (t Token) Is(kw string) bool { return t.Kind == TokKeyword && t.Text == kw }
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("%q", t.Text)
+	default:
+		return t.Text
+	}
+}

@@ -1,0 +1,167 @@
+package value
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// JSON interop for complex-object values, used by tools that export query
+// results. The mapping is the natural one:
+//
+//	tuple → JSON object (labels as keys)
+//	set   → JSON array (canonical element order)
+//	list  → JSON array
+//	bool/int/float/string → the corresponding JSON scalar
+//	NULL  → JSON null
+//
+// Decoding is lossy in two places by necessity — JSON arrays cannot say
+// whether they were a set or a list, and JSON numbers whether they were INT
+// or REAL — so UnmarshalJSON is guided by a decode mode: arrays become sets
+// (TM's dominant collection; duplicates merge) and whole numbers become
+// ints. Round-tripping a value therefore yields an Equal value whenever the
+// original used sets and no float happens to hold a whole number.
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeJSON(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func writeJSON(buf *bytes.Buffer, v Value) error {
+	switch v.kind {
+	case KindNull:
+		buf.WriteString("null")
+	case KindBool:
+		if v.b {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case KindInt:
+		fmt.Fprintf(buf, "%d", v.i)
+	case KindFloat:
+		if math.IsNaN(v.f) || math.IsInf(v.f, 0) {
+			return fmt.Errorf("value: cannot encode %v as JSON", v.f)
+		}
+		b, err := json.Marshal(v.f)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case KindString:
+		b, err := json.Marshal(v.s)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case KindTuple:
+		buf.WriteByte('{')
+		for i, f := range v.tuple {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kb, err := json.Marshal(f.Label)
+			if err != nil {
+				return err
+			}
+			buf.Write(kb)
+			buf.WriteByte(':')
+			if err := writeJSON(buf, f.V); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	case KindSet, KindList:
+		buf.WriteByte('[')
+		for i, e := range v.elems {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeJSON(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	default:
+		return fmt.Errorf("value: unknown kind %d", v.kind)
+	}
+	return nil
+}
+
+// FromJSON decodes JSON text into a Value: objects become tuples, arrays
+// sets, whole numbers ints.
+func FromJSON(data []byte) (Value, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var raw any
+	if err := dec.Decode(&raw); err != nil {
+		return Value{}, err
+	}
+	// Reject trailing garbage.
+	if dec.More() {
+		return Value{}, fmt.Errorf("value: trailing JSON content")
+	}
+	return fromJSONValue(raw)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	out, err := FromJSON(data)
+	if err != nil {
+		return err
+	}
+	*v = out
+	return nil
+}
+
+func fromJSONValue(raw any) (Value, error) {
+	switch x := raw.(type) {
+	case nil:
+		return Null, nil
+	case bool:
+		return Bool(x), nil
+	case json.Number:
+		if i, err := x.Int64(); err == nil {
+			return Int(i), nil
+		}
+		f, err := x.Float64()
+		if err != nil {
+			return Value{}, fmt.Errorf("value: bad JSON number %q", x)
+		}
+		return Float(f), nil
+	case string:
+		return Str(x), nil
+	case []any:
+		b := NewSetBuilder(len(x))
+		for _, e := range x {
+			ev, err := fromJSONValue(e)
+			if err != nil {
+				return Value{}, err
+			}
+			b.Add(ev)
+		}
+		return b.Build(), nil
+	case map[string]any:
+		labels := make([]string, 0, len(x))
+		for k := range x {
+			labels = append(labels, k)
+		}
+		sort.Strings(labels)
+		fs := make([]Field, 0, len(x))
+		for _, k := range labels {
+			fv, err := fromJSONValue(x[k])
+			if err != nil {
+				return Value{}, err
+			}
+			fs = append(fs, F(k, fv))
+		}
+		return TupleOf(fs...), nil
+	}
+	return Value{}, fmt.Errorf("value: unsupported JSON value %T", raw)
+}

@@ -1,0 +1,150 @@
+package value
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalJSONBasics(t *testing.T) {
+	cases := map[string]Value{
+		`null`:            Null,
+		`true`:            Bool(true),
+		`42`:              Int(42),
+		`2.5`:             Float(2.5),
+		`"hi"`:            Str("hi"),
+		`{"a":1,"b":"x"}`: TupleOf(F("a", Int(1)), F("b", Str("x"))),
+		`[1,2,3]`:         SetOf(Int(3), Int(1), Int(2)),
+		`[1,1]`:           ListOf(Int(1), Int(1)),
+		`{"s":[{"k":1}]}`: TupleOf(F("s", SetOf(TupleOf(F("k", Int(1)))))),
+		`{}`:              TupleOf(),
+		`[]`:              EmptySet,
+	}
+	for want, v := range cases {
+		got, err := json.Marshal(v)
+		if err != nil {
+			t.Errorf("Marshal(%s): %v", v, err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("Marshal(%s) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestMarshalJSONRejectsNaN(t *testing.T) {
+	if _, err := json.Marshal(Float(math.NaN())); err == nil {
+		t.Error("NaN should not marshal")
+	}
+	if _, err := json.Marshal(Float(math.Inf(1))); err == nil {
+		t.Error("Inf should not marshal")
+	}
+	// Inside a container too.
+	if _, err := json.Marshal(SetOf(Float(math.NaN()))); err == nil {
+		t.Error("NaN inside a set should not marshal")
+	}
+}
+
+func TestFromJSON(t *testing.T) {
+	cases := map[string]Value{
+		`null`:             Null,
+		`false`:            Bool(false),
+		`7`:                Int(7),
+		`7.5`:              Float(7.5),
+		`"s"`:              Str("s"),
+		`[3,1,2,1]`:        SetOf(Int(1), Int(2), Int(3)), // arrays decode as sets
+		`{"b":2,"a":1}`:    TupleOf(F("a", Int(1)), F("b", Int(2))),
+		`{"x":[{"y":[]}]}`: TupleOf(F("x", SetOf(TupleOf(F("y", EmptySet))))),
+		` 1 `:              Int(1),
+	}
+	for src, want := range cases {
+		got, err := FromJSON([]byte(src))
+		if err != nil {
+			t.Errorf("FromJSON(%q): %v", src, err)
+			continue
+		}
+		if !Equal(got, want) {
+			t.Errorf("FromJSON(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	bad := []string{``, `{`, `1 2`, `{"a":}`, `[1,]`}
+	for _, src := range bad {
+		if _, err := FromJSON([]byte(src)); err == nil {
+			t.Errorf("FromJSON(%q) should fail", src)
+		}
+	}
+}
+
+func TestUnmarshalJSONInterface(t *testing.T) {
+	var v Value
+	if err := json.Unmarshal([]byte(`{"a":[1,2]}`), &v); err != nil {
+		t.Fatal(err)
+	}
+	want := TupleOf(F("a", SetOf(Int(1), Int(2))))
+	if !Equal(v, want) {
+		t.Errorf("Unmarshal = %s", v)
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &v); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+// TestJSONRoundTripQuick: for random set-based values without floats,
+// marshal∘unmarshal is the identity (the documented lossless fragment).
+func TestJSONRoundTripQuick(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300, Values: func(vs []reflect.Value, r *rand.Rand) {
+		for i := range vs {
+			vs[i] = reflect.ValueOf(randomJSONSafeValue(r, 3))
+		}
+	}}
+	if err := quick.Check(func(v Value) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			return false
+		}
+		return Equal(v, back)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomJSONSafeValue avoids lists (decode as sets) and floats (whole floats
+// decode as ints) so that the round trip is exact.
+func randomJSONSafeValue(r *rand.Rand, depth int) Value {
+	max := 4
+	if depth > 0 {
+		max = 6
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Bool(r.Intn(2) == 0)
+	case 1:
+		return Int(int64(r.Intn(40) - 20))
+	case 2, 3:
+		return Str(string(rune('a' + r.Intn(5))))
+	case 4:
+		n := r.Intn(3)
+		fs := make([]Field, 0, n)
+		for i := 0; i < n; i++ {
+			fs = append(fs, F(string(rune('p'+i)), randomJSONSafeValue(r, depth-1)))
+		}
+		return TupleOf(fs...)
+	default:
+		n := r.Intn(4)
+		es := make([]Value, n)
+		for i := range es {
+			es[i] = randomJSONSafeValue(r, depth-1)
+		}
+		return SetOf(es...)
+	}
+}

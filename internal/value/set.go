@@ -1,0 +1,184 @@
+package value
+
+// Set algebra on canonical set values. All operators exploit the sorted
+// canonical representation, giving linear-time merges — these back the TM
+// operators ∪, ∩, −, ⊆, ⊂, ⊇, ⊃, ∈ used in predicates between query blocks.
+
+// Contains reports x ∈ s. s must be a set; binary search over the canonical
+// order makes membership O(log n).
+func Contains(s, x Value) bool {
+	s.mustBe(KindSet)
+	lo, hi := 0, len(s.elems)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(s.elems[mid], x) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.elems) && Compare(s.elems[lo], x) == 0
+}
+
+// Union returns a ∪ b.
+func Union(a, b Value) Value {
+	a.mustBe(KindSet)
+	b.mustBe(KindSet)
+	out := make([]Value, 0, len(a.elems)+len(b.elems))
+	i, j := 0, 0
+	for i < len(a.elems) && j < len(b.elems) {
+		switch c := Compare(a.elems[i], b.elems[j]); {
+		case c < 0:
+			out = append(out, a.elems[i])
+			i++
+		case c > 0:
+			out = append(out, b.elems[j])
+			j++
+		default:
+			out = append(out, a.elems[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a.elems[i:]...)
+	out = append(out, b.elems[j:]...)
+	return Value{kind: KindSet, elems: out}
+}
+
+// Intersect returns a ∩ b.
+func Intersect(a, b Value) Value {
+	a.mustBe(KindSet)
+	b.mustBe(KindSet)
+	out := make([]Value, 0)
+	i, j := 0, 0
+	for i < len(a.elems) && j < len(b.elems) {
+		switch c := Compare(a.elems[i], b.elems[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			out = append(out, a.elems[i])
+			i++
+			j++
+		}
+	}
+	return Value{kind: KindSet, elems: out}
+}
+
+// Diff returns a − b.
+func Diff(a, b Value) Value {
+	a.mustBe(KindSet)
+	b.mustBe(KindSet)
+	out := make([]Value, 0, len(a.elems))
+	i, j := 0, 0
+	for i < len(a.elems) && j < len(b.elems) {
+		switch c := Compare(a.elems[i], b.elems[j]); {
+		case c < 0:
+			out = append(out, a.elems[i])
+			i++
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	out = append(out, a.elems[i:]...)
+	return Value{kind: KindSet, elems: out}
+}
+
+// SubsetEq reports a ⊆ b.
+func SubsetEq(a, b Value) bool {
+	a.mustBe(KindSet)
+	b.mustBe(KindSet)
+	if len(a.elems) > len(b.elems) {
+		return false
+	}
+	i, j := 0, 0
+	for i < len(a.elems) && j < len(b.elems) {
+		switch c := Compare(a.elems[i], b.elems[j]); {
+		case c < 0:
+			return false
+		case c > 0:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return i == len(a.elems)
+}
+
+// Subset reports a ⊂ b (proper subset).
+func Subset(a, b Value) bool {
+	return len(a.elems) < len(b.elems) && SubsetEq(a, b)
+}
+
+// SupersetEq reports a ⊇ b.
+func SupersetEq(a, b Value) bool { return SubsetEq(b, a) }
+
+// Superset reports a ⊃ b (proper superset).
+func Superset(a, b Value) bool { return Subset(b, a) }
+
+// Disjoint reports a ∩ b = ∅ without materializing the intersection.
+func Disjoint(a, b Value) bool {
+	a.mustBe(KindSet)
+	b.mustBe(KindSet)
+	i, j := 0, 0
+	for i < len(a.elems) && j < len(b.elems) {
+		switch c := Compare(a.elems[i], b.elems[j]); {
+		case c < 0:
+			i++
+		case c > 0:
+			j++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// SetBuilder accumulates elements and produces a canonical set. It is the
+// building block of the nest join, ν, and the evaluator's SFW loop: elements
+// arrive in arbitrary order and possibly duplicated; Build canonicalizes once.
+type SetBuilder struct {
+	elems []Value
+}
+
+// NewSetBuilder returns a builder with capacity hint n.
+func NewSetBuilder(n int) *SetBuilder {
+	return &SetBuilder{elems: make([]Value, 0, n)}
+}
+
+// Add appends an element (duplicates allowed; removed at Build).
+func (b *SetBuilder) Add(v Value) { b.elems = append(b.elems, v) }
+
+// Len returns the number of elements added so far (including duplicates).
+func (b *SetBuilder) Len() int { return len(b.elems) }
+
+// Build canonicalizes and returns the set. The builder is reset and may be
+// reused.
+func (b *SetBuilder) Build() Value {
+	s := setFromOwned(b.elems)
+	b.elems = nil
+	return s
+}
+
+// UnnestSet implements UNNEST(S) = ⋃{ s | s ∈ S } for a set of sets, the
+// operator the paper uses to collapse SELECT-clause nesting (§5).
+func UnnestSet(s Value) Value {
+	s.mustBe(KindSet)
+	n := 0
+	for _, e := range s.elems {
+		n += e.Len()
+	}
+	b := NewSetBuilder(n)
+	for _, e := range s.elems {
+		e.mustBe(KindSet)
+		for _, x := range e.Elems() {
+			b.Add(x)
+		}
+	}
+	return b.Build()
+}

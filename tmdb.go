@@ -1,0 +1,117 @@
+// Package tmdb is a query processor for a complex object model implementing
+// the nested-query optimization techniques of Steenhagen, Apers & Blanken,
+// "Optimization of Nested Queries in a Complex Object Model" (EDBT 1994).
+//
+// It provides:
+//
+//   - a TM-style data model: arbitrarily nested tuples, duplicate-free sets,
+//     lists, and basic values, with classes, extensions, and sorts;
+//   - the orthogonal SELECT-FROM-WHERE query language of the paper, with
+//     quantifiers, aggregates, set comparisons, WITH, and UNNEST;
+//   - the paper's unnesting optimizer: predicates between query blocks are
+//     classified (Table 2 / Theorem 1); flattenable queries compile to
+//     semijoins and antijoins, the rest to the paper's nest join operator,
+//     which groups while joining and preserves dangling tuples without NULLs;
+//   - baselines: naive nested-loop evaluation, Kim's group-then-join
+//     transformation (exhibiting the generalized COUNT bug), and the
+//     outerjoin + ν* repair;
+//   - physical operators: nested-loop / hash / sort-merge implementations of
+//     joins and nest joins, hash semijoins/antijoins, outerjoins, ν, ν*, μ.
+//
+// Quickstart:
+//
+//	cat, db := tmdb.CompanyExample(4, 20, 1)
+//	eng := tmdb.New(cat, db)
+//	res, err := eng.Query(`SELECT d.name FROM DEPT d`, tmdb.Options{})
+//	fmt.Println(res.Value)
+//
+// See examples/ for complete programs and EXPERIMENTS.md for the paper
+// reproduction.
+package tmdb
+
+import (
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+	"tmdb/internal/schema"
+	"tmdb/internal/storage"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// Engine executes TM queries. Construct with New.
+type Engine = engine.Engine
+
+// Options configure one query execution.
+type Options = engine.Options
+
+// Result is a query outcome: value, plan, timings.
+type Result = engine.Result
+
+// Strategy selects how nested queries are processed.
+type Strategy = core.Strategy
+
+// Strategies.
+const (
+	// Naive evaluates nested queries by tuple-at-a-time nested loops.
+	Naive = core.StrategyNaive
+	// NestJoin is the paper's strategy: semijoin/antijoin where Theorem 1
+	// permits, nest join otherwise.
+	NestJoin = core.StrategyNestJoin
+	// Kim is the relational group-then-join baseline; it loses dangling
+	// tuples (the COUNT bug) and exists for the paper's experiments.
+	Kim = core.StrategyKim
+	// OuterJoin is the relational repair: outerjoin followed by the
+	// NULL-aware nest ν*.
+	OuterJoin = core.StrategyOuterJoin
+)
+
+// JoinImpl selects the physical join family.
+type JoinImpl = planner.JoinImpl
+
+// Physical join implementations.
+const (
+	// AutoJoins picks hash joins when an equi-key exists, else nested loops.
+	AutoJoins = planner.ImplAuto
+	// NestedLoopJoins forces nested-loop implementations.
+	NestedLoopJoins = planner.ImplNestedLoop
+	// HashJoins forces hash implementations (errors without equi-keys).
+	HashJoins = planner.ImplHash
+	// MergeJoins uses sort-merge for nest joins (hash elsewhere).
+	MergeJoins = planner.ImplMerge
+)
+
+// Catalog is a TM schema: classes with extensions and sorts.
+type Catalog = schema.Catalog
+
+// DB is an in-memory complex-object store addressed by extension name.
+type DB = storage.DB
+
+// Table is one extension's stored tuples.
+type Table = storage.Table
+
+// Value is a TM complex-object value.
+type Value = value.Value
+
+// Type is a TM type.
+type Type = types.Type
+
+// New returns an engine over the given schema and data.
+func New(cat *Catalog, db *DB) *Engine { return engine.New(cat, db) }
+
+// NewCatalog returns an empty schema catalog.
+func NewCatalog() *Catalog { return schema.NewCatalog() }
+
+// NewDB returns an empty database.
+func NewDB() *DB { return storage.NewDB() }
+
+// CompanySchema returns the paper's §3.2 example schema (classes Employee
+// and Department with extensions EMP and DEPT, sort Address).
+func CompanySchema() *Catalog { return schema.Company() }
+
+// CompanyExample returns the company schema populated with a deterministic
+// synthetic instance of nDept departments and nEmp employees.
+func CompanyExample(nDept, nEmp int, seed int64) (*Catalog, *DB) {
+	return datagen.Company(nDept, nEmp, seed)
+}
