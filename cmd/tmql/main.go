@@ -11,9 +11,12 @@
 //
 // REPL commands:
 //
-//	\strategy naive|nestjoin|kim|outerjoin
+//	explain <query>                (physical plan, estimated rows/cost,
+//	                                candidates under the auto strategy)
+//	\strategy auto|naive|nestjoin|kim|outerjoin
 //	\joins auto|nl|hash|merge
-//	\explain <query>
+//	\explain <query>               (alias of explain)
+//	\analyze                       (collect and show table statistics)
 //	\tables
 //	\quit
 package main
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"tmdb/internal/core"
@@ -35,9 +39,9 @@ func main() {
 	var (
 		dbName   = flag.String("db", "company", "sample database: company | xyz | table1 | rs")
 		query    = flag.String("q", "", "run one query and exit")
-		strategy = flag.String("strategy", "nestjoin", "naive | nestjoin | kim | outerjoin")
+		strategy = flag.String("strategy", "auto", "auto | naive | nestjoin | kim | outerjoin")
 		joins    = flag.String("joins", "auto", "auto | nl | hash | merge")
-		explain  = flag.Bool("explain", false, "print the logical plan instead of executing")
+		explain  = flag.Bool("explain", false, "print the physical plan with cost estimates instead of executing")
 	)
 	flag.Parse()
 
@@ -84,18 +88,11 @@ func openDB(name string) (*engine.Engine, error) {
 
 func makeOptions(strategy, joins string) (engine.Options, error) {
 	var opts engine.Options
-	switch strategy {
-	case "naive":
-		opts.Strategy = core.StrategyNaive
-	case "nestjoin":
-		opts.Strategy = core.StrategyNestJoin
-	case "kim":
-		opts.Strategy = core.StrategyKim
-	case "outerjoin":
-		opts.Strategy = core.StrategyOuterJoin
-	default:
+	s, err := core.ParseStrategy(strategy)
+	if err != nil {
 		return opts, fmt.Errorf("unknown strategy %q", strategy)
 	}
+	opts.Strategy = s
 	switch joins {
 	case "auto":
 		opts.Joins = planner.ImplAuto
@@ -127,14 +124,39 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 	for _, row := range res.Value.Elems() {
 		fmt.Println(row)
 	}
+	how := res.Strategy.String()
+	if res.Auto {
+		how = fmt.Sprintf("auto: %s × %s, cost≈%.0f", res.Strategy, res.Joins, res.Cost.Work)
+	}
 	fmt.Printf("-- %d rows in %v (strategy %s, %d eval steps)\n",
-		res.Value.Len(), res.Duration, opts.Strategy, res.EvalSteps)
+		res.Value.Len(), res.Duration, how, res.EvalSteps)
 	return nil
+}
+
+// analyze collects statistics for every table and prints them.
+func analyze(eng *engine.Engine) {
+	sc := eng.Analyze()
+	for _, name := range sc.Names() {
+		ts := sc.Table(name)
+		fmt.Printf("%-8s %6d rows\n", name, ts.Card)
+		attrs := make([]string, 0, len(ts.Distinct))
+		for a := range ts.Distinct {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		for _, attr := range attrs {
+			line := fmt.Sprintf("  .%-10s %6d distinct", attr, ts.Distinct[attr])
+			if avg, ok := ts.AvgSetLen[attr]; ok {
+				line += fmt.Sprintf("   avg set len %.2f", avg)
+			}
+			fmt.Println(line)
+		}
+	}
 }
 
 func repl(eng *engine.Engine, opts engine.Options) {
 	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
-	fmt.Printf("strategy=%s; \\strategy, \\joins, \\explain, \\tables, \\quit\n", opts.Strategy)
+	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\analyze, \\tables, \\quit\n", opts.Strategy)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -171,8 +193,11 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			}
 			opts.Joins = o.Joins
 			fmt.Println("join impl updated")
-		case strings.HasPrefix(line, "\\explain "):
-			if err := runOne(eng, strings.TrimPrefix(line, "\\explain "), opts, true); err != nil {
+		case line == "\\analyze":
+			analyze(eng)
+		case strings.HasPrefix(line, "\\explain "), strings.HasPrefix(line, "explain "):
+			q := strings.TrimPrefix(strings.TrimPrefix(line, "\\explain "), "explain ")
+			if err := runOne(eng, q, opts, true); err != nil {
 				fmt.Println("error:", err)
 			}
 		default:

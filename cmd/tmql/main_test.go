@@ -30,6 +30,7 @@ func TestMakeOptions(t *testing.T) {
 		wantS           core.Strategy
 		wantJ           planner.JoinImpl
 	}{
+		{"auto", "auto", core.StrategyAuto, planner.ImplAuto},
 		{"naive", "auto", core.StrategyNaive, planner.ImplAuto},
 		{"nestjoin", "nl", core.StrategyNestJoin, planner.ImplNestedLoop},
 		{"kim", "hash", core.StrategyKim, planner.ImplHash},

@@ -5,11 +5,19 @@
 // under all four strategies and shows that Kim's transformation silently
 // drops the dangling R tuples with B = 0, while the outerjoin repair and the
 // paper's nest join return the nested semantics exactly.
+//
+// The Kim mismatch printed by this program is INTENTIONAL — reproducing it
+// is the point of the paper's §2 and of this example. The process therefore
+// exits 0 exactly when the expected picture holds (Kim loses dangling
+// tuples; nest join and outerjoin+ν* match the naive oracle) and exits 1
+// when it does not, so CI can run it as a regression check on the bug
+// reproduction itself.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"tmdb"
 	"tmdb/internal/datagen"
@@ -28,6 +36,8 @@ func main() {
 	}
 	fmt.Printf("nested semantics (naive oracle): %d tuples\n\n", oracle.Value.Len())
 
+	failures := 0
+	var kimLost int
 	for _, s := range []tmdb.Strategy{tmdb.Kim, tmdb.OuterJoin, tmdb.NestJoin} {
 		res, err := eng.Query(q, tmdb.Options{Strategy: s})
 		if err != nil {
@@ -49,6 +59,20 @@ func main() {
 				fmt.Printf("    %s\n", r)
 			}
 		}
+		switch s {
+		case tmdb.Kim:
+			kimLost = lost.Len()
+		default:
+			// The correct strategies must match the nested semantics exactly.
+			if lost.Len() > 0 || res.Value.Len() != oracle.Value.Len() {
+				fmt.Printf("  UNEXPECTED: %s must match the naive oracle\n", s)
+				failures++
+			}
+		}
+	}
+	if kimLost == 0 {
+		fmt.Println("UNEXPECTED: Kim's transformation did not lose any tuples — the COUNT bug failed to reproduce")
+		failures++
 	}
 
 	fmt.Println("\nplan under the paper's strategy (nest join preserves dangling tuples):")
@@ -57,4 +81,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(plan)
+
+	if failures > 0 {
+		os.Exit(1)
+	}
 }

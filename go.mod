@@ -1,0 +1,3 @@
+module tmdb
+
+go 1.24

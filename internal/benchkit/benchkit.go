@@ -140,6 +140,39 @@ func Speedup(base, other time.Duration) string {
 	return fmt.Sprintf("%.1fx", float64(base)/float64(other))
 }
 
+// VerifyAgainst returns an error when a run that must preserve nested
+// semantics disagrees with the oracle (or failed outright). Experiments use
+// it so cmd/repro exits non-zero on real regressions while CheckAgainst
+// keeps formatting the intentional mismatches (Kim) for display.
+func VerifyAgainst(label string, oracle value.Value, r Run) error {
+	if r.Err != nil {
+		return fmt.Errorf("%s: %w", label, r.Err)
+	}
+	if !value.Equal(r.Value, oracle) {
+		lost := value.Diff(oracle, r.Value)
+		extra := value.Diff(r.Value, oracle)
+		return fmt.Errorf("%s: result mismatch vs oracle (lost %d, extra %d)",
+			label, lost.Len(), extra.Len())
+	}
+	return nil
+}
+
+// VerifyKimLoses returns an error unless Kim's transformation actually lost
+// tuples — the bug these experiments exist to reproduce. A Kim run that
+// matches the oracle on dangling-tuple data means the reproduction broke.
+func VerifyKimLoses(label string, oracle value.Value, r Run) error {
+	if r.Err != nil {
+		return fmt.Errorf("%s: %w", label, r.Err)
+	}
+	if value.Diff(oracle, r.Value).Len() == 0 {
+		return fmt.Errorf("%s: Kim lost no tuples — the COUNT bug failed to reproduce", label)
+	}
+	if extra := value.Diff(r.Value, oracle); extra.Len() > 0 {
+		return fmt.Errorf("%s: Kim produced %d tuples outside the nested semantics", label, extra.Len())
+	}
+	return nil
+}
+
 // CheckAgainst compares a run's value to the oracle; it returns "ok" or a
 // short discrepancy description (the COUNT-bug report format).
 func CheckAgainst(oracle value.Value, r Run) string {

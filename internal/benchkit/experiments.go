@@ -177,6 +177,9 @@ func RunQ12(w io.Writer, quick bool) error {
 		}
 		out.Add(qc.name, "naive", "nested loops", oracle.Value.Len(), oracle.Duration, "ok")
 		out.Add(qc.name, "nestjoin", shape, nj.Value.Len(), nj.Duration, CheckAgainst(oracle.Value, nj))
+		if err := VerifyAgainst("Q12 "+qc.name+" nestjoin", oracle.Value, nj); err != nil {
+			return err
+		}
 	}
 	out.Print(w)
 	return nil
@@ -223,8 +226,16 @@ func RunCountBug(w io.Writer, quick bool) error {
 	for _, s := range []core.Strategy{core.StrategyKim, core.StrategyOuterJoin, core.StrategyNestJoin} {
 		r := Measure(eng, q, s, planner.ImplAuto, 1)
 		out.Add(s.String(), r.Value.Len(), r.Duration, r.Steps, CheckAgainst(oracle.Value, r))
+		if s != core.StrategyKim {
+			if err := VerifyAgainst("CB "+s.String(), oracle.Value, r); err != nil {
+				return err
+			}
+		}
 	}
 	kim := Measure(eng, q, core.StrategyKim, planner.ImplAuto, 1)
+	if err := VerifyKimLoses("CB kim", oracle.Value, kim); err != nil {
+		return err
+	}
 	lost := value.Diff(oracle.Value, kim.Value)
 	allZero := true
 	for _, r := range lost.Elems() {
@@ -261,6 +272,11 @@ func RunSubsetEqBug(w io.Writer, quick bool) error {
 	for _, s := range []core.Strategy{core.StrategyKim, core.StrategyOuterJoin, core.StrategyNestJoin} {
 		r := Measure(eng, q, s, planner.ImplAuto, 1)
 		out.Add(s.String(), r.Value.Len(), r.Duration, CheckAgainst(oracle.Value, r))
+		if s != core.StrategyKim {
+			if err := VerifyAgainst("SB "+s.String(), oracle.Value, r); err != nil {
+				return err
+			}
+		}
 	}
 	kim := Measure(eng, q, core.StrategyKim, planner.ImplAuto, 1)
 	lost := value.Diff(oracle.Value, kim.Value)
@@ -316,6 +332,9 @@ func RunSection8(w io.Writer, quick bool) error {
 		r := Measure(eng, qc.q, core.StrategyNestJoin, planner.ImplAuto, 3)
 		out.Add("nestjoin (paper §8)", r.Value.Len(), r.Duration, r.Steps,
 			Speedup(oracle.Duration, r.Duration), CheckAgainst(oracle.Value, r))
+		if err := VerifyAgainst("S8 "+qc.name, oracle.Value, r); err != nil {
+			return err
+		}
 		out.Print(w)
 	}
 	return nil
@@ -349,7 +368,10 @@ func RunIdentity(w io.Writer, quick bool) error {
 	out.Add("outerjoin + ν* (WHERE form)", oj.Value.Len(), oj.Duration, CheckAgainst(naive.Value, oj))
 	out.Note("both strategies return identical sets — the identity holds on data")
 	out.Print(w)
-	return nil
+	if err := VerifyAgainst("EQ nestjoin", naive.Value, njW); err != nil {
+		return err
+	}
+	return VerifyAgainst("EQ outerjoin+ν*", naive.Value, oj)
 }
 
 // RunB1 measures flattening vs nested-loop processing as |X| and |Y| grow —
@@ -374,6 +396,12 @@ func RunB1(w io.Writer, quick bool) error {
 		hash := Measure(eng, q, core.StrategyNestJoin, planner.ImplHash, 3)
 		out.Add(sz[0], sz[1], naive.Duration, nl.Duration, hash.Duration,
 			Speedup(naive.Duration, hash.Duration), CheckAgainst(naive.Value, hash))
+		if err := VerifyAgainst("B1 semijoin(nl)", naive.Value, nl); err != nil {
+			return err
+		}
+		if err := VerifyAgainst("B1 semijoin(hash)", naive.Value, hash); err != nil {
+			return err
+		}
 	}
 	out.Note("shape: naive grows ~|X|·|Y|; hash semijoin ~|X|+|Y| — gap widens with size")
 	out.Print(w)
@@ -417,6 +445,9 @@ func RunB2(w io.Writer, quick bool) error {
 			oracle := Measure(eng, c.flat, core.StrategyNaive, planner.ImplAuto, 1)
 			out.Add(sz[0], sz[1], c.name, flat.Duration, grouped.Duration,
 				Speedup(grouped.Duration, flat.Duration), CheckAgainst(oracle.Value, flat))
+			if err := VerifyAgainst("B2 "+c.name, oracle.Value, flat); err != nil {
+				return err
+			}
 		}
 	}
 	out.Note("flat plans probe and stop at the first match; nest joins materialize every group")
@@ -444,6 +475,15 @@ func RunB3(w io.Writer, quick bool) error {
 		oj := Measure(eng, q, core.StrategyOuterJoin, planner.ImplAuto, 3)
 		kim := Measure(eng, q, core.StrategyKim, planner.ImplAuto, 3)
 		out.Add(sz[0], sz[1], nj.Duration, oj.Duration, kim.Duration, CheckAgainst(oracle.Value, kim))
+		if err := VerifyAgainst("B3 nestjoin", oracle.Value, nj); err != nil {
+			return err
+		}
+		if err := VerifyAgainst("B3 outerjoin+ν*", oracle.Value, oj); err != nil {
+			return err
+		}
+		if err := VerifyKimLoses("B3 kim", oracle.Value, kim); err != nil {
+			return err
+		}
 	}
 	out.Note("nest join does one pass; outerjoin+ν* pays NULL padding plus a regrouping pass")
 	out.Note("Kim is fast but WRONG on dangling tuples — the paper's point")
@@ -508,6 +548,9 @@ func RunB5(w io.Writer, quick bool) error {
 			nj := Measure(eng, q, core.StrategyNestJoin, planner.ImplAuto, 3)
 			out.Add(n, blocks, naive.Duration, nj.Duration,
 				Speedup(naive.Duration, nj.Duration), CheckAgainst(naive.Value, nj))
+			if err := VerifyAgainst(fmt.Sprintf("B5 %d-block", blocks), naive.Value, nj); err != nil {
+				return err
+			}
 		}
 	}
 	out.Note("naive cost multiplies per nesting level; the unnested chain stays near-linear")

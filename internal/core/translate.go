@@ -12,13 +12,19 @@ import (
 // Strategy selects how nested queries are processed.
 type Strategy uint8
 
-// Strategies. StrategyNestJoin is the paper's: classify predicates between
-// blocks; flat semijoin/antijoin where Theorem 1 permits, nest join
+// Strategies. StrategyAuto (the zero value, so an unset engine.Options
+// selects it) defers the choice to the cost-based physical planner, which
+// enumerates the correct strategies × join implementations and picks the
+// cheapest estimate. StrategyNestJoin is the paper's: classify predicates
+// between blocks; flat semijoin/antijoin where Theorem 1 permits, nest join
 // otherwise; bottom-up over linear nesting (§8). StrategyNaive is nested-loop
 // processing (the correctness oracle). StrategyKim and StrategyOuterJoin are
-// the relational baselines of §2.
+// the relational baselines of §2. The auto planner never considers
+// StrategyKim: it loses dangling tuples (the COUNT bug), so it exists only
+// for explicit experiments.
 const (
-	StrategyNaive Strategy = iota
+	StrategyAuto Strategy = iota
+	StrategyNaive
 	StrategyNestJoin
 	StrategyKim
 	StrategyOuterJoin
@@ -27,6 +33,8 @@ const (
 // String names the strategy.
 func (s Strategy) String() string {
 	switch s {
+	case StrategyAuto:
+		return "auto"
 	case StrategyNaive:
 		return "naive"
 	case StrategyNestJoin:
@@ -37,6 +45,30 @@ func (s Strategy) String() string {
 		return "outerjoin"
 	}
 	return "strategy?"
+}
+
+// ParseStrategy parses a strategy name as printed by String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "auto":
+		return StrategyAuto, nil
+	case "naive":
+		return StrategyNaive, nil
+	case "nestjoin":
+		return StrategyNestJoin, nil
+	case "kim":
+		return StrategyKim, nil
+	case "outerjoin":
+		return StrategyOuterJoin, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+// CandidateStrategies returns the strategies the cost-based planner may
+// choose among. Kim's transformation is excluded: it is not semantics
+// preserving on dangling tuples.
+func CandidateStrategies() []Strategy {
+	return []Strategy{StrategyNestJoin, StrategyOuterJoin, StrategyNaive}
 }
 
 // Translator turns bound TM expressions into algebra plans.
@@ -65,6 +97,8 @@ func (t *Translator) freshName(prefix string) string {
 // "may always be handled by means of nested-loop processing".
 func (t *Translator) Translate(q tmql.Expr, s Strategy) (algebra.Plan, error) {
 	switch s {
+	case StrategyAuto:
+		return nil, fmt.Errorf("core: StrategyAuto must be resolved by the cost-based planner before translation")
 	case StrategyNaive:
 		return t.b.EvalSet(q)
 	case StrategyNestJoin:

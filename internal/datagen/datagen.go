@@ -179,9 +179,12 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 		}
 		return value.SetOf(es...)
 	}
-	key := func(i, n int) int64 {
+	// Dangling tuples draw from per-relation disjoint negative ranges so a
+	// dangling key never matches anything — in particular a dangling X tuple
+	// must not accidentally pair with a dangling Y tuple on x.b = y.d.
+	key := func(i, n int, offset int64) int64 {
 		if float64(i) < spec.DanglingFrac*float64(n) {
-			return -int64(i) - 1 // dangling: negative keys never appear on the inner side
+			return -offset - int64(i) - 1
 		}
 		return int64(r.Intn(spec.Keys))
 	}
@@ -189,7 +192,7 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 	for i := 0; i < spec.NX; i++ {
 		x.MustInsert(value.TupleOf(
 			value.F("a", intSet(r.Intn(spec.SetAttrCard+1))),
-			value.F("b", value.Int(key(i, spec.NX))),
+			value.F("b", value.Int(key(i, spec.NX, 0))),
 		))
 	}
 	for i := 0; i < spec.NY; i++ {
@@ -197,7 +200,7 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 			value.F("a", value.Int(int64(r.Intn(2*max(1, spec.SetAttrCard))))),
 			value.F("b", value.Int(int64(r.Intn(spec.Keys)))),
 			value.F("c", intSet(r.Intn(spec.SetAttrCard+1))),
-			value.F("d", value.Int(key(i, spec.NY))),
+			value.F("d", value.Int(key(i, spec.NY, 1<<30))),
 		))
 	}
 	for i := 0; i < spec.NZ; i++ {

@@ -1,10 +1,15 @@
 // Package engine wires the full pipeline: parse → bind → translate
-// (strategy) → physically plan → execute. It is the implementation behind
-// the public tmdb package.
+// (strategy) → physically plan → execute. When no strategy is fixed in
+// Options (the zero value, core.StrategyAuto), the engine translates the
+// query under every correct strategy, costs each strategy × join-family
+// combination against the statistics catalog, and executes the cheapest —
+// the cost-based path Explain renders. It is the implementation behind the
+// public tmdb package.
 package engine
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"tmdb/internal/algebra"
@@ -12,6 +17,7 @@ import (
 	"tmdb/internal/exec"
 	"tmdb/internal/planner"
 	"tmdb/internal/schema"
+	"tmdb/internal/stats"
 	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
 	"tmdb/internal/value"
@@ -21,11 +27,14 @@ import (
 type Engine struct {
 	cat *schema.Catalog
 	db  *storage.DB
+	// statsCat caches per-table statistics across queries; tables are
+	// immutable once sealed, so the cache never invalidates.
+	statsCat *stats.Catalog
 }
 
 // New returns an engine over the given schema and data.
 func New(cat *schema.Catalog, db *storage.DB) *Engine {
-	return &Engine{cat: cat, db: db}
+	return &Engine{cat: cat, db: db, statsCat: stats.New(db)}
 }
 
 // Catalog returns the engine's schema catalog.
@@ -34,13 +43,31 @@ func (e *Engine) Catalog() *schema.Catalog { return e.cat }
 // DB returns the engine's database.
 func (e *Engine) DB() *storage.DB { return e.db }
 
+// Stats returns the engine's statistics catalog (lazy: tables are scanned
+// on first use by the cost model; the catalog itself is safe for concurrent
+// queries).
+func (e *Engine) Stats() *stats.Catalog { return e.statsCat }
+
+// Analyze eagerly collects statistics for every table (the ANALYZE entry
+// point) and returns the engine's catalog.
+func (e *Engine) Analyze() *stats.Catalog {
+	for _, name := range e.db.Names() {
+		e.statsCat.Table(name)
+	}
+	return e.statsCat
+}
+
 // Options configure one query execution.
 type Options struct {
-	// Strategy selects the unnesting strategy (default: the paper's
-	// nest-join strategy).
+	// Strategy selects the unnesting strategy. The zero value
+	// (core.StrategyAuto) lets the cost-based planner choose among the
+	// correct strategies (nest join, outerjoin+ν*, naive); Kim's
+	// transformation is never auto-selected because it loses dangling
+	// tuples.
 	Strategy core.Strategy
-	// Joins selects the physical join family (default: auto — hash when an
-	// equi-key exists).
+	// Joins selects the physical join family (default: auto — enumerated by
+	// cost under StrategyAuto, hash-when-an-equi-key-exists under a fixed
+	// strategy).
 	Joins planner.JoinImpl
 	// Rewrite additionally applies the §6 algebraic rewrite rules
 	// (selection pushdown through nest joins, dead nest-join elimination,
@@ -57,12 +84,33 @@ type Result struct {
 	Plan algebra.Plan
 	// Expr is the bound query expression.
 	Expr tmql.Expr
+	// Strategy is the unnesting strategy actually used (resolved from Auto).
+	Strategy core.Strategy
+	// Joins is the join family actually used (resolved from Auto when the
+	// cost-based planner chose).
+	Joins planner.JoinImpl
+	// Cost is the plan's estimated cost. Populated only on the cost-based
+	// path (Auto), so fixed-strategy benchmark runs skip statistics work.
+	Cost planner.Cost
+	// Auto reports whether the cost-based planner chose the plan.
+	Auto bool
 	// Duration is the wall-clock execution time (translation + execution,
 	// excluding parse/bind).
 	Duration time.Duration
 	// EvalSteps counts elementary expression-evaluation steps performed by
 	// operators and naive evaluation — a machine-independent work measure.
 	EvalSteps int64
+}
+
+// planned is a resolved physical planning decision.
+type planned struct {
+	plan       algebra.Plan
+	tr         *core.Translator
+	strategy   core.Strategy
+	joins      planner.JoinImpl
+	cost       planner.Cost
+	auto       bool
+	candidates []planner.Candidate
 }
 
 // Query parses, binds, translates, and executes a TM query string.
@@ -81,19 +129,19 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	tr := core.NewTranslator(e.cat)
-	plan, err := tr.Translate(bound, opts.Strategy)
+	pl, err := e.plan(bound, opts)
 	if err != nil {
 		return nil, err
 	}
+	plan := pl.plan
 	if opts.Rewrite {
-		plan, err = algebra.Optimize(tr.Builder(), plan)
+		plan, err = algebra.Optimize(pl.tr.Builder(), plan)
 		if err != nil {
 			return nil, err
 		}
 	}
 	ctx := exec.NewCtx(e.db)
-	it, err := planner.New(ctx, planner.Options{Joins: opts.Joins}).Compile(plan)
+	it, err := planner.New(ctx, planner.Options{Joins: pl.joins}).Compile(plan)
 	if err != nil {
 		return nil, err
 	}
@@ -105,13 +153,81 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 		Value:     v,
 		Plan:      plan,
 		Expr:      bound,
+		Strategy:  pl.strategy,
+		Joins:     pl.joins,
+		Cost:      pl.cost,
+		Auto:      pl.auto,
 		Duration:  time.Since(start),
 		EvalSteps: ctx.Ev.Steps,
 	}, nil
 }
 
-// Explain parses, binds, and translates a query, returning the logical plan
-// rendering without executing it.
+// plan resolves Options into a concrete (plan, strategy, join family): the
+// fixed path translates under the requested strategy and keeps the requested
+// join family; the auto path enumerates and costs candidates.
+func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, error) {
+	if opts.Strategy == core.StrategyAuto {
+		return e.autoPlan(bound, opts.Joins)
+	}
+	tr := core.NewTranslator(e.cat)
+	p, err := tr.Translate(bound, opts.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &planned{plan: p, tr: tr, strategy: opts.Strategy, joins: opts.Joins}, nil
+}
+
+// autoPlan is the cost-based path: translate under every correct strategy,
+// let the planner cost strategy × join-family candidates, pick the cheapest.
+// fixed (when not ImplAuto) pins the join family and only strategies are
+// enumerated.
+func (e *Engine) autoPlan(bound tmql.Expr, fixed planner.JoinImpl) (*planned, error) {
+	est := planner.NewEstimatorStats(e.Stats())
+	type strat struct {
+		s  core.Strategy
+		tr *core.Translator
+	}
+	var sps []planner.StrategyPlan
+	trs := make(map[string]strat)
+	var firstErr error
+	for _, s := range core.CandidateStrategies() {
+		tr := core.NewTranslator(e.cat)
+		p, err := tr.Translate(bound, s)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		sps = append(sps, planner.StrategyPlan{Strategy: s.String(), Plan: p})
+		trs[s.String()] = strat{s: s, tr: tr}
+	}
+	if len(sps) == 0 {
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		return nil, fmt.Errorf("engine: no strategy could translate the query")
+	}
+	best, all, err := est.Choose(sps, fixed)
+	if err != nil {
+		return nil, err
+	}
+	st := trs[best.Strategy]
+	return &planned{
+		plan:       best.Plan,
+		tr:         st.tr,
+		strategy:   st.s,
+		joins:      best.Joins,
+		cost:       best.Cost,
+		auto:       true,
+		candidates: all,
+	}, nil
+}
+
+// Explain parses, binds, and plans a query, returning the physical plan
+// rendering — chosen strategy and join family, per-operator estimated rows
+// and cost, and (on the cost-based path) every candidate considered —
+// without executing it.
 func (e *Engine) Explain(src string, opts Options) (string, error) {
 	expr, err := tmql.Parse(src)
 	if err != nil {
@@ -121,22 +237,40 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	tr := core.NewTranslator(e.cat)
-	plan, err := tr.Translate(bound, opts.Strategy)
+	pl, err := e.plan(bound, opts)
 	if err != nil {
 		return "", err
 	}
+	plan := pl.plan
 	if opts.Rewrite {
-		plan, err = algebra.Optimize(tr.Builder(), plan)
+		plan, err = algebra.Optimize(pl.tr.Builder(), plan)
 		if err != nil {
 			return "", err
 		}
 	}
-	return algebra.Explain(plan), nil
+	if reason := planner.ImplInfeasible(plan, pl.joins); reason != "" {
+		return "", fmt.Errorf("engine: %s join requested but %s", pl.joins, reason)
+	}
+	est := planner.NewEstimatorStats(e.Stats())
+	var b strings.Builder
+	mode := "fixed"
+	if pl.auto {
+		mode = "cost-based"
+	}
+	fmt.Fprintf(&b, "strategy=%s joins=%s (%s)\n", pl.strategy, pl.joins, mode)
+	b.WriteString(est.ExplainPhysical(plan, pl.joins))
+	if pl.auto && len(pl.candidates) > 1 {
+		b.WriteString("candidates considered:\n")
+		for _, c := range pl.candidates {
+			fmt.Fprintf(&b, "  %s\n", c)
+		}
+	}
+	return b.String(), nil
 }
 
 // ExplainCosts renders the logical plan annotated with the cost model's
-// per-node estimates.
+// per-node estimates (the auto physical mapping), without strategy
+// enumeration. Explain is the physical, candidate-aware variant.
 func (e *Engine) ExplainCosts(src string, opts Options) (string, error) {
 	expr, err := tmql.Parse(src)
 	if err != nil {
@@ -146,10 +280,9 @@ func (e *Engine) ExplainCosts(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	tr := core.NewTranslator(e.cat)
-	plan, err := tr.Translate(bound, opts.Strategy)
+	pl, err := e.plan(bound, opts)
 	if err != nil {
 		return "", err
 	}
-	return planner.NewEstimator(e.db).ExplainCosts(plan), nil
+	return planner.NewEstimatorStats(e.Stats()).ExplainCosts(pl.plan), nil
 }

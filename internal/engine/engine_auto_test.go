@@ -1,0 +1,175 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// Tests for the cost-based (StrategyAuto) path: zero Options must pick a
+// correct plan, report the choice, and explain it.
+
+func autoEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat, db := datagen.XYZ(datagen.Spec{
+		NX: 120, NY: 360, NZ: 240, Keys: 15, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 3,
+	})
+	return New(cat, db)
+}
+
+func TestAutoMatchesNaiveAndFlattens(t *testing.T) {
+	eng := autoEngine(t)
+	q := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	oracle, err := eng.Query(q, Options{Strategy: core.StrategyNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := eng.Query(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Auto {
+		t.Error("zero Options must take the cost-based path")
+	}
+	if !value.Equal(auto.Value, oracle.Value) {
+		t.Error("auto plan disagrees with the naive oracle")
+	}
+	if auto.Strategy != core.StrategyNestJoin {
+		t.Errorf("auto chose %s; the nest-join strategy is cheapest here", auto.Strategy)
+	}
+	if auto.Joins == planner.ImplNestedLoop {
+		t.Error("auto must not pick nested loops for an equi-key nest join at this scale")
+	}
+	if auto.Cost.Work <= 0 {
+		t.Errorf("auto result must carry the estimate, got %v", auto.Cost)
+	}
+	if auto.EvalSteps >= oracle.EvalSteps {
+		t.Errorf("auto (%d steps) should beat naive (%d steps)", auto.EvalSteps, oracle.EvalSteps)
+	}
+}
+
+func TestAutoNeverPicksKim(t *testing.T) {
+	eng := autoEngine(t)
+	// A COUNT-between-blocks query — the shape Kim's transformation gets
+	// wrong on dangling tuples.
+	cat, db := datagen.RS(100, 300, 20, 0.3, 5)
+	rs := New(cat, db)
+	q := `SELECT r FROM R r WHERE r.B = COUNT(SELECT s.D FROM S s WHERE r.C = s.C)`
+	oracle, err := rs.Query(q, Options{Strategy: core.StrategyNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := rs.Query(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.Strategy == core.StrategyKim {
+		t.Fatal("auto selected Kim, which loses dangling tuples")
+	}
+	if !value.Equal(auto.Value, oracle.Value) {
+		t.Error("auto result differs from nested semantics")
+	}
+	_ = eng
+}
+
+func TestAutoHonorsFixedJoins(t *testing.T) {
+	eng := autoEngine(t)
+	q := `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	res, err := eng.Query(q, Options{Joins: planner.ImplNestedLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Auto {
+		t.Error("strategy enumeration should still run with a fixed join family")
+	}
+	if res.Joins != planner.ImplNestedLoop && res.Strategy != core.StrategyNaive {
+		t.Errorf("fixed join family ignored: %s × %s", res.Strategy, res.Joins)
+	}
+}
+
+func TestExplainAutoListsCandidates(t *testing.T) {
+	eng := autoEngine(t)
+	q := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	out, err := eng.Explain(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"strategy=nestjoin", "(cost-based)", "rows≈", "candidates considered:", "← chosen", "naive",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainFixedStrategy(t *testing.T) {
+	eng := autoEngine(t)
+	q := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	out, err := eng.Explain(q, Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplNestedLoop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "(fixed)") || !strings.Contains(out, "NLNestJoin") {
+		t.Errorf("fixed Explain:\n%s", out)
+	}
+	if strings.Contains(out, "candidates considered") {
+		t.Error("fixed Explain must not enumerate candidates")
+	}
+}
+
+func TestExplainInfeasibleJoinsErrors(t *testing.T) {
+	eng := autoEngine(t)
+	// x.b < y.b has no equi-key: a fixed hash request must fail in Explain
+	// exactly as it would in Query.
+	q := `SELECT (xb = x.b, yb = y.b) FROM X x, Y y WHERE x.b < y.b`
+	if _, err := eng.Explain(q, Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash}); err == nil {
+		t.Error("Explain should reject an infeasible fixed join family")
+	}
+}
+
+func TestResultReportsStrategyOnFixedPath(t *testing.T) {
+	eng := autoEngine(t)
+	res, err := eng.Query(`SELECT x.b FROM X x`, Options{Strategy: core.StrategyNestJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Auto || res.Strategy != core.StrategyNestJoin {
+		t.Errorf("fixed path misreported: auto=%v strategy=%s", res.Auto, res.Strategy)
+	}
+}
+
+func TestConcurrentAutoQueries(t *testing.T) {
+	// The engine shares one statistics catalog across queries; concurrent
+	// cost-based queries must not race on its lazy per-table computation
+	// (unsynchronized maps crash outright on concurrent writes).
+	eng := autoEngine(t)
+	q := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := eng.Query(q, Options{})
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEngineAnalyze(t *testing.T) {
+	eng := autoEngine(t)
+	sc := eng.Analyze()
+	if len(sc.Names()) != 3 {
+		t.Errorf("Analyze covered %v", sc.Names())
+	}
+	if sc != eng.Stats() {
+		t.Error("Analyze must install the catalog on the engine")
+	}
+}

@@ -1,0 +1,158 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// The acceptance property for the cost-based planner, measured in EvalSteps
+// (the engine's machine-independent work counter) over the bench_test.go XYZ
+// workload shapes: the auto-selected plan must never do more work than the
+// worst fixed strategy × join combination, and on the larger instances it
+// must land with the best combination's family rather than a quadratic
+// fallback.
+
+type fixedCombo struct {
+	s  core.Strategy
+	ji planner.JoinImpl
+}
+
+func fixedCombos() []fixedCombo {
+	var out []fixedCombo
+	for _, s := range []core.Strategy{core.StrategyNaive, core.StrategyNestJoin, core.StrategyOuterJoin} {
+		for _, ji := range []planner.JoinImpl{planner.ImplNestedLoop, planner.ImplHash, planner.ImplMerge} {
+			out = append(out, fixedCombo{s, ji})
+		}
+	}
+	return out
+}
+
+func TestAutoNeverWorseThanWorstFixed(t *testing.T) {
+	workloads := []struct {
+		name string
+		n    int
+		q    string
+	}{
+		{"b1-in-subquery", 200, `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`},
+		{"b2-grouped-count", 120, `SELECT x FROM X x WHERE COUNT(SELECT y.a FROM Y y WHERE x.b = y.d AND y.d = x.b) >= COUNT({1})`},
+		{"b4-subseteq-nest", 150, `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`},
+	}
+	for _, w := range workloads {
+		t.Run(w.name, func(t *testing.T) {
+			cat, db := datagen.XYZ(datagen.Spec{
+				NX: w.n, NY: 2 * w.n, NZ: 0, Keys: max(1, w.n/4),
+				DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+			})
+			eng := engine.New(cat, db)
+
+			var worst, best int64 = 0, 1 << 62
+			var oracle value.Value
+			ran := 0
+			for _, c := range fixedCombos() {
+				res, err := eng.Query(w.q, engine.Options{Strategy: c.s, Joins: c.ji})
+				if err != nil {
+					if SkippableError(err) {
+						continue
+					}
+					t.Fatalf("%s×%s: %v", c.s, c.ji, err)
+				}
+				ran++
+				if oracle.Kind() == 0 && c.s == core.StrategyNaive {
+					oracle = res.Value
+				}
+				if res.EvalSteps > worst {
+					worst = res.EvalSteps
+				}
+				if res.EvalSteps < best {
+					best = res.EvalSteps
+				}
+			}
+			if ran < 3 {
+				t.Fatalf("only %d fixed combinations ran", ran)
+			}
+
+			auto, err := eng.Query(w.q, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !auto.Auto {
+				t.Fatal("zero Options did not take the cost-based path")
+			}
+			if !value.Equal(auto.Value, oracle) {
+				t.Error("auto result differs from the naive oracle")
+			}
+			if auto.EvalSteps > worst {
+				t.Errorf("auto (%d steps) is worse than the worst fixed combination (%d steps)",
+					auto.EvalSteps, worst)
+			}
+			// On these equi-key workloads the winner is a flattening strategy
+			// with a non-quadratic join family; auto must land within 2× of
+			// the measured best, not merely beat the worst.
+			if auto.EvalSteps > 2*best {
+				t.Errorf("auto (%d steps) is not competitive with the best fixed combination (%d steps)",
+					auto.EvalSteps, best)
+			}
+			if auto.Strategy == core.StrategyNaive {
+				t.Error("auto picked naive evaluation on a flattenable workload")
+			}
+			if auto.Joins == planner.ImplNestedLoop {
+				t.Error("auto picked nested loops despite an extractable equi-key")
+			}
+		})
+	}
+}
+
+// TestAutoTracksBestAsInputGrows pins the large-N acceptance criterion: as
+// the workload grows, the auto choice must coincide with the family of the
+// measured-best fixed combination (flattening + hash-family join).
+func TestAutoTracksBestAsInputGrows(t *testing.T) {
+	q := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	for _, n := range []int{100, 400} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cat, db := datagen.XYZ(datagen.Spec{
+				NX: n, NY: 10 * n, NZ: 0, Keys: max(1, n/4),
+				DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+			})
+			eng := engine.New(cat, db)
+
+			var bestCombo fixedCombo
+			var bestSteps int64 = 1 << 62
+			for _, c := range fixedCombos() {
+				res, err := eng.Query(q, engine.Options{Strategy: c.s, Joins: c.ji})
+				if err != nil {
+					if SkippableError(err) {
+						continue
+					}
+					t.Fatal(err)
+				}
+				if res.EvalSteps < bestSteps {
+					bestSteps, bestCombo = res.EvalSteps, c
+				}
+			}
+			auto, err := eng.Query(q, engine.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if auto.Strategy != bestCombo.s {
+				t.Errorf("auto strategy %s, measured best %s (%d steps)",
+					auto.Strategy, bestCombo.s, bestSteps)
+			}
+			if auto.EvalSteps > 2*bestSteps {
+				t.Errorf("auto %d steps vs best %d", auto.EvalSteps, bestSteps)
+			}
+		})
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,111 @@
+package enginetest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/engine"
+	"tmdb/internal/value"
+)
+
+// TestConformance executes every golden query under every strategy × join
+// implementation and asserts all combinations agree with the naive oracle
+// (order-normalized: results are canonical sets). Kim is allowed to lose
+// dangling tuples on queries flagged KimBuggy; hash/merge combinations are
+// skipped where the plan has no equi-key.
+func TestConformance(t *testing.T) {
+	for _, g := range Goldens {
+		t.Run(g.Name, func(t *testing.T) {
+			eng := OpenDB(g.DB)
+			oracle, err := eng.Query(g.Query, engine.Options{Strategy: core.StrategyNaive})
+			if err != nil {
+				t.Fatalf("naive oracle: %v", err)
+			}
+			ran, skipped := 0, 0
+			for _, s := range Strategies() {
+				for _, ji := range JoinImpls() {
+					name := fmt.Sprintf("%s×%s", s, ji)
+					res, err := eng.Query(g.Query, engine.Options{Strategy: s, Joins: ji})
+					if err != nil {
+						if SkippableError(err) {
+							skipped++
+							continue
+						}
+						t.Errorf("%s: %v", name, err)
+						continue
+					}
+					ran++
+					if value.Equal(res.Value, oracle.Value) {
+						continue
+					}
+					if s == core.StrategyKim && g.KimBuggy {
+						// The documented COUNT-bug family: Kim may lose
+						// dangling tuples, never invent extra ones.
+						if extra := value.Diff(res.Value, oracle.Value); extra.Len() > 0 {
+							t.Errorf("%s: Kim produced %d tuples outside the nested semantics", name, extra.Len())
+						}
+						continue
+					}
+					lost := value.Diff(oracle.Value, res.Value)
+					extra := value.Diff(res.Value, oracle.Value)
+					t.Errorf("%s: result differs from naive oracle (lost %d, extra %d)",
+						name, lost.Len(), extra.Len())
+				}
+			}
+			if ran == 0 {
+				t.Fatal("no combination executed")
+			}
+			// Auto and naive never skip, so the matrix can't silently shrink
+			// to nothing; cross-check the bookkeeping.
+			if ran+skipped != len(Strategies())*len(JoinImpls()) {
+				t.Fatalf("matrix accounting broken: ran=%d skipped=%d", ran, skipped)
+			}
+		})
+	}
+}
+
+// TestConformanceKimBugReproduces pins the flag semantics: at least one
+// KimBuggy golden must actually exhibit the bug, or the flags have gone
+// stale.
+func TestConformanceKimBugReproduces(t *testing.T) {
+	exhibited := 0
+	for _, g := range Goldens {
+		if !g.KimBuggy {
+			continue
+		}
+		eng := OpenDB(g.DB)
+		oracle, err := eng.Query(g.Query, engine.Options{Strategy: core.StrategyNaive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kim, err := eng.Query(g.Query, engine.Options{Strategy: core.StrategyKim})
+		if err != nil {
+			continue
+		}
+		if value.Diff(oracle.Value, kim.Value).Len() > 0 {
+			exhibited++
+		}
+	}
+	if exhibited == 0 {
+		t.Error("no KimBuggy golden actually reproduces the COUNT bug")
+	}
+}
+
+// TestConformanceExplainRenders asserts EXPLAIN renders for every golden
+// query under the auto strategy: a header with the chosen combination and
+// per-operator estimates.
+func TestConformanceExplainRenders(t *testing.T) {
+	for _, g := range Goldens {
+		eng := OpenDB(g.DB)
+		out, err := eng.Explain(g.Query, engine.Options{})
+		if err != nil {
+			t.Errorf("%s: Explain: %v", g.Name, err)
+			continue
+		}
+		if !strings.HasPrefix(out, "strategy=") || !strings.Contains(out, "rows≈") {
+			t.Errorf("%s: malformed Explain output:\n%s", g.Name, out)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/tmql"
+)
+
+// Cost-based physical planning: the engine translates the query once per
+// candidate unnesting strategy, and Choose enumerates those plans × the
+// physical join families, estimates each feasible combination, and returns
+// the cheapest. This replaces the seed behavior where the caller had to fix
+// Options.Strategy and Options.Joins by hand.
+
+// StrategyPlan is one strategy's translation of a query, labeled by the
+// strategy name (the planner stays agnostic of the core package to keep the
+// import graph acyclic).
+type StrategyPlan struct {
+	Strategy string
+	Plan     algebra.Plan
+}
+
+// Candidate is one strategy × join-implementation combination considered by
+// Choose.
+type Candidate struct {
+	Strategy string
+	Joins    JoinImpl
+	Plan     algebra.Plan
+	Cost     Cost
+	// Infeasible is non-empty when the combination cannot execute (e.g. a
+	// hash family requested with no equi-key); such candidates are never
+	// chosen.
+	Infeasible string
+	// Chosen marks the winning candidate.
+	Chosen bool
+}
+
+// String renders the candidate for EXPLAIN output.
+func (c Candidate) String() string {
+	label := fmt.Sprintf("%-9s × %-11s", c.Strategy, c.Joins)
+	switch {
+	case c.Infeasible != "":
+		return fmt.Sprintf("%s  infeasible: %s", label, c.Infeasible)
+	case c.Chosen:
+		return fmt.Sprintf("%s  cost≈%.0f  ← chosen", label, c.Cost.Work)
+	default:
+		return fmt.Sprintf("%s  cost≈%.0f", label, c.Cost.Work)
+	}
+}
+
+// Choose picks the cheapest feasible strategy × join-implementation
+// combination by estimated work. fixed restricts the join family when the
+// caller set one explicitly (ImplAuto enumerates all). Plans without
+// join-family operators collapse to a single candidate per strategy, since
+// the implementation choice cannot matter. The returned slice reports every
+// candidate considered (for EXPLAIN); the returned pointer aliases its
+// winning entry.
+func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl) (*Candidate, []Candidate, error) {
+	if len(plans) == 0 {
+		return nil, nil, fmt.Errorf("planner: no candidate plans to choose from")
+	}
+	impls := []JoinImpl{ImplNestedLoop, ImplHash, ImplMerge}
+	if fixed != ImplAuto {
+		impls = []JoinImpl{fixed}
+	}
+	var all []Candidate
+	best := -1
+	for _, sp := range plans {
+		implsHere := impls
+		if !hasJoinFamily(sp.Plan) {
+			implsHere = []JoinImpl{ImplAuto}
+		}
+		for _, impl := range implsHere {
+			c := Candidate{Strategy: sp.Strategy, Joins: impl, Plan: sp.Plan}
+			if reason := ImplInfeasible(sp.Plan, impl); reason != "" {
+				c.Infeasible = reason
+				all = append(all, c)
+				continue
+			}
+			c.Cost = e.EstimatePhysical(sp.Plan, impl)
+			all = append(all, c)
+			if best < 0 || c.Cost.Work < all[best].Cost.Work {
+				best = len(all) - 1
+			}
+		}
+	}
+	if best < 0 {
+		return nil, all, fmt.Errorf("planner: no feasible strategy × join combination (joins=%s)", fixed)
+	}
+	all[best].Chosen = true
+	return &all[best], all, nil
+}
+
+// ImplInfeasible reports why a plan cannot be compiled under the given join
+// implementation ("" when it can): the hash and sort-merge families require
+// an extractable equi-key on every join-family operator, mirroring the
+// errors Compile would raise.
+func ImplInfeasible(p algebra.Plan, impl JoinImpl) string {
+	if impl != ImplHash && impl != ImplMerge {
+		return ""
+	}
+	var reason string
+	var walk func(n algebra.Plan)
+	walk = func(n algebra.Plan) {
+		if reason != "" {
+			return
+		}
+		switch j := n.(type) {
+		case *algebra.Join:
+			if lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar); len(lk) == 0 {
+				reason = fmt.Sprintf("no equi-key in %s", tmql.Format(j.Pred))
+				return
+			}
+		case *algebra.NestJoin:
+			if lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar); len(lk) == 0 {
+				reason = fmt.Sprintf("no equi-key in %s", tmql.Format(j.Pred))
+				return
+			}
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(p)
+	return reason
+}
+
+// hasJoinFamily reports whether the plan contains any join-family operator,
+// i.e. whether the join-implementation choice can affect execution.
+func hasJoinFamily(p algebra.Plan) bool {
+	switch p.(type) {
+	case *algebra.Join, *algebra.NestJoin:
+		return true
+	}
+	for _, ch := range p.Children() {
+		if hasJoinFamily(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// ExplainPhysical renders the plan as the physical operator tree the given
+// implementation choice compiles to, annotated with per-node estimated rows
+// and cost — the body of the engine's EXPLAIN.
+func (e *Estimator) ExplainPhysical(p algebra.Plan, impl JoinImpl) string {
+	var b strings.Builder
+	var walk func(n algebra.Plan, depth int)
+	walk = func(n algebra.Plan, depth int) {
+		c := e.EstimatePhysical(n, impl)
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s  (%s)\n", PhysicalDescribe(n, impl), c)
+		for _, ch := range n.Children() {
+			walk(ch, depth+1)
+		}
+	}
+	walk(p, 0)
+	return b.String()
+}
+
+// PhysicalDescribe names the physical operator a logical node compiles to
+// under the given implementation choice, matching the exec package's
+// operator names (NLJoin, HashSemiJoin, MergeNestJoin, …). Non-join nodes
+// keep their logical description.
+func PhysicalDescribe(n algebra.Plan, impl JoinImpl) string {
+	switch j := n.(type) {
+	case *algebra.Join:
+		lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
+		eff := effectiveJoinImpl(impl, len(lk) > 0)
+		if eff == ImplMerge {
+			eff = ImplHash // flat joins have no merge variant; Compile uses hash
+		}
+		return implPrefix(eff) + j.Describe()
+	case *algebra.NestJoin:
+		lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
+		return implPrefix(effectiveJoinImpl(impl, len(lk) > 0)) + j.Describe()
+	}
+	return n.Describe()
+}
+
+func effectiveJoinImpl(impl JoinImpl, hashable bool) JoinImpl {
+	if !hashable {
+		return ImplNestedLoop
+	}
+	if impl == ImplAuto {
+		return ImplHash
+	}
+	return impl
+}
+
+func implPrefix(impl JoinImpl) string {
+	switch impl {
+	case ImplNestedLoop:
+		return "NL"
+	case ImplHash:
+		return "Hash"
+	case ImplMerge:
+		return "Merge"
+	}
+	return ""
+}

@@ -2,18 +2,22 @@ package planner
 
 import (
 	"fmt"
+	"math"
 
 	"tmdb/internal/algebra"
+	"tmdb/internal/stats"
 	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
 )
 
 // Cost modeling for logical plans. The model is the classical textbook one —
 // cardinality estimates from per-table statistics, per-operator CPU cost in
-// abstract "tuple visits" — and exists to (a) explain plans quantitatively
-// and (b) let Estimate-driven tests assert the planner's physical choices
-// match the §6 cost intuitions (hash builds on the right operand, nested
-// loops quadratic, semijoin cheaper than nest join).
+// abstract "tuple visits" — and exists to (a) explain plans quantitatively,
+// (b) let the engine choose strategy × join-implementation combinations by
+// estimated cost instead of caller flags, and (c) let Estimate-driven tests
+// assert the planner's physical choices match the §6 cost intuitions (hash
+// builds on the right operand, nested loops quadratic, semijoin cheaper than
+// nest join).
 type Cost struct {
 	// Rows is the estimated output cardinality.
 	Rows float64
@@ -26,103 +30,87 @@ func (c Cost) String() string {
 	return fmt.Sprintf("rows≈%.0f work≈%.0f", c.Rows, c.Work)
 }
 
-// Estimator derives costs for plans against a database's statistics. Stats
-// are computed lazily per table and cached.
+// Estimator derives costs for plans against a database's statistics catalog.
+// Statistics are computed lazily per table and cached in the catalog, so an
+// estimator (or the engine holding the catalog) amortizes scans across
+// queries.
 type Estimator struct {
-	db    *storage.DB
-	stats map[string]*storage.Stats
+	stats *stats.Catalog
 }
 
-// NewEstimator returns an estimator over db.
+// NewEstimator returns an estimator with a fresh lazy statistics catalog
+// over db.
 func NewEstimator(db *storage.DB) *Estimator {
-	return &Estimator{db: db, stats: make(map[string]*storage.Stats)}
+	return &Estimator{stats: stats.New(db)}
 }
 
-func (e *Estimator) tableStats(name string) *storage.Stats {
-	if s, ok := e.stats[name]; ok {
-		return s
-	}
-	tab, ok := e.db.Table(name)
-	if !ok {
-		s := &storage.Stats{Card: 0}
-		e.stats[name] = s
-		return s
-	}
-	s := storage.ComputeStats(tab)
-	e.stats[name] = s
-	return s
+// NewEstimatorStats returns an estimator over an existing catalog (shared
+// with the engine so per-table scans happen once).
+func NewEstimatorStats(sc *stats.Catalog) *Estimator {
+	return &Estimator{stats: sc}
+}
+
+// Stats returns the backing statistics catalog.
+func (e *Estimator) Stats() *stats.Catalog { return e.stats }
+
+func (e *Estimator) tableStats(name string) *stats.TableStats {
+	return e.stats.Table(name)
 }
 
 // defaultSelectivity is used for predicates the model cannot analyze.
 const defaultSelectivity = 0.33
 
-// Estimate computes the cost of a logical plan.
+// defaultDangling is the assumed dangling fraction when the operands are not
+// direct scans with statistically known key attributes.
+const defaultDangling = 0.5
+
+// Estimate computes the cost of a logical plan under the auto physical
+// mapping (hash where an equi-key exists, nested loops otherwise).
 func (e *Estimator) Estimate(p algebra.Plan) Cost {
+	return e.EstimatePhysical(p, ImplAuto)
+}
+
+// EstimatePhysical computes the cost of a logical plan when its join-family
+// operators are compiled with the given implementation choice — the quantity
+// the auto planner minimizes over strategy × implementation candidates.
+// Infeasible choices (hash without an equi-key) are costed as their
+// nested-loop fallback; feasibility is checked separately by ImplInfeasible.
+func (e *Estimator) EstimatePhysical(p algebra.Plan, impl JoinImpl) Cost {
 	switch n := p.(type) {
 	case *algebra.Scan:
 		card := float64(e.tableStats(n.Table).Card)
 		return Cost{Rows: card, Work: card}
 
 	case *algebra.EvalNode:
-		// Opaque: assume a modest constant (naive evaluation cost is
-		// unknowable without running it).
-		return Cost{Rows: 100, Work: 1000}
+		// Naive nested-loop evaluation: costed by walking the expression.
+		return e.evalCost(n.Expr)
 
 	case *algebra.Select:
-		in := e.Estimate(n.In)
+		in := e.EstimatePhysical(n.In, impl)
 		sel := e.predicateSelectivity(n.Pred, n.In)
 		return Cost{Rows: in.Rows * sel, Work: in.Work + in.Rows}
 
 	case *algebra.Map:
-		in := e.Estimate(n.In)
+		in := e.EstimatePhysical(n.In, impl)
 		return Cost{Rows: in.Rows, Work: in.Work + in.Rows}
 
 	case *algebra.Join:
-		l, r := e.Estimate(n.L), e.Estimate(n.R)
-		lk, _, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
-		var probe, out float64
-		if len(lk) > 0 {
-			// Hash: build right, probe left; matches per probe from key NDV.
-			fanout := r.Rows * e.keySelectivity(n.R)
-			probe = l.Rows + r.Rows
-			out = l.Rows * fanout
-		} else {
-			probe = l.Rows * r.Rows
-			out = l.Rows * r.Rows * defaultSelectivity
-		}
-		switch n.Kind {
-		case algebra.JoinSemi, algebra.JoinAnti:
-			out = l.Rows * 0.5
-		case algebra.JoinLeftOuter:
-			if out < l.Rows {
-				out = l.Rows
-			}
-		}
-		return Cost{Rows: out, Work: l.Work + r.Work + probe}
+		return e.estimateJoin(n, impl)
 
 	case *algebra.NestJoin:
-		l, r := e.Estimate(n.L), e.Estimate(n.R)
-		lk, _, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
-		var probe float64
-		if len(lk) > 0 {
-			probe = l.Rows + r.Rows + l.Rows*r.Rows*e.keySelectivity(n.R)
-		} else {
-			probe = l.Rows * r.Rows
-		}
-		// One output tuple per left element, always (dangling survive).
-		return Cost{Rows: l.Rows, Work: l.Work + r.Work + probe}
+		return e.estimateNestJoin(n, impl)
 
 	case *algebra.Nest:
-		in := e.Estimate(n.In)
+		in := e.EstimatePhysical(n.In, impl)
 		return Cost{Rows: in.Rows * 0.5, Work: in.Work + in.Rows}
 
 	case *algebra.Unnest:
-		in := e.Estimate(n.In)
-		fanout := 3.0
+		in := e.EstimatePhysical(n.In, impl)
+		fanout := e.unnestFanout(n)
 		return Cost{Rows: in.Rows * fanout, Work: in.Work + in.Rows*fanout}
 
 	case *algebra.SetOp:
-		l, r := e.Estimate(n.L), e.Estimate(n.R)
+		l, r := e.EstimatePhysical(n.L, impl), e.EstimatePhysical(n.R, impl)
 		rows := l.Rows
 		switch n.Kind {
 		case algebra.SetUnion:
@@ -137,22 +125,161 @@ func (e *Estimator) Estimate(p algebra.Plan) Cost {
 	return Cost{Rows: 1, Work: 1}
 }
 
-// keySelectivity estimates 1/NDV of the join key on the right operand,
-// falling back to a default when the operand is not a direct scan.
-func (e *Estimator) keySelectivity(r algebra.Plan) float64 {
-	if s, ok := r.(*algebra.Scan); ok {
-		st := e.tableStats(s.Table)
-		best := 0.1
-		for _, d := range st.Distinct {
-			if d > 0 {
-				if sel := 1.0 / float64(d); sel < best {
-					best = sel
-				}
+func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl) Cost {
+	l, r := e.EstimatePhysical(n.L, impl), e.EstimatePhysical(n.R, impl)
+	lk, rk, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	hashable := len(lk) > 0
+
+	var matches float64
+	if hashable {
+		matches = l.Rows * r.Rows * e.keySelectivity(n.R, n.RVar, rk)
+	} else {
+		matches = l.Rows * r.Rows * defaultSelectivity
+	}
+
+	// Flat joins have no merge variant: Compile lowers ImplMerge to hash, so
+	// cost what actually runs.
+	joinImpl := impl
+	if joinImpl == ImplMerge {
+		joinImpl = ImplHash
+	}
+	probe := e.joinProbeWork(l.Rows, r.Rows, matches, joinImpl, hashable)
+
+	dang := e.danglingFrac(n.L, n.LVar, lk, n.R, n.RVar, rk)
+	rows := matches
+	switch n.Kind {
+	case algebra.JoinSemi:
+		rows = l.Rows * (1 - dang)
+	case algebra.JoinAnti:
+		rows = l.Rows * dang
+	case algebra.JoinLeftOuter:
+		if rows < l.Rows {
+			rows = l.Rows
+		}
+	}
+	return Cost{Rows: rows, Work: l.Work + r.Work + probe}
+}
+
+func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl) Cost {
+	l, r := e.EstimatePhysical(n.L, impl), e.EstimatePhysical(n.R, impl)
+	lk, rk, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	hashable := len(lk) > 0
+
+	var matches float64
+	if hashable {
+		matches = l.Rows * r.Rows * e.keySelectivity(n.R, n.RVar, rk)
+	} else {
+		matches = l.Rows * r.Rows * defaultSelectivity
+	}
+	probe := e.joinProbeWork(l.Rows, r.Rows, matches, impl, hashable)
+	// One output tuple per left element, always (dangling survive with ∅).
+	return Cost{Rows: l.Rows, Work: l.Work + r.Work + probe}
+}
+
+// joinProbeWork is the per-implementation cost of pairing the operands:
+// nested loops evaluate the predicate over the cross product; hash pays one
+// visit per tuple on each side plus the matches emitted; sort-merge adds the
+// n·log n ordering passes on top of a hash-like merge.
+func (e *Estimator) joinProbeWork(lRows, rRows, matches float64, impl JoinImpl, hashable bool) float64 {
+	eff := impl
+	if eff == ImplAuto {
+		if hashable {
+			eff = ImplHash
+		} else {
+			eff = ImplNestedLoop
+		}
+	}
+	if !hashable {
+		// Hash/merge without a key cannot run; cost the nested-loop fallback.
+		eff = ImplNestedLoop
+	}
+	switch eff {
+	case ImplNestedLoop:
+		return lRows * rRows
+	case ImplMerge:
+		return sortCost(lRows) + sortCost(rRows) + lRows + rRows + matches
+	default: // ImplHash
+		return lRows + rRows + matches
+	}
+}
+
+func sortCost(n float64) float64 {
+	if n < 2 {
+		return n
+	}
+	return n * math.Log2(n)
+}
+
+// unnestFanout estimates μ fan-out from the average set cardinality of the
+// unnested attribute when the input is a direct scan, else a constant 3.
+func (e *Estimator) unnestFanout(n *algebra.Unnest) float64 {
+	if s, ok := n.In.(*algebra.Scan); ok {
+		if avg, ok := e.tableStats(s.Table).AvgSetLen[n.Attr]; ok && avg > 0 {
+			return avg
+		}
+	}
+	return 3.0
+}
+
+// keySelectivity estimates 1/NDV of the join key on the right operand. When
+// the operand is a direct scan and the key is a plain attribute selection,
+// the attribute's exact distinct count is used; otherwise fall back to the
+// most selective attribute of the scanned table, or 0.1.
+func (e *Estimator) keySelectivity(r algebra.Plan, rvar string, rkeys []tmql.Expr) float64 {
+	s, ok := r.(*algebra.Scan)
+	if !ok {
+		return 0.1
+	}
+	st := e.tableStats(s.Table)
+	if tab, attr, ok := scanKeyAttr(r, rvar, rkeys); ok && tab == s.Table {
+		if d, ok := st.Distinct[attr]; ok && d > 0 {
+			return 1.0 / float64(d)
+		}
+	}
+	best := 0.1
+	for _, d := range st.Distinct {
+		if d > 0 {
+			if sel := 1.0 / float64(d); sel < best {
+				best = sel
 			}
 		}
-		return best
 	}
-	return 0.1
+	return best
+}
+
+// danglingFrac estimates the fraction of left tuples with no join partner.
+// When both operands are direct scans and the first key pair is a plain
+// attribute selection on each side, the statistics catalog computes the
+// exact figure; otherwise the conventional default 0.5.
+func (e *Estimator) danglingFrac(l algebra.Plan, lvar string, lkeys []tmql.Expr,
+	r algebra.Plan, rvar string, rkeys []tmql.Expr) float64 {
+	lt, la, ok := scanKeyAttr(l, lvar, lkeys)
+	if !ok {
+		return defaultDangling
+	}
+	rt, ra, ok := scanKeyAttr(r, rvar, rkeys)
+	if !ok {
+		return defaultDangling
+	}
+	return e.stats.DanglingFrac(lt, la, rt, ra)
+}
+
+// scanKeyAttr reports the (table, attribute) a join key refers to when the
+// operand is a direct scan and the first key expression is var.attr.
+func scanKeyAttr(p algebra.Plan, varName string, keys []tmql.Expr) (table, attr string, ok bool) {
+	s, isScan := p.(*algebra.Scan)
+	if !isScan || len(keys) == 0 {
+		return "", "", false
+	}
+	fs, isSel := keys[0].(*tmql.FieldSel)
+	if !isSel {
+		return "", "", false
+	}
+	v, isVar := fs.X.(*tmql.Var)
+	if !isVar || v.Name != varName {
+		return "", "", false
+	}
+	return s.Table, fs.Label, true
 }
 
 // predicateSelectivity assigns standard selectivities by predicate shape:
@@ -167,8 +294,7 @@ func (e *Estimator) predicateSelectivity(pred tmql.Expr, in algebra.Plan) float6
 	case tmql.OpEq:
 		if s, ok := in.(*algebra.Scan); ok {
 			if fs, ok := b.L.(*tmql.FieldSel); ok {
-				st := e.tableStats(s.Table)
-				return st.Selectivity(fs.Label)
+				return e.tableStats(s.Table).Selectivity(fs.Label)
 			}
 		}
 		return 0.1
@@ -184,7 +310,95 @@ func (e *Estimator) predicateSelectivity(pred tmql.Expr, in algebra.Plan) float6
 	return defaultSelectivity
 }
 
-// ExplainCosts renders the plan with per-node cost annotations.
+// evalCost estimates naive (tuple-at-a-time) evaluation of a TM expression:
+// an SFW block costs the product of its FROM cardinalities times the
+// per-tuple work of its predicate and result — which makes correlated
+// subqueries multiply out to the quadratic blowup the paper's flattening
+// avoids, so the auto planner only picks naive evaluation when nothing
+// better translates.
+func (e *Estimator) evalCost(x tmql.Expr) Cost {
+	if x == nil {
+		return Cost{Rows: 1, Work: 0}
+	}
+	switch n := x.(type) {
+	case *tmql.Lit, *tmql.Var:
+		return Cost{Rows: 1, Work: 1}
+
+	case *tmql.TableRef:
+		card := float64(e.tableStats(n.Name).Card)
+		return Cost{Rows: card, Work: card}
+
+	case *tmql.FieldSel:
+		c := e.evalCost(n.X)
+		return Cost{Rows: 1, Work: c.Work + 1}
+
+	case *tmql.TupleCons:
+		work := 1.0
+		for _, f := range n.Fields {
+			work += e.evalCost(f.E).Work
+		}
+		return Cost{Rows: 1, Work: work}
+
+	case *tmql.SetCons:
+		work := 1.0
+		for _, el := range n.Elems {
+			work += e.evalCost(el).Work
+		}
+		return Cost{Rows: math.Max(1, float64(len(n.Elems))), Work: work}
+
+	case *tmql.ListCons:
+		work := 1.0
+		for _, el := range n.Elems {
+			work += e.evalCost(el).Work
+		}
+		return Cost{Rows: math.Max(1, float64(len(n.Elems))), Work: work}
+
+	case *tmql.Binary:
+		l, r := e.evalCost(n.L), e.evalCost(n.R)
+		return Cost{Rows: 1, Work: l.Work + r.Work + 1}
+
+	case *tmql.Unary:
+		c := e.evalCost(n.X)
+		return Cost{Rows: 1, Work: c.Work + 1}
+
+	case *tmql.Agg:
+		c := e.evalCost(n.X)
+		return Cost{Rows: 1, Work: c.Work + c.Rows}
+
+	case *tmql.Quant:
+		over := e.evalCost(n.Over)
+		pred := e.evalCost(n.Pred)
+		return Cost{Rows: 1, Work: over.Work + over.Rows*pred.Work}
+
+	case *tmql.SFW:
+		loops := 1.0
+		work := 0.0
+		for _, f := range n.Froms {
+			c := e.evalCost(f.Src)
+			work += c.Work
+			loops *= math.Max(1, c.Rows)
+		}
+		perTuple := 1.0 + e.evalCost(n.Where).Work + e.evalCost(n.Result).Work
+		rows := loops
+		if n.Where != nil {
+			rows *= defaultSelectivity
+		}
+		return Cost{Rows: math.Max(1, rows), Work: work + loops*perTuple}
+
+	case *tmql.Let:
+		d, b := e.evalCost(n.Def), e.evalCost(n.Body)
+		return Cost{Rows: b.Rows, Work: d.Work + b.Work}
+
+	case *tmql.Unnest:
+		c := e.evalCost(n.X)
+		return Cost{Rows: c.Rows * 3, Work: c.Work + c.Rows*3}
+	}
+	return Cost{Rows: 1, Work: 1}
+}
+
+// ExplainCosts renders the plan with per-node logical cost annotations
+// (auto physical mapping). See ExplainPhysical for the physical rendering
+// the engine's EXPLAIN uses.
 func (e *Estimator) ExplainCosts(p algebra.Plan) string {
 	var out string
 	var walk func(n algebra.Plan, depth int)

@@ -1,0 +1,291 @@
+// Package stats collects per-table statistics from a storage.DB for the
+// planner's cost model: cardinality, per-attribute distinct counts, average
+// set-attribute cardinality, and — the figure that drives the paper's
+// strategy choice — the dangling-tuple fraction of a join-attribute pair
+// (the outer tuples Kim's transformation loses and the nest join must
+// preserve).
+//
+// Statistics are exact, computed in one scan per table, which is appropriate
+// at the paper's laptop scale; a production system would sample. Collection
+// is lazy by default (New); Analyze is the eager ANALYZE entry point that
+// scans every table up front. FromXYZSpec is the datagen-aware entry point:
+// it derives the same catalog analytically from a generator Spec, without
+// touching data — used to validate Analyze against ground truth and to cost
+// plans for not-yet-materialized workloads.
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"tmdb/internal/datagen"
+	"tmdb/internal/storage"
+	"tmdb/internal/value"
+)
+
+// TableStats summarizes one extension table.
+type TableStats struct {
+	// Card is the stored cardinality.
+	Card int
+	// Distinct maps top-level attribute labels to their distinct-value count.
+	Distinct map[string]int
+	// AvgSetLen maps set-valued attribute labels to their mean cardinality —
+	// the main driver of nest-join output size and μ fan-out.
+	AvgSetLen map[string]float64
+
+	// keys retains the distinct scalar value keys per attribute so the
+	// catalog can compute dangling fractions without rescanning this side.
+	keys map[string]map[string]bool
+}
+
+// Selectivity estimates equi-predicate selectivity on the attribute: 1/NDV,
+// defaulting to 0.1 when the attribute is unknown.
+func (s *TableStats) Selectivity(attr string) float64 {
+	if d, ok := s.Distinct[attr]; ok && d > 0 {
+		return 1.0 / float64(d)
+	}
+	return 0.1
+}
+
+// Catalog caches statistics for every table of one database plus pairwise
+// dangling-tuple fractions. It is safe for concurrent use: engines share one
+// catalog across queries, and computed TableStats are immutable once
+// published.
+type Catalog struct {
+	db *storage.DB
+
+	mu       sync.Mutex
+	tables   map[string]*TableStats
+	dangling map[string]float64
+}
+
+// New returns a lazy catalog over db: each table is scanned on first use.
+func New(db *storage.DB) *Catalog {
+	return &Catalog{
+		db:       db,
+		tables:   make(map[string]*TableStats),
+		dangling: make(map[string]float64),
+	}
+}
+
+// Analyze is the eager ANALYZE entry point: it scans every table of db and
+// returns the fully populated catalog.
+func Analyze(db *storage.DB) *Catalog {
+	c := New(db)
+	if db != nil {
+		for _, name := range db.Names() {
+			c.Table(name)
+		}
+	}
+	return c
+}
+
+// Names returns the names of all analyzed tables, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Table returns statistics for the named table, computing and caching them
+// on first use. Unknown tables yield zero statistics.
+func (c *Catalog) Table(name string) *TableStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.table(name)
+}
+
+func (c *Catalog) table(name string) *TableStats {
+	if s, ok := c.tables[name]; ok {
+		return s
+	}
+	s := &TableStats{
+		Distinct:  make(map[string]int),
+		AvgSetLen: make(map[string]float64),
+		keys:      make(map[string]map[string]bool),
+	}
+	c.tables[name] = s
+	if c.db == nil {
+		return s
+	}
+	tab, ok := c.db.Table(name)
+	if !ok {
+		return s
+	}
+	s.Card = tab.Len()
+	setLen := make(map[string]int)
+	setCnt := make(map[string]int)
+	for _, r := range tab.Rows() {
+		if r.Kind() != value.KindTuple {
+			continue
+		}
+		for _, f := range r.Fields() {
+			m, ok := s.keys[f.Label]
+			if !ok {
+				m = make(map[string]bool)
+				s.keys[f.Label] = m
+			}
+			m[value.Key(f.V)] = true
+			if f.V.Kind() == value.KindSet {
+				setLen[f.Label] += f.V.Len()
+				setCnt[f.Label]++
+			}
+		}
+	}
+	for l, m := range s.keys {
+		s.Distinct[l] = len(m)
+	}
+	for l, n := range setCnt {
+		if n > 0 {
+			s.AvgSetLen[l] = float64(setLen[l]) / float64(n)
+		}
+	}
+	return s
+}
+
+// Selectivity estimates equi-predicate selectivity of attr on table.
+func (c *Catalog) Selectivity(table, attr string) float64 {
+	return c.Table(table).Selectivity(attr)
+}
+
+// DanglingFrac returns the fraction of lTable rows whose lAttr value matches
+// no rAttr value of rTable — the tuples a semijoin drops, an antijoin keeps,
+// and a nest join pairs with ∅. The result is cached per attribute pair.
+// When either side is unknown the conventional default 0.5 is returned.
+func (c *Catalog) DanglingFrac(lTable, lAttr, rTable, rAttr string) float64 {
+	const def = 0.5
+	key := lTable + "." + lAttr + "|" + rTable + "." + rAttr
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.dangling[key]; ok {
+		return f
+	}
+	ls, rs := c.table(lTable), c.table(rTable)
+	rKeys := rs.keys[rAttr]
+	if c.db == nil || ls.Card == 0 || rKeys == nil {
+		c.dangling[key] = def
+		return def
+	}
+	tab, ok := c.db.Table(lTable)
+	if !ok {
+		c.dangling[key] = def
+		return def
+	}
+	dangling := 0
+	for _, r := range tab.Rows() {
+		if r.Kind() != value.KindTuple {
+			continue
+		}
+		f, ok := r.Get(lAttr)
+		if !ok || !rKeys[value.Key(f)] {
+			dangling++
+		}
+	}
+	frac := float64(dangling) / float64(ls.Card)
+	c.dangling[key] = frac
+	return frac
+}
+
+// SetDangling records a dangling fraction directly, bypassing scanning. Used
+// by the analytic (datagen-aware) constructors.
+func (c *Catalog) SetDangling(lTable, lAttr, rTable, rAttr string, frac float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.dangling[lTable+"."+lAttr+"|"+rTable+"."+rAttr] = frac
+}
+
+// SetTable records table statistics directly, bypassing scanning.
+func (c *Catalog) SetTable(name string, s *TableStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s.Distinct == nil {
+		s.Distinct = make(map[string]int)
+	}
+	if s.AvgSetLen == nil {
+		s.AvgSetLen = make(map[string]float64)
+	}
+	if s.keys == nil {
+		s.keys = make(map[string]map[string]bool)
+	}
+	c.tables[name] = s
+}
+
+// FromXYZSpec is the datagen-aware ANALYZE: it derives the catalog for the
+// synthetic X/Y/Z workload analytically from the generator parameters,
+// without building or scanning the database. Matched tuples draw their join
+// key uniformly from spec.Keys values; dangling tuples use a disjoint
+// negative range, so the distinct count of a key attribute is roughly
+// Keys + dangling rows, and DanglingFrac mirrors spec.DanglingFrac exactly.
+func FromXYZSpec(spec datagen.Spec) *Catalog {
+	if spec.Keys <= 0 {
+		spec.Keys = 1
+	}
+	c := New(nil)
+	keyNDV := func(n int) int {
+		d := int(spec.DanglingFrac * float64(n))
+		ndv := spec.Keys + d
+		if ndv > n {
+			ndv = n
+		}
+		return ndv
+	}
+	avgSet := float64(spec.SetAttrCard) / 2
+	c.SetTable("X", &TableStats{
+		Card:      spec.NX,
+		Distinct:  map[string]int{"b": keyNDV(spec.NX)},
+		AvgSetLen: map[string]float64{"a": avgSet},
+	})
+	c.SetTable("Y", &TableStats{
+		Card: spec.NY,
+		Distinct: map[string]int{
+			"b": min(spec.Keys, spec.NY),
+			"d": keyNDV(spec.NY),
+			"a": min(2*max(1, spec.SetAttrCard), spec.NY),
+		},
+		AvgSetLen: map[string]float64{"c": avgSet},
+	})
+	// Z draws both attributes from small domains, so duplicate rows are
+	// common and Seal's set semantics shrinks the stored cardinality; model
+	// it as the expected number of distinct draws.
+	zDomain := 2 * max(1, spec.SetAttrCard) * spec.Keys
+	c.SetTable("Z", &TableStats{
+		Card: int(expectedDistinct(spec.NZ, zDomain)),
+		Distinct: map[string]int{
+			"d": min(spec.Keys, spec.NZ),
+			"c": min(2*max(1, spec.SetAttrCard), spec.NZ),
+		},
+	})
+	c.SetDangling("X", "b", "Y", "b", spec.DanglingFrac)
+	c.SetDangling("X", "b", "Y", "d", spec.DanglingFrac)
+	c.SetDangling("Y", "d", "Z", "d", spec.DanglingFrac)
+	return c
+}
+
+// expectedDistinct is the expected number of distinct values among n uniform
+// draws from a domain of d values: d·(1 − (1 − 1/d)^n).
+func expectedDistinct(n, d int) float64 {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	return float64(d) * (1 - math.Pow(1-1/float64(d), float64(n)))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -97,45 +97,3 @@ func TestHashIndex(t *testing.T) {
 	}
 }
 
-func TestStats(t *testing.T) {
-	tab := NewTable("T", nil)
-	tab.MustInsert(value.TupleOf(
-		value.F("k", value.Int(1)),
-		value.F("s", value.SetOf(value.Int(1), value.Int(2))),
-	))
-	tab.MustInsert(value.TupleOf(
-		value.F("k", value.Int(1)),
-		value.F("s", value.SetOf(value.Int(3))),
-	))
-	tab.MustInsert(value.TupleOf(
-		value.F("k", value.Int(2)),
-		value.F("s", value.EmptySet),
-	))
-	tab.Seal()
-	st := ComputeStats(tab)
-	if st.Card != 3 {
-		t.Errorf("Card = %d", st.Card)
-	}
-	if st.Distinct["k"] != 2 {
-		t.Errorf("Distinct[k] = %d", st.Distinct["k"])
-	}
-	if got := st.AvgSetLen["s"]; got != 1.0 {
-		t.Errorf("AvgSetLen[s] = %v", got)
-	}
-	if sel := st.Selectivity("k"); sel != 0.5 {
-		t.Errorf("Selectivity(k) = %v", sel)
-	}
-	if sel := st.Selectivity("nosuch"); sel != 0.1 {
-		t.Errorf("default selectivity = %v", sel)
-	}
-	// Empty and non-tuple tables.
-	empty := NewTable("E", nil)
-	if st := ComputeStats(empty); st.Card != 0 {
-		t.Error("empty stats")
-	}
-	scalars := NewTable("S", nil)
-	scalars.MustInsert(value.Int(1))
-	if st := ComputeStats(scalars); st.Card != 1 || len(st.Distinct) != 0 {
-		t.Error("scalar table stats")
-	}
-}

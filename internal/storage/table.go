@@ -1,6 +1,6 @@
 // Package storage provides the in-memory storage substrate: extension tables
-// of complex-object tuples, equi-key hash indexes, and per-table statistics
-// used by the planner's cost model. TM sets are duplicate-free, so a table is
+// of complex-object tuples and equi-key hash indexes (per-table statistics
+// live in internal/stats). TM sets are duplicate-free, so a table is
 // a set of tuples; Insert enforces this lazily (deduplication happens on
 // Seal, giving O(n log n) bulk loads instead of per-insert probes).
 package storage

@@ -16,7 +16,12 @@
 //     transformation (exhibiting the generalized COUNT bug), and the
 //     outerjoin + ν* repair;
 //   - physical operators: nested-loop / hash / sort-merge implementations of
-//     joins and nest joins, hash semijoins/antijoins, outerjoins, ν, ν*, μ.
+//     joins and nest joins, hash semijoins/antijoins, outerjoins, ν, ν*, μ;
+//   - a statistics-driven cost-based planner: with Options left zero the
+//     engine enumerates the correct strategies × join implementations,
+//     costs them against per-table statistics (see Analyze), and executes
+//     the cheapest; Engine.Explain renders the chosen physical plan with
+//     per-operator estimated rows and cost.
 //
 // Quickstart:
 //
@@ -35,6 +40,7 @@ import (
 	"tmdb/internal/engine"
 	"tmdb/internal/planner"
 	"tmdb/internal/schema"
+	"tmdb/internal/stats"
 	"tmdb/internal/storage"
 	"tmdb/internal/types"
 	"tmdb/internal/value"
@@ -54,6 +60,11 @@ type Strategy = core.Strategy
 
 // Strategies.
 const (
+	// Auto (the zero value, so an unset Options picks it) lets the
+	// cost-based planner choose among the correct strategies × join
+	// implementations using per-table statistics. Kim is never
+	// auto-selected: it loses dangling tuples.
+	Auto = core.StrategyAuto
 	// Naive evaluates nested queries by tuple-at-a-time nested loops.
 	Naive = core.StrategyNaive
 	// NestJoin is the paper's strategy: semijoin/antijoin where Theorem 1
@@ -96,6 +107,18 @@ type Value = value.Value
 
 // Type is a TM type.
 type Type = types.Type
+
+// Stats is a per-table statistics catalog (cardinality, distinct counts,
+// set-attribute fan-out, dangling fractions) backing the cost-based planner.
+type Stats = stats.Catalog
+
+// TableStats summarizes one extension table for the cost model.
+type TableStats = stats.TableStats
+
+// Analyze scans every table of db and returns the statistics catalog — the
+// ANALYZE entry point. Engines collect the same statistics lazily; use
+// Engine.Analyze to refresh an engine's cached catalog.
+func Analyze(db *DB) *Stats { return stats.Analyze(db) }
 
 // New returns an engine over the given schema and data.
 func New(cat *Catalog, db *DB) *Engine { return engine.New(cat, db) }
