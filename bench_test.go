@@ -199,3 +199,70 @@ func parseBind(cat *tmdb.Catalog, q string) (tmql.Expr, error) {
 	}
 	return tmql.NewBinder(cat).Bind(e)
 }
+
+// --- Parallel partitioned execution: serial vs degree-P hash joins ---
+
+// benchQueryPar fixes the partitioned-execution degree alongside the
+// strategy/impl pair.
+func benchQueryPar(b *testing.B, eng *tmdb.Engine, q string, s core.Strategy, ji planner.JoinImpl, par int) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(q, engine.Options{Strategy: s, Joins: ji, Parallelism: par}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkB1ParallelSemiJoin(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	for _, n := range []int{400, 2000} {
+		eng := xyzEngine(n, 2*n, 0)
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("hash/n=%d/par=%d", n, par), func(b *testing.B) {
+				benchQueryPar(b, eng, q, core.StrategyNestJoin, planner.ImplHash, par)
+			})
+		}
+	}
+}
+
+func BenchmarkB4ParallelNestJoin(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	for _, n := range []int{400, 2000} {
+		eng := xyzEngine(n, 4*n, 0)
+		for _, par := range []int{1, 4} {
+			b.Run(fmt.Sprintf("hash/n=%d/par=%d", n, par), func(b *testing.B) {
+				benchQueryPar(b, eng, q, core.StrategyNestJoin, planner.ImplHash, par)
+			})
+		}
+	}
+}
+
+// --- Plan cache: repeated auto-planned queries skip strategy enumeration ---
+
+func BenchmarkPlanCacheRepeatedAuto(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	run := func(b *testing.B, eng *tmdb.Engine) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(q, engine.Options{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("cached", func(b *testing.B) {
+		eng := xyzEngine(200, 400, 0)
+		run(b, eng)
+	})
+	b.Run("cold", func(b *testing.B) {
+		eng := xyzEngine(200, 400, 0)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng.ClearPlanCache()
+			if _, err := eng.Query(q, engine.Options{Parallelism: 1}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -8,6 +8,7 @@
 //	tmql -db xyz                   # REPL over the synthetic X/Y/Z database
 //	tmql -q 'SELECT d.name FROM DEPT d'
 //	tmql -q '...' -strategy naive -explain
+//	tmql -q '...' -par 8           (partitioned hash joins at degree 8)
 //
 // REPL commands:
 //
@@ -15,8 +16,11 @@
 //	                                candidates under the auto strategy)
 //	\strategy auto|naive|nestjoin|kim|outerjoin
 //	\joins auto|nl|hash|merge
+//	\par <n>                      (0 = planner default, 1 = serial, n >= 2 = degree)
+//	\cache                        (plan-cache statistics; \cache clear drops it)
 //	\explain <query>               (alias of explain)
-//	\analyze                       (collect and show table statistics)
+//	\analyze                       (collect and show table statistics,
+//	                                invalidating the plan cache)
 //	\tables
 //	\quit
 package main
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"tmdb/internal/core"
@@ -41,6 +46,7 @@ func main() {
 		query    = flag.String("q", "", "run one query and exit")
 		strategy = flag.String("strategy", "auto", "auto | naive | nestjoin | kim | outerjoin")
 		joins    = flag.String("joins", "auto", "auto | nl | hash | merge")
+		par      = flag.Int("par", 0, "partitioned-execution degree (0 = planner default, 1 = serial)")
 		explain  = flag.Bool("explain", false, "print the physical plan with cost estimates instead of executing")
 	)
 	flag.Parse()
@@ -55,6 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	opts.Parallelism = *par
 
 	if *query != "" {
 		if err := runOne(eng, *query, opts, *explain); err != nil {
@@ -128,6 +135,12 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 	if res.Auto {
 		how = fmt.Sprintf("auto: %s × %s, cost≈%.0f", res.Strategy, res.Joins, res.Cost.Work)
 	}
+	if res.Parallelism > 1 {
+		how += fmt.Sprintf(", parallelism %d", res.Parallelism)
+	}
+	if res.CacheHit {
+		how += ", plan cached"
+	}
 	fmt.Printf("-- %d rows in %v (strategy %s, %d eval steps)\n",
 		res.Value.Len(), res.Duration, how, res.EvalSteps)
 	return nil
@@ -156,7 +169,7 @@ func analyze(eng *engine.Engine) {
 
 func repl(eng *engine.Engine, opts engine.Options) {
 	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
-	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\analyze, \\tables, \\quit\n", opts.Strategy)
+	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\cache, \\analyze, \\tables, \\quit\n", opts.Strategy)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -193,6 +206,19 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			}
 			opts.Joins = o.Joins
 			fmt.Println("join impl updated")
+		case strings.HasPrefix(line, "\\par "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "\\par ")))
+			if err != nil || n < 0 {
+				fmt.Println("usage: \\par <n>  (0 = planner default, 1 = serial, n >= 2 = degree)")
+				continue
+			}
+			opts.Parallelism = n
+			fmt.Printf("parallelism = %d\n", n)
+		case line == "\\cache":
+			fmt.Println(eng.PlanCacheStats())
+		case line == "\\cache clear":
+			eng.ClearPlanCache()
+			fmt.Println("plan cache cleared")
 		case line == "\\analyze":
 			analyze(eng)
 		case strings.HasPrefix(line, "\\explain "), strings.HasPrefix(line, "explain "):

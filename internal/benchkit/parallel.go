@@ -1,0 +1,184 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// Parallel benchmark reporting: the B-series experiments re-run serial vs
+// partitioned-parallel over the hash join family, measured with the standard
+// testing.Benchmark machinery (ops, ns/op, allocs/op, bytes/op), and emitted
+// as BENCH_parallel.json so the performance trajectory — wall-clock speedup
+// and the allocation count of the key path — is tracked across PRs.
+// Correctness is enforced inline: a parallel run whose result is not
+// bit-identical to the serial run fails the report.
+
+// ParallelBenchResult is one measured (experiment, degree) configuration.
+type ParallelBenchResult struct {
+	ID          string `json:"id"`
+	Query       string `json:"query"`
+	N           int    `json:"n"`
+	Mode        string `json:"mode"` // "serial" | "parallel"
+	Parallelism int    `json:"parallelism"`
+	Ops         int    `json:"ops"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// EvalSteps is the machine-independent work measure for one execution;
+	// serial and parallel perform identical evaluation work by construction.
+	EvalSteps int64 `json:"eval_steps"`
+	// SpeedupVsSerial is serial ns/op ÷ this configuration's ns/op (1.0 for
+	// the serial rows). On a single-core host this hovers near 1; the
+	// partitioned operators need real cores to convert into wall-clock.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// ParallelBenchReport is the BENCH_parallel.json payload.
+type ParallelBenchReport struct {
+	GOMAXPROCS int                   `json:"gomaxprocs"`
+	NumCPU     int                   `json:"num_cpu"`
+	Quick      bool                  `json:"quick"`
+	Results    []ParallelBenchResult `json:"results"`
+}
+
+// parallelCase is one B-series workload in the serial-vs-parallel ablation.
+type parallelCase struct {
+	id    string
+	query string
+	env   func(n int) Env
+	n     int
+}
+
+// parallelCases returns the B1–B5 workloads at benchmark scale (n >= 2000
+// rows on the outer relation; quick shrinks for CI smoke).
+func parallelCases(quick bool) []parallelCase {
+	n := 2000
+	if quick {
+		n = 200
+	}
+	xyz := func(ny, nz int) func(int) Env {
+		return func(n int) Env {
+			cat, db := datagen.XYZ(datagen.Spec{
+				NX: n, NY: ny * n / 1000, NZ: nz * n / 1000,
+				Keys: n / 4, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+			})
+			return Env{Cat: cat, DB: db}
+		}
+	}
+	rs := func(n int) Env {
+		cat, db := datagen.RS(n, 2*n, n/5, 0.3, 11)
+		return Env{Cat: cat, DB: db}
+	}
+	return []parallelCase{
+		{"B1", `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`, xyz(2000, 0), n},
+		{"B2", `SELECT x FROM X x WHERE x.b NOT IN SELECT y.d FROM Y y WHERE x.b = y.d`, xyz(2000, 0), n},
+		{"B3", `SELECT r FROM R r WHERE r.B = COUNT(SELECT s.D FROM S s WHERE r.C = s.C)`, rs, n},
+		{"B4", `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`, xyz(4000, 0), n},
+		{"B5", `SELECT x FROM X x
+ WHERE x.a SUBSETEQ
+   SELECT y.a FROM Y y
+   WHERE x.b = y.b AND
+     y.c SUBSETEQ SELECT z.c FROM Z z WHERE y.d = z.d`, xyz(2000, 2000), n},
+	}
+}
+
+// RunParallelBench measures every B-series case serial vs parallel at the
+// given degree (<= 0 picks GOMAXPROCS, floored at 4 so the partitioned path
+// is exercised even on small hosts) and returns the report. A parallel
+// result that is not bit-identical to the serial result is an error.
+func RunParallelBench(quick bool, par int) (*ParallelBenchReport, error) {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+		if par < 4 {
+			par = 4
+		}
+	}
+	report := &ParallelBenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Quick:      quick,
+	}
+	for _, c := range parallelCases(quick) {
+		env := c.env(c.n)
+		eng := env.Engine()
+		serialOpts := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 1}
+		parOpts := serialOpts
+		parOpts.Parallelism = par
+
+		serialRes, err := eng.Query(c.query, serialOpts)
+		if err != nil {
+			return nil, fmt.Errorf("%s serial: %w", c.id, err)
+		}
+		parRes, err := eng.Query(c.query, parOpts)
+		if err != nil {
+			return nil, fmt.Errorf("%s parallel: %w", c.id, err)
+		}
+		if value.Key(parRes.Value) != value.Key(serialRes.Value) {
+			return nil, fmt.Errorf("%s: parallel result not bit-identical to serial", c.id)
+		}
+
+		serialBench := benchQuery(eng, c.query, serialOpts)
+		parBench := benchQuery(eng, c.query, parOpts)
+		speedup := 0.0
+		if parBench.NsPerOp() > 0 {
+			speedup = float64(serialBench.NsPerOp()) / float64(parBench.NsPerOp())
+		}
+		report.Results = append(report.Results,
+			ParallelBenchResult{
+				ID: c.id, Query: c.query, N: c.n, Mode: "serial", Parallelism: 1,
+				Ops: serialBench.N, NsPerOp: serialBench.NsPerOp(),
+				AllocsPerOp: serialBench.AllocsPerOp(), BytesPerOp: serialBench.AllocedBytesPerOp(),
+				EvalSteps: serialRes.EvalSteps, SpeedupVsSerial: 1.0,
+			},
+			ParallelBenchResult{
+				ID: c.id, Query: c.query, N: c.n, Mode: "parallel", Parallelism: par,
+				Ops: parBench.N, NsPerOp: parBench.NsPerOp(),
+				AllocsPerOp: parBench.AllocsPerOp(), BytesPerOp: parBench.AllocedBytesPerOp(),
+				EvalSteps: parRes.EvalSteps, SpeedupVsSerial: speedup,
+			})
+	}
+	return report, nil
+}
+
+// benchQuery measures one configuration with the standard benchmark driver.
+func benchQuery(eng *engine.Engine, q string, opts engine.Options) testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *ParallelBenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Print renders the report as an aligned table (the human-readable twin of
+// the JSON artifact).
+func (r *ParallelBenchReport) Print(w io.Writer) {
+	out := Table{
+		Title:   fmt.Sprintf("serial vs parallel hash joins (GOMAXPROCS=%d)", r.GOMAXPROCS),
+		Headers: []string{"exp", "n", "mode", "par", "ns/op", "allocs/op", "speedup"},
+	}
+	for _, res := range r.Results {
+		out.Add(res.ID, res.N, res.Mode, res.Parallelism, res.NsPerOp, res.AllocsPerOp,
+			fmt.Sprintf("%.2fx", res.SpeedupVsSerial))
+	}
+	out.Note("parallel results verified bit-identical to serial before measuring")
+	out.Print(w)
+}

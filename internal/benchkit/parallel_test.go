@@ -1,0 +1,80 @@
+package benchkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// TestParallelCasesBitIdentical executes every B-series parallel-bench case
+// once serial and once partitioned (the correctness gate RunParallelBench
+// applies before measuring) without the slow benchmark driver.
+func TestParallelCasesBitIdentical(t *testing.T) {
+	for _, c := range parallelCases(true) {
+		env := c.env(c.n)
+		eng := env.Engine()
+		serial, err := eng.Query(c.query, engine.Options{
+			Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s serial: %v", c.id, err)
+		}
+		par, err := eng.Query(c.query, engine.Options{
+			Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s parallel: %v", c.id, err)
+		}
+		if value.Key(par.Value) != value.Key(serial.Value) {
+			t.Errorf("%s: parallel result not bit-identical to serial", c.id)
+		}
+		if serial.Value.Len() == 0 {
+			t.Errorf("%s: empty result — workload too degenerate to measure", c.id)
+		}
+		if par.EvalSteps != serial.EvalSteps {
+			t.Errorf("%s: eval steps differ: serial %d parallel %d", c.id, serial.EvalSteps, par.EvalSteps)
+		}
+	}
+}
+
+// TestParallelReportJSONRoundTrip pins the BENCH_parallel.json shape.
+func TestParallelReportJSONRoundTrip(t *testing.T) {
+	report := &ParallelBenchReport{
+		GOMAXPROCS: 4, NumCPU: 4, Quick: true,
+		Results: []ParallelBenchResult{
+			{ID: "B1", Query: "q", N: 2000, Mode: "serial", Parallelism: 1,
+				Ops: 10, NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4096,
+				EvalSteps: 12345, SpeedupVsSerial: 1.0},
+			{ID: "B1", Query: "q", N: 2000, Mode: "parallel", Parallelism: 4,
+				Ops: 20, NsPerOp: 400, AllocsPerOp: 60, BytesPerOp: 5000,
+				EvalSteps: 12345, SpeedupVsSerial: 2.5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"ns_per_op"`, `"allocs_per_op"`, `"speedup_vs_serial"`, `"gomaxprocs"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON misses %s:\n%s", want, buf.String())
+		}
+	}
+	var back ParallelBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != 2 || back.Results[1].SpeedupVsSerial != 2.5 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	var tbl bytes.Buffer
+	report.Print(&tbl)
+	if !strings.Contains(tbl.String(), "B1") || !strings.Contains(tbl.String(), "2.50x") {
+		t.Errorf("table rendering:\n%s", tbl.String())
+	}
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"tmdb/internal/tmql"
+)
+
+// planCache memoizes physical planning decisions per engine: the key is the
+// bound query (canonically formatted) plus every option that can change the
+// outcome, and the value is the fully resolved planned decision — chosen
+// strategy, join family, parallelism degree, rewritten plan, cost, and the
+// candidate table for EXPLAIN. Repeated queries therefore skip strategy
+// enumeration and costing entirely. Entries are treated as immutable after
+// insertion; Analyze invalidates the whole cache because fresh statistics
+// can change which candidate wins.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]*planned
+	hits    uint64
+	misses  uint64
+}
+
+func newPlanCache() *planCache {
+	return &planCache{entries: make(map[string]*planned)}
+}
+
+// cacheKey builds the memoization key for a bound query under the given
+// options and resolved parallelism degree.
+func cacheKey(bound tmql.Expr, opts Options, par int) string {
+	return fmt.Sprintf("s=%d|j=%d|p=%d|rw=%t|%s",
+		opts.Strategy, opts.Joins, par, opts.Rewrite, tmql.Format(bound))
+}
+
+func (c *planCache) get(key string) (*planned, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pl, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return pl, ok
+}
+
+func (c *planCache) put(key string, pl *planned) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = pl
+}
+
+func (c *planCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*planned)
+}
+
+// CacheStats reports plan-cache effectiveness.
+type CacheStats struct {
+	// Entries is the number of memoized plans.
+	Entries int
+	// Hits and Misses count lookups since the engine was created (clearing
+	// the cache does not reset them).
+	Hits, Misses uint64
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// String renders the stats for the REPL's \cache command.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("plan cache: %d entries, %d hits, %d misses", s.Entries, s.Hits, s.Misses)
+}

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+const cacheQ = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+
+// xyzEngine builds a deterministic mid-size engine for cache tests.
+func xyzEngine(t *testing.T) *Engine {
+	t.Helper()
+	cat, db := datagen.XYZ(datagen.Spec{
+		NX: 40, NY: 120, NZ: 80, Keys: 10, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 2,
+	})
+	return New(cat, db)
+}
+
+// TestPlanCacheHitsRepeatedQueries checks the memoization contract: the
+// first execution misses, repeats hit, results stay identical, and the
+// resolved decision (strategy × joins × degree) is stable across hits.
+func TestPlanCacheHitsRepeatedQueries(t *testing.T) {
+	eng := xyzEngine(t)
+	first, err := eng.Query(cacheQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Error("first execution reported a cache hit")
+	}
+	st := eng.PlanCacheStats()
+	if st.Entries != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("after first query: %+v", st)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := eng.Query(cacheQ, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit {
+			t.Fatalf("repeat %d missed the cache", i)
+		}
+		if !value.Equal(res.Value, first.Value) {
+			t.Fatalf("repeat %d: cached plan produced a different result", i)
+		}
+		if res.Strategy != first.Strategy || res.Joins != first.Joins || res.Parallelism != first.Parallelism {
+			t.Fatalf("repeat %d: decision drifted: %v×%v×%d vs %v×%v×%d", i,
+				res.Strategy, res.Joins, res.Parallelism,
+				first.Strategy, first.Joins, first.Parallelism)
+		}
+	}
+	st = eng.PlanCacheStats()
+	if st.Entries != 1 || st.Hits != 3 {
+		t.Errorf("after repeats: %+v", st)
+	}
+}
+
+// TestPlanCacheKeyedOnOptions checks that differing options plan separately:
+// a fixed strategy, a different join family, a different degree, and the
+// rewrite flag each get their own entry.
+func TestPlanCacheKeyedOnOptions(t *testing.T) {
+	eng := xyzEngine(t)
+	// Degrees are explicit throughout: the zero option resolves to
+	// GOMAXPROCS, which on some machines would legitimately collide with an
+	// explicit degree (same resolved plan, same entry).
+	optss := []Options{
+		{Parallelism: 1},
+		{Strategy: core.StrategyNestJoin, Parallelism: 1},
+		{Strategy: core.StrategyNestJoin, Joins: planner.ImplNestedLoop, Parallelism: 1},
+		{Strategy: core.StrategyNestJoin, Parallelism: 2},
+		{Strategy: core.StrategyNestJoin, Parallelism: 4},
+		{Rewrite: true, Parallelism: 1},
+	}
+	for _, opts := range optss {
+		if _, err := eng.Query(cacheQ, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.PlanCacheStats()
+	if st.Entries != len(optss) {
+		t.Errorf("expected %d distinct entries, got %+v", len(optss), st)
+	}
+	// And a different query text is a different entry.
+	if _, err := eng.Query(`SELECT x.b FROM X x`, Options{Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.PlanCacheStats(); st.Entries != len(optss)+1 {
+		t.Errorf("expected one more entry, got %+v", st)
+	}
+}
+
+// TestPlanCacheInvalidatedByAnalyze checks Analyze drops every entry (fresh
+// statistics can change the winner) and that ClearPlanCache does too.
+func TestPlanCacheInvalidatedByAnalyze(t *testing.T) {
+	eng := xyzEngine(t)
+	if _, err := eng.Query(cacheQ, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.PlanCacheStats(); st.Entries != 1 {
+		t.Fatalf("precondition: %+v", st)
+	}
+	eng.Analyze()
+	if st := eng.PlanCacheStats(); st.Entries != 0 {
+		t.Errorf("Analyze did not invalidate: %+v", st)
+	}
+	res, err := eng.Query(cacheQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("query after Analyze must replan")
+	}
+	eng.ClearPlanCache()
+	if st := eng.PlanCacheStats(); st.Entries != 0 {
+		t.Errorf("ClearPlanCache left entries: %+v", st)
+	}
+}
+
+// TestPlanCacheServesExplain checks Explain and Query share the cache and
+// that Explain renders the parallelism degree header.
+func TestPlanCacheServesExplain(t *testing.T) {
+	eng := xyzEngine(t)
+	out, err := eng.Explain(cacheQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "parallelism=") {
+		t.Errorf("Explain misses the degree header:\n%s", out)
+	}
+	res, err := eng.Query(cacheQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("Query after Explain with identical options should hit the cache")
+	}
+}
+
+// TestParallelismResolution checks the option semantics: 0 resolves to a
+// positive default, explicit degrees pass through, and the executed result
+// is identical at every degree.
+func TestParallelismResolution(t *testing.T) {
+	if resolveParallelism(0, true) < 1 {
+		t.Error("auto-path default parallelism must be >= 1")
+	}
+	if resolveParallelism(0, false) != 1 {
+		t.Error("fixed-path default must stay serial")
+	}
+	if resolveParallelism(7, false) != 7 {
+		t.Error("explicit parallelism must pass through")
+	}
+	eng := xyzEngine(t)
+	base, err := eng.Query(cacheQ, Options{Strategy: core.StrategyNestJoin, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Parallelism != 1 {
+		t.Errorf("resolved degree = %d, want 1", base.Parallelism)
+	}
+	for _, p := range []int{2, 8} {
+		res, err := eng.Query(cacheQ, Options{Strategy: core.StrategyNestJoin, Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Parallelism != p {
+			t.Errorf("resolved degree = %d, want %d", res.Parallelism, p)
+		}
+		if !value.Equal(res.Value, base.Value) {
+			t.Errorf("degree %d changed the result", p)
+		}
+	}
+}

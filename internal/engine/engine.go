@@ -1,14 +1,17 @@
 // Package engine wires the full pipeline: parse → bind → translate
 // (strategy) → physically plan → execute. When no strategy is fixed in
 // Options (the zero value, core.StrategyAuto), the engine translates the
-// query under every correct strategy, costs each strategy × join-family
-// combination against the statistics catalog, and executes the cheapest —
-// the cost-based path Explain renders. It is the implementation behind the
-// public tmdb package.
+// query under every correct strategy, costs each strategy × join-family ×
+// parallelism combination against the statistics catalog, and executes the
+// cheapest — the cost-based path Explain renders. Planning decisions are
+// memoized in a per-engine plan cache keyed on the bound query and options
+// (invalidated by Analyze), so repeated queries skip strategy enumeration.
+// It is the implementation behind the public tmdb package.
 package engine
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -30,11 +33,13 @@ type Engine struct {
 	// statsCat caches per-table statistics across queries; tables are
 	// immutable once sealed, so the cache never invalidates.
 	statsCat *stats.Catalog
+	// cache memoizes (bound query, options) → physical planning decision.
+	cache *planCache
 }
 
 // New returns an engine over the given schema and data.
 func New(cat *schema.Catalog, db *storage.DB) *Engine {
-	return &Engine{cat: cat, db: db, statsCat: stats.New(db)}
+	return &Engine{cat: cat, db: db, statsCat: stats.New(db), cache: newPlanCache()}
 }
 
 // Catalog returns the engine's schema catalog.
@@ -49,13 +54,21 @@ func (e *Engine) DB() *storage.DB { return e.db }
 func (e *Engine) Stats() *stats.Catalog { return e.statsCat }
 
 // Analyze eagerly collects statistics for every table (the ANALYZE entry
-// point) and returns the engine's catalog.
+// point) and returns the engine's catalog. It invalidates the plan cache:
+// refreshed statistics can change which candidate plan wins.
 func (e *Engine) Analyze() *stats.Catalog {
 	for _, name := range e.db.Names() {
 		e.statsCat.Table(name)
 	}
+	e.cache.clear()
 	return e.statsCat
 }
+
+// PlanCacheStats reports the plan cache's entry and hit/miss counts.
+func (e *Engine) PlanCacheStats() CacheStats { return e.cache.stats() }
+
+// ClearPlanCache drops every memoized planning decision.
+func (e *Engine) ClearPlanCache() { e.cache.clear() }
 
 // Options configure one query execution.
 type Options struct {
@@ -69,11 +82,36 @@ type Options struct {
 	// cost under StrategyAuto, hash-when-an-equi-key-exists under a fixed
 	// strategy).
 	Joins planner.JoinImpl
+	// Parallelism bounds the partitioned-execution degree of the hash join
+	// family: values >= 2 partition hash joins and hash nest joins across
+	// that many workers, 1 forces serial execution. The zero value defers
+	// to the planner: under StrategyAuto it resolves to
+	// runtime.GOMAXPROCS(0) and the cost model decides per query whether a
+	// parallel variant actually wins; under a fixed strategy the physical
+	// decision is pinned by the caller, so zero stays serial and parallel
+	// execution is an explicit opt-in (keeping fixed-strategy experiment
+	// numbers comparable across releases). Results are identical at every
+	// degree.
+	Parallelism int
 	// Rewrite additionally applies the §6 algebraic rewrite rules
 	// (selection pushdown through nest joins, dead nest-join elimination,
 	// select fusion) after translation. Off by default so strategy
 	// comparisons measure the translation alone.
 	Rewrite bool
+}
+
+// resolveParallelism maps the option to an effective degree for the given
+// planning path: on the cost-based path the zero value opens the full
+// machine (the chooser still decides whether parallelism pays), on the
+// fixed path it stays serial.
+func resolveParallelism(p int, auto bool) int {
+	if p <= 0 {
+		if auto {
+			return runtime.GOMAXPROCS(0)
+		}
+		return 1
+	}
+	return p
 }
 
 // Result is the outcome of a query execution.
@@ -89,11 +127,16 @@ type Result struct {
 	// Joins is the join family actually used (resolved from Auto when the
 	// cost-based planner chose).
 	Joins planner.JoinImpl
+	// Parallelism is the partitioned-execution degree the plan ran at
+	// (1 = serial).
+	Parallelism int
 	// Cost is the plan's estimated cost. Populated only on the cost-based
 	// path (Auto), so fixed-strategy benchmark runs skip statistics work.
 	Cost planner.Cost
 	// Auto reports whether the cost-based planner chose the plan.
 	Auto bool
+	// CacheHit reports whether planning was served from the plan cache.
+	CacheHit bool
 	// Duration is the wall-clock execution time (translation + execution,
 	// excluding parse/bind).
 	Duration time.Duration
@@ -102,12 +145,14 @@ type Result struct {
 	EvalSteps int64
 }
 
-// planned is a resolved physical planning decision.
+// planned is a resolved physical planning decision: what the plan cache
+// stores. Entries are immutable after construction — the plan is compiled
+// afresh into iterators per execution, never mutated.
 type planned struct {
 	plan       algebra.Plan
-	tr         *core.Translator
 	strategy   core.Strategy
 	joins      planner.JoinImpl
+	par        int
 	cost       planner.Cost
 	auto       bool
 	candidates []planner.Candidate
@@ -129,59 +174,95 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
-	pl, err := e.plan(bound, opts)
+	pl, hit, err := e.plan(bound, opts)
 	if err != nil {
 		return nil, err
 	}
-	plan := pl.plan
-	if opts.Rewrite {
-		plan, err = algebra.Optimize(pl.tr.Builder(), plan)
-		if err != nil {
-			return nil, err
-		}
-	}
 	ctx := exec.NewCtx(e.db)
-	it, err := planner.New(ctx, planner.Options{Joins: pl.joins}).Compile(plan)
+	it, err := planner.New(ctx, planner.Options{Joins: pl.joins, Parallelism: pl.par}).Compile(pl.plan)
 	if err != nil {
 		return nil, err
 	}
 	v, err := exec.Collect(it)
 	if err != nil {
-		return nil, fmt.Errorf("engine: executing %s: %w", plan.Describe(), err)
+		return nil, fmt.Errorf("engine: executing %s: %w", pl.plan.Describe(), err)
 	}
 	return &Result{
-		Value:     v,
-		Plan:      plan,
-		Expr:      bound,
-		Strategy:  pl.strategy,
-		Joins:     pl.joins,
-		Cost:      pl.cost,
-		Auto:      pl.auto,
-		Duration:  time.Since(start),
-		EvalSteps: ctx.Ev.Steps,
+		Value:       v,
+		Plan:        pl.plan,
+		Expr:        bound,
+		Strategy:    pl.strategy,
+		Joins:       pl.joins,
+		Parallelism: pl.par,
+		Cost:        pl.cost,
+		Auto:        pl.auto,
+		CacheHit:    hit,
+		Duration:    time.Since(start),
+		EvalSteps:   ctx.Ev.Steps,
 	}, nil
 }
 
-// plan resolves Options into a concrete (plan, strategy, join family): the
-// fixed path translates under the requested strategy and keeps the requested
-// join family; the auto path enumerates and costs candidates.
-func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, error) {
-	if opts.Strategy == core.StrategyAuto {
-		return e.autoPlan(bound, opts.Joins)
+// plan resolves Options into a concrete (plan, strategy, join family,
+// degree), consulting the plan cache first. The reported bool is true on a
+// cache hit.
+func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, bool, error) {
+	par := resolveParallelism(opts.Parallelism, opts.Strategy == core.StrategyAuto)
+	key := cacheKey(bound, opts, par)
+	if pl, ok := e.cache.get(key); ok {
+		return pl, true, nil
 	}
-	tr := core.NewTranslator(e.cat)
-	p, err := tr.Translate(bound, opts.Strategy)
+	pl, err := e.planMiss(bound, opts, par)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return &planned{plan: p, tr: tr, strategy: opts.Strategy, joins: opts.Joins}, nil
+	e.cache.put(key, pl)
+	return pl, false, nil
+}
+
+// planMiss performs the full planning work: the fixed path translates under
+// the requested strategy and keeps the requested join family; the auto path
+// enumerates and costs strategy × join × degree candidates. The §6 rewrite
+// (when requested) is applied here so cached entries hold the final plan.
+func (e *Engine) planMiss(bound tmql.Expr, opts Options, par int) (*planned, error) {
+	var (
+		pl *planned
+		tr *core.Translator
+	)
+	if opts.Strategy == core.StrategyAuto {
+		var err error
+		pl, tr, err = e.autoPlan(bound, opts.Joins, par)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tr = core.NewTranslator(e.cat)
+		p, err := tr.Translate(bound, opts.Strategy)
+		if err != nil {
+			return nil, err
+		}
+		pl = &planned{plan: p, strategy: opts.Strategy, joins: opts.Joins, par: par}
+	}
+	if opts.Rewrite {
+		p, err := algebra.Optimize(tr.Builder(), pl.plan)
+		if err != nil {
+			return nil, err
+		}
+		pl.plan = p
+	}
+	// Result.Parallelism reports the degree the plan actually runs at: a
+	// degree > 1 on a (possibly rewritten) plan with nothing to partition
+	// is serial. Checked after the rewrite, which can eliminate joins.
+	if pl.par > 1 && !planner.Parallelizable(pl.plan, pl.joins) {
+		pl.par = 1
+	}
+	return pl, nil
 }
 
 // autoPlan is the cost-based path: translate under every correct strategy,
-// let the planner cost strategy × join-family candidates, pick the cheapest.
-// fixed (when not ImplAuto) pins the join family and only strategies are
-// enumerated.
-func (e *Engine) autoPlan(bound tmql.Expr, fixed planner.JoinImpl) (*planned, error) {
+// let the planner cost strategy × join-family × parallelism candidates, pick
+// the cheapest. fixed (when not ImplAuto) pins the join family and only
+// strategies and degrees are enumerated.
+func (e *Engine) autoPlan(bound tmql.Expr, fixed planner.JoinImpl, par int) (*planned, *core.Translator, error) {
 	est := planner.NewEstimatorStats(e.Stats())
 	type strat struct {
 		s  core.Strategy
@@ -204,30 +285,31 @@ func (e *Engine) autoPlan(bound tmql.Expr, fixed planner.JoinImpl) (*planned, er
 	}
 	if len(sps) == 0 {
 		if firstErr != nil {
-			return nil, firstErr
+			return nil, nil, firstErr
 		}
-		return nil, fmt.Errorf("engine: no strategy could translate the query")
+		return nil, nil, fmt.Errorf("engine: no strategy could translate the query")
 	}
-	best, all, err := est.Choose(sps, fixed)
+	best, all, err := est.Choose(sps, fixed, par)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	st := trs[best.Strategy]
 	return &planned{
 		plan:       best.Plan,
-		tr:         st.tr,
 		strategy:   st.s,
 		joins:      best.Joins,
+		par:        best.Par,
 		cost:       best.Cost,
 		auto:       true,
 		candidates: all,
-	}, nil
+	}, st.tr, nil
 }
 
 // Explain parses, binds, and plans a query, returning the physical plan
-// rendering — chosen strategy and join family, per-operator estimated rows
-// and cost, and (on the cost-based path) every candidate considered —
-// without executing it.
+// rendering — chosen strategy, join family, and parallelism degree,
+// per-operator estimated rows and cost, and (on the cost-based path) every
+// candidate considered — without executing it. Planning is served from the
+// plan cache when possible, exactly as execution would be.
 func (e *Engine) Explain(src string, opts Options) (string, error) {
 	expr, err := tmql.Parse(src)
 	if err != nil {
@@ -237,18 +319,11 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	pl, err := e.plan(bound, opts)
+	pl, _, err := e.plan(bound, opts)
 	if err != nil {
 		return "", err
 	}
-	plan := pl.plan
-	if opts.Rewrite {
-		plan, err = algebra.Optimize(pl.tr.Builder(), plan)
-		if err != nil {
-			return "", err
-		}
-	}
-	if reason := planner.ImplInfeasible(plan, pl.joins); reason != "" {
+	if reason := planner.ImplInfeasible(pl.plan, pl.joins); reason != "" {
 		return "", fmt.Errorf("engine: %s join requested but %s", pl.joins, reason)
 	}
 	est := planner.NewEstimatorStats(e.Stats())
@@ -257,8 +332,8 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if pl.auto {
 		mode = "cost-based"
 	}
-	fmt.Fprintf(&b, "strategy=%s joins=%s (%s)\n", pl.strategy, pl.joins, mode)
-	b.WriteString(est.ExplainPhysical(plan, pl.joins))
+	fmt.Fprintf(&b, "strategy=%s joins=%s parallelism=%d (%s)\n", pl.strategy, pl.joins, pl.par, mode)
+	b.WriteString(est.ExplainPhysicalPar(pl.plan, pl.joins, pl.par))
 	if pl.auto && len(pl.candidates) > 1 {
 		b.WriteString("candidates considered:\n")
 		for _, c := range pl.candidates {
@@ -280,7 +355,7 @@ func (e *Engine) ExplainCosts(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	pl, err := e.plan(bound, opts)
+	pl, _, err := e.plan(bound, opts)
 	if err != nil {
 		return "", err
 	}

@@ -16,6 +16,9 @@ import (
 // dangling tuples on queries flagged KimBuggy; hash/merge combinations are
 // skipped where the plan has no equi-key.
 func TestConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full strategy × impl matrix; run without -short (CI's dedicated enginetest race job covers it)")
+	}
 	for _, g := range Goldens {
 		t.Run(g.Name, func(t *testing.T) {
 			eng := OpenDB(g.DB)

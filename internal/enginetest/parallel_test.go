@@ -1,0 +1,118 @@
+package enginetest
+
+import (
+	"fmt"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/value"
+)
+
+// ParallelDegrees is the set of partitioned-execution degrees the harness
+// exercises: serial, the smallest parallel degree, and one well above any
+// CI core count (degree may exceed GOMAXPROCS; partitions just share cores).
+func ParallelDegrees() []int { return []int{1, 2, 8} }
+
+// TestConformanceParallelDeterminism executes every golden query under every
+// strategy at every parallelism degree and asserts results are bit-identical
+// to the serial run: not just set-equal but byte-equal under the canonical
+// value encoding, the strongest determinism statement the model offers.
+func TestConformanceParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full strategy × degree matrix; run without -short (CI's dedicated enginetest race job covers it)")
+	}
+	for _, g := range Goldens {
+		t.Run(g.Name, func(t *testing.T) {
+			eng := OpenDB(g.DB)
+			for _, s := range Strategies() {
+				var serialKey string
+				var serial value.Value
+				for _, par := range ParallelDegrees() {
+					name := fmt.Sprintf("%s×par=%d", s, par)
+					res, err := eng.Query(g.Query, engine.Options{Strategy: s, Parallelism: par})
+					if err != nil {
+						if SkippableError(err) {
+							break // infeasible regardless of degree
+						}
+						t.Errorf("%s: %v", name, err)
+						break
+					}
+					if par == 1 {
+						serial = res.Value
+						serialKey = value.Key(res.Value)
+						continue
+					}
+					if got := value.Key(res.Value); got != serialKey {
+						lost := value.Diff(serial, res.Value)
+						extra := value.Diff(res.Value, serial)
+						t.Errorf("%s: result not bit-identical to serial (lost %d, extra %d)",
+							name, lost.Len(), extra.Len())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceParallelExplain asserts EXPLAIN renders the degree for
+// golden queries when a parallel degree is requested.
+func TestConformanceParallelExplain(t *testing.T) {
+	for _, g := range Goldens {
+		eng := OpenDB(g.DB)
+		out, err := eng.Explain(g.Query, engine.Options{Parallelism: 4})
+		if err != nil {
+			t.Errorf("%s: Explain: %v", g.Name, err)
+			continue
+		}
+		if !contains(out, "parallelism=") {
+			t.Errorf("%s: EXPLAIN misses the parallelism header:\n%s", g.Name, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzParallelMatchesSerial is the parallel-determinism property: over
+// generated XYZ schemas and every fuzz query shape, executing at degrees 2
+// and 8 must produce results bit-identical to degree 1, under both the auto
+// planner and the paper's fixed nest-join strategy.
+func FuzzParallelMatchesSerial(f *testing.F) {
+	for qi := range fuzzQueries {
+		f.Add(uint8(24), uint8(72), uint8(6), uint8(25), int64(1), uint8(qi))
+	}
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(99), int64(3), uint8(0))
+	f.Add(uint8(47), uint8(95), uint8(11), uint8(50), int64(5), uint8(4))
+
+	f.Fuzz(func(t *testing.T, nx, ny, keys, dangPct uint8, seed int64, qi uint8) {
+		spec := fuzzSpec(nx, ny, keys, dangPct, seed)
+		cat, db := datagen.XYZ(spec)
+		eng := engine.New(cat, db)
+		q := fuzzQueries[int(qi)%len(fuzzQueries)]
+		for _, s := range []core.Strategy{core.StrategyAuto, core.StrategyNestJoin} {
+			serial, err := eng.Query(q, engine.Options{Strategy: s, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s serial: %v", s, err)
+			}
+			want := value.Key(serial.Value)
+			for _, par := range []int{2, 8} {
+				res, err := eng.Query(q, engine.Options{Strategy: s, Parallelism: par})
+				if err != nil {
+					t.Fatalf("%s par=%d: %v", s, par, err)
+				}
+				if value.Key(res.Value) != want {
+					t.Fatalf("%s par=%d differs from serial on spec %+v:\nquery: %s",
+						s, par, spec, q)
+				}
+			}
+		}
+	})
+}

@@ -18,6 +18,10 @@ import (
 // interface fixes build = right because the planner shares this operator
 // shape with the nest join, where §6 requires the right operand to be the
 // build table whenever the key is not unique on the right.
+//
+// Keys take the allocation-lean path: encodings are appended onto a reusable
+// scratch buffer and the table is probed via string(buf) (no allocation), so
+// the probe side allocates nothing per row beyond the emitted tuples.
 type HashJoin struct {
 	Ctx        *Ctx
 	Kind       algebra.JoinKind
@@ -31,7 +35,8 @@ type HashJoin struct {
 	// RElem is required for the outer join's NULL padding.
 	RElem *types.Type
 
-	table   map[string][]value.Value
+	table   *hashTable
+	scratch []byte
 	cur     value.Value
 	bucket  []value.Value
 	bi      int
@@ -49,14 +54,14 @@ func (j *HashJoin) Open() error {
 	if err != nil {
 		return err
 	}
-	j.table = make(map[string][]value.Value, len(rows))
+	j.table = newHashTable(len(rows))
 	for _, r := range rows {
-		k, err := evalKey(j.Ctx, j.RKeys, j.RVar, r)
+		buf, err := appendRowKey(j.Ctx, j.RKeys, j.RVar, r, j.scratch[:0])
 		if err != nil {
 			return err
 		}
-		ks := value.Key(k)
-		j.table[ks] = append(j.table[ks], r)
+		j.scratch = buf[:0]
+		j.table.add(buf, r)
 	}
 	if j.Kind == algebra.JoinLeftOuter {
 		if j.RElem == nil {
@@ -84,11 +89,12 @@ func (j *HashJoin) Next() (value.Value, bool, error) {
 				return value.Value{}, false, nil
 			}
 			j.cur = l
-			k, err := evalKey(j.Ctx, j.LKeys, j.LVar, l)
+			buf, err := appendRowKey(j.Ctx, j.LKeys, j.LVar, l, j.scratch[:0])
 			if err != nil {
 				return value.Value{}, false, err
 			}
-			j.bucket = j.table[value.Key(k)]
+			j.scratch = buf[:0]
+			j.bucket = j.table.bucket(buf)
 			j.bi = 0
 			j.matched = false
 			switch j.Kind {
@@ -108,14 +114,17 @@ func (j *HashJoin) Next() (value.Value, bool, error) {
 			for j.bi < len(j.bucket) {
 				r := j.bucket[j.bi]
 				j.bi++
-				ok, err := j.Ctx.evalPred(j.Residual, env2(j.LVar, j.cur, j.RVar, r))
-				if err != nil {
-					return value.Value{}, false, err
+				if j.Residual != nil {
+					ok, err := j.Ctx.evalPred(j.Residual, env2(j.LVar, j.cur, j.RVar, r))
+					if err != nil {
+						return value.Value{}, false, err
+					}
+					if !ok {
+						continue
+					}
 				}
-				if ok {
-					j.matched = true
-					return j.cur.Concat(r), true, nil
-				}
+				j.matched = true
+				return j.cur.Concat(r), true, nil
 			}
 			j.state = nlNeedLeft
 			if j.Kind == algebra.JoinLeftOuter && !j.matched {
@@ -127,18 +136,10 @@ func (j *HashJoin) Next() (value.Value, bool, error) {
 
 // probeAny reports whether any bucket candidate passes the residual —
 // the semijoin's early-out probe that never builds a group, the efficiency
-// edge §8 exploits when grouping is provably unnecessary.
+// edge §8 exploits when grouping is provably unnecessary. With no residual
+// the bucket membership already answers it, with no per-row predicate calls.
 func (j *HashJoin) probeAny() (bool, error) {
-	for _, r := range j.bucket {
-		ok, err := j.Ctx.evalPred(j.Residual, env2(j.LVar, j.cur, j.RVar, r))
-		if err != nil {
-			return false, err
-		}
-		if ok {
-			return true, nil
-		}
-	}
-	return false, nil
+	return probeAnyBucket(j.Ctx, j.cur, j.bucket, j.LVar, j.RVar, j.Residual)
 }
 
 // Close releases the hash table and closes the left input.
@@ -162,7 +163,8 @@ type HashNestJoin struct {
 	Fn           tmql.Expr
 	Label        string
 
-	table map[string][]value.Value
+	table   *hashTable
+	scratch []byte
 }
 
 // Open builds the hash table on the right input.
@@ -174,14 +176,14 @@ func (j *HashNestJoin) Open() error {
 	if err != nil {
 		return err
 	}
-	j.table = make(map[string][]value.Value, len(rows))
+	j.table = newHashTable(len(rows))
 	for _, r := range rows {
-		k, err := evalKey(j.Ctx, j.RKeys, j.RVar, r)
+		buf, err := appendRowKey(j.Ctx, j.RKeys, j.RVar, r, j.scratch[:0])
 		if err != nil {
 			return err
 		}
-		ks := value.Key(k)
-		j.table[ks] = append(j.table[ks], r)
+		j.scratch = buf[:0]
+		j.table.add(buf, r)
 	}
 	return j.L.Open()
 }
@@ -192,27 +194,45 @@ func (j *HashNestJoin) Next() (value.Value, bool, error) {
 	if err != nil || !ok {
 		return value.Value{}, false, err
 	}
-	k, err := evalKey(j.Ctx, j.LKeys, j.LVar, l)
+	buf, err := appendRowKey(j.Ctx, j.LKeys, j.LVar, l, j.scratch[:0])
 	if err != nil {
 		return value.Value{}, false, err
 	}
-	group := value.NewSetBuilder(0)
-	for _, r := range j.table[value.Key(k)] {
-		env := env2(j.LVar, l, j.RVar, r)
-		match, err := j.Ctx.evalPred(j.Residual, env)
-		if err != nil {
-			return value.Value{}, false, err
+	j.scratch = buf[:0]
+	bucket := j.table.bucket(buf)
+	group, err := nestGroup(j.Ctx, l, bucket, j.LVar, j.RVar, j.Residual, j.Fn)
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	return l.Extend(j.Label, group), true, nil
+}
+
+// nestGroup applies the nest join's per-left-element grouping: the join
+// function over the bucket candidates passing the residual, canonicalized
+// into a set. The builder is sized by the bucket — the group is at most the
+// bucket — so group construction never regrows. Shared by the serial and
+// parallel nest joins.
+func nestGroup(c *Ctx, l value.Value, bucket []value.Value,
+	lvar, rvar string, residual, fn tmql.Expr) (value.Value, error) {
+	group := value.NewSetBuilder(len(bucket))
+	for _, r := range bucket {
+		env := env2(lvar, l, rvar, r)
+		if residual != nil {
+			match, err := c.evalPred(residual, env)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if !match {
+				continue
+			}
 		}
-		if !match {
-			continue
-		}
-		g, err := j.Ctx.evalIn(j.Fn, env)
+		g, err := c.evalIn(fn, env)
 		if err != nil {
-			return value.Value{}, false, err
+			return value.Value{}, err
 		}
 		group.Add(g)
 	}
-	return l.Extend(j.Label, group.Build()), true, nil
+	return group.Build(), nil
 }
 
 // Close releases the hash table and closes the left input.

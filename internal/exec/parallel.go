@@ -1,0 +1,397 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/eval"
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// Parallel partitioned execution of the hash join family: the build (right)
+// and probe (left) inputs are partitioned by key hash across P partitions,
+// and P workers each build and probe one partition independently — the
+// exchange-style plan shape. Results are correct because rows that can ever
+// match share identical key bytes and therefore land in the same partition;
+// results are deterministic because every query result passes through the
+// set canonicalization in exec.Collect, which erases arrival order, so the
+// final value is bit-identical to serial execution at any worker count.
+//
+// Each worker runs over a forked Ctx with its own evaluator, so the
+// EvalSteps counter is sharded per worker — no races, no false sharing —
+// and folded back into the parent at the end of Open. Key encodings are
+// computed once during partitioning and stored as offsets into per-fragment
+// byte arenas; build and probe reuse them, keeping the per-row key cost to
+// a single evaluation and zero string allocations on the probe side.
+
+// minParallelRows is the input size below which the partitioned operators
+// run their phases inline on the calling goroutine: the partitioned
+// algorithm (and thus the result) is unchanged, only the goroutine fan-out
+// is skipped where it could not pay for itself.
+const minParallelRows = 256
+
+// fragment is one producer's contribution to one partition: rows plus their
+// encoded keys packed into an arena (offs[i]..offs[i+1] delimits row i's key).
+type fragment struct {
+	rows []value.Value
+	offs []uint32
+	keys []byte
+}
+
+func (f *fragment) add(v value.Value, key []byte) {
+	if len(f.offs) == 0 {
+		f.offs = append(f.offs, 0)
+	}
+	f.rows = append(f.rows, v)
+	f.keys = append(f.keys, key...)
+	f.offs = append(f.offs, uint32(len(f.keys)))
+}
+
+func (f *fragment) key(i int) []byte { return f.keys[f.offs[i]:f.offs[i+1]] }
+
+// partitionSet is the result of the exchange: parts[p] holds partition p's
+// fragments in producer order, making per-partition row order deterministic
+// for a fixed producer count.
+type partitionSet struct {
+	parts [][]fragment
+	total int
+}
+
+// rowCount returns the number of rows routed to partition p.
+func (ps *partitionSet) rowCount(p int) int {
+	n := 0
+	for i := range ps.parts[p] {
+		n += len(ps.parts[p][i].rows)
+	}
+	return n
+}
+
+// each visits partition p's rows in fragment order.
+func (ps *partitionSet) each(p int, fn func(v value.Value, key []byte) error) error {
+	for i := range ps.parts[p] {
+		f := &ps.parts[p][i]
+		for r := range f.rows {
+			if err := fn(f.rows[r], f.key(r)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fork returns a context over the same database with a fresh evaluator, so
+// parallel workers never share a step counter; callers fold the forked
+// counters back into the parent once the workers are done.
+func (c *Ctx) fork() *Ctx { return &Ctx{DB: c.DB, Ev: eval.New(c.DB)} }
+
+// runWorkers invokes fn(0..n-1), on goroutines when n > 1, inline otherwise.
+func runWorkers(n int, fn func(w int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// firstError returns the lowest-indexed non-nil error, keeping error
+// reporting deterministic under concurrency.
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// partitionInput drains it and routes every row to one of nparts partitions
+// by the hash of its encoded key. Key evaluation — the per-row hot cost — is
+// spread across up to nparts producer goroutines, each with a forked context
+// and a reusable scratch buffer. Returns the partitions and the evaluation
+// steps performed.
+func partitionInput(c *Ctx, it Iterator, keys []tmql.Expr, varName string, nparts int) (*partitionSet, int64, error) {
+	rows, err := Drain(it)
+	if err != nil {
+		return nil, 0, err
+	}
+	producers := nparts
+	if len(rows) < minParallelRows {
+		producers = 1
+	}
+	frags := make([][]fragment, producers)
+	errs := make([]error, producers)
+	steps := make([]int64, producers)
+	runWorkers(producers, func(w int) {
+		ctx := c.fork()
+		local := make([]fragment, nparts)
+		var scratch []byte
+		lo, hi := len(rows)*w/producers, len(rows)*(w+1)/producers
+		for _, r := range rows[lo:hi] {
+			buf, err := appendRowKey(ctx, keys, varName, r, scratch[:0])
+			if err != nil {
+				errs[w] = err
+				break
+			}
+			scratch = buf[:0]
+			local[hashKeyBytes(buf)%uint64(nparts)].add(r, buf)
+		}
+		frags[w] = local
+		steps[w] = ctx.Ev.Steps
+	})
+	var total int64
+	for _, s := range steps {
+		total += s
+	}
+	if err := firstError(errs); err != nil {
+		return nil, total, err
+	}
+	ps := &partitionSet{parts: make([][]fragment, nparts), total: len(rows)}
+	for p := 0; p < nparts; p++ {
+		for w := 0; w < producers; w++ {
+			if len(frags[w][p].rows) > 0 {
+				ps.parts[p] = append(ps.parts[p], frags[w][p])
+			}
+		}
+	}
+	return ps, total, nil
+}
+
+// parOutput is the shared output stage of the partitioned operators: Open
+// materializes per-partition result slices, Next streams them in partition
+// order, Close releases them (both inputs were drained — and closed — in
+// Open, so there is nothing else to tear down).
+type parOutput struct {
+	out [][]value.Value
+	pi  int
+	oi  int
+}
+
+func (o *parOutput) reset(nparts int) {
+	if nparts < 0 {
+		nparts = 0 // invalid degrees are rejected by runPartitioned right after
+	}
+	o.out = make([][]value.Value, nparts)
+	o.pi, o.oi = 0, 0
+}
+
+// Next streams the materialized output partition by partition.
+func (o *parOutput) Next() (value.Value, bool, error) {
+	for o.pi < len(o.out) {
+		if o.oi < len(o.out[o.pi]) {
+			v := o.out[o.pi][o.oi]
+			o.oi++
+			return v, true, nil
+		}
+		o.pi++
+		o.oi = 0
+	}
+	return value.Value{}, false, nil
+}
+
+// Close releases the output.
+func (o *parOutput) Close() error {
+	o.out = nil
+	return nil
+}
+
+// runPartitioned is the shared orchestration of the partitioned operators:
+// validate the degree, partition both inputs, run perPartition(ctx, rp, lp,
+// part) for every partition across worker goroutines (inline below the
+// threshold), and fold every forked evaluator's steps back into c. The
+// perPartition callback runs the operator-specific build/probe for one
+// partition on a worker-owned context.
+func runPartitioned(c *Ctx, degree int, l, r Iterator,
+	lkeys, rkeys []tmql.Expr, lvar, rvar string,
+	perPartition func(ctx *Ctx, rp, lp *partitionSet, part int) error) error {
+	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
+		return fmt.Errorf("exec: partitioned join needs matching non-empty key lists")
+	}
+	if degree < 2 {
+		return fmt.Errorf("exec: partitioned join needs Degree >= 2, got %d", degree)
+	}
+	rp, rsteps, err := partitionInput(c, r, rkeys, rvar, degree)
+	c.Ev.Steps += rsteps
+	if err != nil {
+		return err
+	}
+	lp, lsteps, err := partitionInput(c, l, lkeys, lvar, degree)
+	c.Ev.Steps += lsteps
+	if err != nil {
+		return err
+	}
+	errs := make([]error, degree)
+	steps := make([]int64, degree)
+	workers := degree
+	if rp.total+lp.total < minParallelRows {
+		workers = 1
+	}
+	runWorkers(workers, func(w int) {
+		ctx := c.fork()
+		for part := w; part < degree; part += workers {
+			if errs[w] != nil {
+				break
+			}
+			errs[w] = perPartition(ctx, rp, lp, part)
+		}
+		steps[w] = ctx.Ev.Steps
+	})
+	for _, s := range steps {
+		c.Ev.Steps += s
+	}
+	return firstError(errs)
+}
+
+// buildPartition builds a hash table over one partition's rows, reusing the
+// keys encoded during partitioning.
+func buildPartition(ps *partitionSet, p int) *hashTable {
+	table := newHashTable(ps.rowCount(p))
+	ps.each(p, func(v value.Value, key []byte) error {
+		table.add(key, v)
+		return nil
+	})
+	return table
+}
+
+// ParHashJoin is the parallel partitioned form of HashJoin: inner, semi,
+// anti, and left-outer flat joins on equi-keys, partitioned by key hash
+// across Degree workers. Open materializes the full output; Next streams it.
+type ParHashJoin struct {
+	Ctx          *Ctx
+	Kind         algebra.JoinKind
+	L, R         Iterator
+	LVar, RVar   string
+	LKeys, RKeys []tmql.Expr
+	Residual     tmql.Expr
+	RElem        *types.Type
+	// Degree is the number of partitions (and maximum worker goroutines).
+	Degree int
+
+	parOutput
+	pad value.Value
+}
+
+// Open partitions both inputs, joins each partition on its own worker, and
+// folds the workers' evaluation steps into the parent context.
+func (j *ParHashJoin) Open() error {
+	if j.Kind == algebra.JoinLeftOuter {
+		if j.RElem == nil {
+			return fmt.Errorf("exec: outer ParHashJoin needs RElem for NULL padding")
+		}
+		j.pad = nullTuple(j.RElem)
+	}
+	j.reset(j.Degree)
+	return runPartitioned(j.Ctx, j.Degree, j.L, j.R, j.LKeys, j.RKeys, j.LVar, j.RVar, j.joinPartition)
+}
+
+// joinPartition runs the serial hash-join algorithm over one partition,
+// appending outputs to j.out[part].
+func (j *ParHashJoin) joinPartition(ctx *Ctx, rp, lp *partitionSet, part int) error {
+	table := buildPartition(rp, part)
+	var out []value.Value
+	err := lp.each(part, func(l value.Value, key []byte) error {
+		bucket := table.bucket(key)
+		switch j.Kind {
+		case algebra.JoinSemi, algebra.JoinAnti:
+			m, err := probeAnyBucket(ctx, l, bucket, j.LVar, j.RVar, j.Residual)
+			if err != nil {
+				return err
+			}
+			if m == (j.Kind == algebra.JoinSemi) {
+				out = append(out, l)
+			}
+			return nil
+		default:
+			matched := false
+			for _, r := range bucket {
+				if j.Residual != nil {
+					ok, err := ctx.evalPred(j.Residual, env2(j.LVar, l, j.RVar, r))
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, l.Concat(r))
+			}
+			if j.Kind == algebra.JoinLeftOuter && !matched {
+				out = append(out, l.Concat(j.pad))
+			}
+			return nil
+		}
+	})
+	j.out[part] = out
+	return err
+}
+
+// probeAnyBucket reports whether any bucket candidate passes the residual;
+// with no residual, bucket membership already answers it.
+func probeAnyBucket(c *Ctx, l value.Value, bucket []value.Value,
+	lvar, rvar string, residual tmql.Expr) (bool, error) {
+	if residual == nil {
+		return len(bucket) > 0, nil
+	}
+	for _, r := range bucket {
+		ok, err := c.evalPred(residual, env2(lvar, l, rvar, r))
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ParHashNestJoin is the parallel partitioned form of HashNestJoin. The §6
+// restrictions carry over unchanged: the right operand is the build side and
+// each left element's entire group is known before its output tuple is
+// emitted — a left element's matches all share its key and therefore its
+// partition, so the group is complete within one worker.
+type ParHashNestJoin struct {
+	Ctx          *Ctx
+	L, R         Iterator
+	LVar, RVar   string
+	LKeys, RKeys []tmql.Expr
+	Residual     tmql.Expr
+	Fn           tmql.Expr
+	Label        string
+	Degree       int
+
+	parOutput
+}
+
+// Open partitions both inputs and builds each partition's groups on its own
+// worker.
+func (j *ParHashNestJoin) Open() error {
+	j.reset(j.Degree)
+	return runPartitioned(j.Ctx, j.Degree, j.L, j.R, j.LKeys, j.RKeys, j.LVar, j.RVar,
+		func(ctx *Ctx, rp, lp *partitionSet, part int) error {
+			table := buildPartition(rp, part)
+			var out []value.Value
+			err := lp.each(part, func(l value.Value, key []byte) error {
+				group, err := nestGroup(ctx, l, table.bucket(key), j.LVar, j.RVar, j.Residual, j.Fn)
+				if err != nil {
+					return err
+				}
+				out = append(out, l.Extend(j.Label, group))
+				return nil
+			})
+			j.out[part] = out
+			return err
+		})
+}

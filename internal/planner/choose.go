@@ -22,13 +22,16 @@ type StrategyPlan struct {
 	Plan     algebra.Plan
 }
 
-// Candidate is one strategy × join-implementation combination considered by
-// Choose.
+// Candidate is one strategy × join-implementation × parallelism combination
+// considered by Choose.
 type Candidate struct {
 	Strategy string
 	Joins    JoinImpl
-	Plan     algebra.Plan
-	Cost     Cost
+	// Par is the partitioned-execution degree this candidate was costed at
+	// (1 = serial).
+	Par  int
+	Plan algebra.Plan
+	Cost Cost
 	// Infeasible is non-empty when the combination cannot execute (e.g. a
 	// hash family requested with no equi-key); such candidates are never
 	// chosen.
@@ -39,7 +42,11 @@ type Candidate struct {
 
 // String renders the candidate for EXPLAIN output.
 func (c Candidate) String() string {
-	label := fmt.Sprintf("%-9s × %-11s", c.Strategy, c.Joins)
+	joins := c.Joins.String()
+	if c.Par > 1 {
+		joins = fmt.Sprintf("%s×%d", joins, c.Par)
+	}
+	label := fmt.Sprintf("%-9s × %-11s", c.Strategy, joins)
 	switch {
 	case c.Infeasible != "":
 		return fmt.Sprintf("%s  infeasible: %s", label, c.Infeasible)
@@ -50,14 +57,17 @@ func (c Candidate) String() string {
 	}
 }
 
-// Choose picks the cheapest feasible strategy × join-implementation
-// combination by estimated work. fixed restricts the join family when the
-// caller set one explicitly (ImplAuto enumerates all). Plans without
-// join-family operators collapse to a single candidate per strategy, since
-// the implementation choice cannot matter. The returned slice reports every
-// candidate considered (for EXPLAIN); the returned pointer aliases its
-// winning entry.
-func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl) (*Candidate, []Candidate, error) {
+// Choose picks the cheapest feasible strategy × join-implementation ×
+// parallelism combination by estimated work. fixed restricts the join family
+// when the caller set one explicitly (ImplAuto enumerates all); par is the
+// maximum partitioned-execution degree — combinations that compile to
+// partitioned operators are additionally costed at that degree, so EXPLAIN
+// shows whether parallelism pays and the winner carries the chosen degree.
+// Plans without join-family operators collapse to a single candidate per
+// strategy, since the implementation choice cannot matter. The returned
+// slice reports every candidate considered (for EXPLAIN); the returned
+// pointer aliases its winning entry.
+func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Candidate, []Candidate, error) {
 	if len(plans) == 0 {
 		return nil, nil, fmt.Errorf("planner: no candidate plans to choose from")
 	}
@@ -73,16 +83,25 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl) (*Candidate, []
 			implsHere = []JoinImpl{ImplAuto}
 		}
 		for _, impl := range implsHere {
-			c := Candidate{Strategy: sp.Strategy, Joins: impl, Plan: sp.Plan}
+			// Feasibility does not depend on degree: report an infeasible
+			// combination once, not per degree.
 			if reason := ImplInfeasible(sp.Plan, impl); reason != "" {
-				c.Infeasible = reason
-				all = append(all, c)
+				all = append(all, Candidate{
+					Strategy: sp.Strategy, Joins: impl, Par: 1, Plan: sp.Plan, Infeasible: reason,
+				})
 				continue
 			}
-			c.Cost = e.EstimatePhysical(sp.Plan, impl)
-			all = append(all, c)
-			if best < 0 || c.Cost.Work < all[best].Cost.Work {
-				best = len(all) - 1
+			degrees := []int{1}
+			if par > 1 && Parallelizable(sp.Plan, impl) {
+				degrees = append(degrees, par)
+			}
+			for _, deg := range degrees {
+				c := Candidate{Strategy: sp.Strategy, Joins: impl, Par: deg, Plan: sp.Plan}
+				c.Cost = e.EstimatePhysicalPar(sp.Plan, impl, deg)
+				all = append(all, c)
+				if best < 0 || c.Cost.Work < all[best].Cost.Work {
+					best = len(all) - 1
+				}
 			}
 		}
 	}
@@ -91,6 +110,38 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl) (*Candidate, []
 	}
 	all[best].Chosen = true
 	return &all[best], all, nil
+}
+
+// Parallelizable reports whether the plan contains a join-family operator
+// that the given implementation choice would compile to a partitioned
+// parallel operator at degrees >= 2. The decision reuses the same
+// implementation-resolution rules Compile applies — effectiveJoinImpl plus
+// the flat-join merge→hash lowering — so the chooser, the EXPLAIN renderer,
+// and compilation cannot drift apart. The engine uses it to report an
+// honest Result.Parallelism for fixed-strategy plans.
+func Parallelizable(p algebra.Plan, impl JoinImpl) bool {
+	switch j := p.(type) {
+	case *algebra.Join:
+		lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
+		eff := effectiveJoinImpl(impl, len(lk) > 0)
+		if eff == ImplMerge {
+			eff = ImplHash // flat joins have no merge variant; Compile uses hash
+		}
+		if eff == ImplHash {
+			return true
+		}
+	case *algebra.NestJoin:
+		lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
+		if effectiveJoinImpl(impl, len(lk) > 0) == ImplHash {
+			return true
+		}
+	}
+	for _, ch := range p.Children() {
+		if Parallelizable(ch, impl) {
+			return true
+		}
+	}
+	return false
 }
 
 // ImplInfeasible reports why a plan cannot be compiled under the given join
@@ -144,14 +195,21 @@ func hasJoinFamily(p algebra.Plan) bool {
 
 // ExplainPhysical renders the plan as the physical operator tree the given
 // implementation choice compiles to, annotated with per-node estimated rows
-// and cost — the body of the engine's EXPLAIN.
+// and cost — the body of the engine's EXPLAIN. The deprecated two-argument
+// form renders the serial mapping; ExplainPhysicalPar names the partitioned
+// operators ("ParHashJoin[4]") at degrees >= 2.
 func (e *Estimator) ExplainPhysical(p algebra.Plan, impl JoinImpl) string {
+	return e.ExplainPhysicalPar(p, impl, 1)
+}
+
+// ExplainPhysicalPar is ExplainPhysical at a partitioned-execution degree.
+func (e *Estimator) ExplainPhysicalPar(p algebra.Plan, impl JoinImpl, par int) string {
 	var b strings.Builder
 	var walk func(n algebra.Plan, depth int)
 	walk = func(n algebra.Plan, depth int) {
-		c := e.EstimatePhysical(n, impl)
+		c := e.EstimatePhysicalPar(n, impl, par)
 		b.WriteString(strings.Repeat("  ", depth))
-		fmt.Fprintf(&b, "%s  (%s)\n", PhysicalDescribe(n, impl), c)
+		fmt.Fprintf(&b, "%s  (%s)\n", PhysicalDescribePar(n, impl, par), c)
 		for _, ch := range n.Children() {
 			walk(ch, depth+1)
 		}
@@ -165,6 +223,12 @@ func (e *Estimator) ExplainPhysical(p algebra.Plan, impl JoinImpl) string {
 // operator names (NLJoin, HashSemiJoin, MergeNestJoin, …). Non-join nodes
 // keep their logical description.
 func PhysicalDescribe(n algebra.Plan, impl JoinImpl) string {
+	return PhysicalDescribePar(n, impl, 1)
+}
+
+// PhysicalDescribePar is PhysicalDescribe at a partitioned-execution degree:
+// nodes that compile to the parallel operators render as "ParHash…[degree]".
+func PhysicalDescribePar(n algebra.Plan, impl JoinImpl, par int) string {
 	switch j := n.(type) {
 	case *algebra.Join:
 		lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
@@ -172,12 +236,29 @@ func PhysicalDescribe(n algebra.Plan, impl JoinImpl) string {
 		if eff == ImplMerge {
 			eff = ImplHash // flat joins have no merge variant; Compile uses hash
 		}
-		return implPrefix(eff) + j.Describe()
+		return parPrefix(eff, par) + implPrefix(eff) + j.Describe() + parSuffix(eff, par)
 	case *algebra.NestJoin:
 		lk, _, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
-		return implPrefix(effectiveJoinImpl(impl, len(lk) > 0)) + j.Describe()
+		eff := effectiveJoinImpl(impl, len(lk) > 0)
+		return parPrefix(eff, par) + implPrefix(eff) + j.Describe() + parSuffix(eff, par)
 	}
 	return n.Describe()
+}
+
+// parPrefix and parSuffix decorate operators that run partitioned: only the
+// hash family parallelizes, at degrees >= 2.
+func parPrefix(eff JoinImpl, par int) string {
+	if par > 1 && eff == ImplHash {
+		return "Par"
+	}
+	return ""
+}
+
+func parSuffix(eff JoinImpl, par int) string {
+	if par > 1 && eff == ImplHash {
+		return fmt.Sprintf("[%d]", par)
+	}
+	return ""
 }
 
 func effectiveJoinImpl(impl JoinImpl, hashable bool) JoinImpl {

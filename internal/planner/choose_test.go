@@ -50,7 +50,7 @@ func thetaJoinPlan(t *testing.T, b *algebra.Builder) algebra.Plan {
 func TestChoosePicksHashOnEquiPlan(t *testing.T) {
 	est, b := chooseEnv(t)
 	plan := equiNestJoinPlan(t, b)
-	best, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplAuto)
+	best, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplAuto, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestChoosePrefersFlatStrategyOverNaive(t *testing.T) {
 	best, _, err := est.Choose([]StrategyPlan{
 		{Strategy: "naive", Plan: naive},
 		{Strategy: "nestjoin", Plan: plan},
-	}, ImplAuto)
+	}, ImplAuto, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestChoosePrefersFlatStrategyOverNaive(t *testing.T) {
 func TestChooseRespectsFixedImpl(t *testing.T) {
 	est, b := chooseEnv(t)
 	plan := equiNestJoinPlan(t, b)
-	best, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplMerge)
+	best, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplMerge, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestChooseInfeasibleHashOnThetaJoin(t *testing.T) {
 	est, b := chooseEnv(t)
 	plan := thetaJoinPlan(t, b)
 	// Fixed hash on a theta join: nothing feasible.
-	_, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplHash)
+	_, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplHash, 1)
 	if err == nil {
 		t.Fatal("expected no-feasible-candidate error")
 	}
@@ -108,7 +108,7 @@ func TestChooseInfeasibleHashOnThetaJoin(t *testing.T) {
 		t.Errorf("candidates = %+v", all)
 	}
 	// Auto enumeration still works: nested loops carries it.
-	best, _, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplAuto)
+	best, _, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: plan}}, ImplAuto, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestChooseCollapsesImplsWithoutJoins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: sel}}, ImplAuto)
+	_, all, err := est.Choose([]StrategyPlan{{Strategy: "nestjoin", Plan: sel}}, ImplAuto, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

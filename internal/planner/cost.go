@@ -64,18 +64,42 @@ const defaultSelectivity = 0.33
 // direct scans with statistically known key attributes.
 const defaultDangling = 0.5
 
+// Parallel-execution cost constants: partitioning pays one extra pass over
+// both inputs at parPartitionWork per tuple (key encoding and routing are
+// cheaper than a full tuple visit), and every worker costs parStartupWork of
+// fixed overhead (goroutine start, per-partition hash table). Small inputs
+// therefore keep a serial plan cheapest, matching the runtime's inline
+// threshold.
+const (
+	parPartitionWork = 0.5
+	parStartupWork   = 200.0
+)
+
 // Estimate computes the cost of a logical plan under the auto physical
 // mapping (hash where an equi-key exists, nested loops otherwise).
 func (e *Estimator) Estimate(p algebra.Plan) Cost {
 	return e.EstimatePhysical(p, ImplAuto)
 }
 
-// EstimatePhysical computes the cost of a logical plan when its join-family
-// operators are compiled with the given implementation choice — the quantity
-// the auto planner minimizes over strategy × implementation candidates.
-// Infeasible choices (hash without an equi-key) are costed as their
-// nested-loop fallback; feasibility is checked separately by ImplInfeasible.
+// EstimatePhysical computes the serial cost of a logical plan when its
+// join-family operators are compiled with the given implementation choice.
 func (e *Estimator) EstimatePhysical(p algebra.Plan, impl JoinImpl) Cost {
+	return e.EstimatePhysicalPar(p, impl, 1)
+}
+
+// EstimatePhysicalPar computes the cost of a logical plan when its
+// join-family operators are compiled with the given implementation choice at
+// the given partitioned-execution degree — the quantity the auto planner
+// minimizes over strategy × implementation × degree candidates. par <= 1 is
+// serial; at higher degrees hash probe work divides by par while the
+// partition pass and per-worker startup are added, so parallelism only wins
+// where the §7-style cost arguments say it should. Infeasible choices (hash
+// without an equi-key) are costed as their nested-loop fallback; feasibility
+// is checked separately by ImplInfeasible.
+func (e *Estimator) EstimatePhysicalPar(p algebra.Plan, impl JoinImpl, par int) Cost {
+	if par < 1 {
+		par = 1
+	}
 	switch n := p.(type) {
 	case *algebra.Scan:
 		card := float64(e.tableStats(n.Table).Card)
@@ -86,31 +110,31 @@ func (e *Estimator) EstimatePhysical(p algebra.Plan, impl JoinImpl) Cost {
 		return e.evalCost(n.Expr)
 
 	case *algebra.Select:
-		in := e.EstimatePhysical(n.In, impl)
+		in := e.EstimatePhysicalPar(n.In, impl, par)
 		sel := e.predicateSelectivity(n.Pred, n.In)
 		return Cost{Rows: in.Rows * sel, Work: in.Work + in.Rows}
 
 	case *algebra.Map:
-		in := e.EstimatePhysical(n.In, impl)
+		in := e.EstimatePhysicalPar(n.In, impl, par)
 		return Cost{Rows: in.Rows, Work: in.Work + in.Rows}
 
 	case *algebra.Join:
-		return e.estimateJoin(n, impl)
+		return e.estimateJoin(n, impl, par)
 
 	case *algebra.NestJoin:
-		return e.estimateNestJoin(n, impl)
+		return e.estimateNestJoin(n, impl, par)
 
 	case *algebra.Nest:
-		in := e.EstimatePhysical(n.In, impl)
+		in := e.EstimatePhysicalPar(n.In, impl, par)
 		return Cost{Rows: in.Rows * 0.5, Work: in.Work + in.Rows}
 
 	case *algebra.Unnest:
-		in := e.EstimatePhysical(n.In, impl)
+		in := e.EstimatePhysicalPar(n.In, impl, par)
 		fanout := e.unnestFanout(n)
 		return Cost{Rows: in.Rows * fanout, Work: in.Work + in.Rows*fanout}
 
 	case *algebra.SetOp:
-		l, r := e.EstimatePhysical(n.L, impl), e.EstimatePhysical(n.R, impl)
+		l, r := e.EstimatePhysicalPar(n.L, impl, par), e.EstimatePhysicalPar(n.R, impl, par)
 		rows := l.Rows
 		switch n.Kind {
 		case algebra.SetUnion:
@@ -125,8 +149,8 @@ func (e *Estimator) EstimatePhysical(p algebra.Plan, impl JoinImpl) Cost {
 	return Cost{Rows: 1, Work: 1}
 }
 
-func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl) Cost {
-	l, r := e.EstimatePhysical(n.L, impl), e.EstimatePhysical(n.R, impl)
+func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int) Cost {
+	l, r := e.EstimatePhysicalPar(n.L, impl, par), e.EstimatePhysicalPar(n.R, impl, par)
 	lk, rk, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	hashable := len(lk) > 0
 
@@ -143,7 +167,7 @@ func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl) Cost {
 	if joinImpl == ImplMerge {
 		joinImpl = ImplHash
 	}
-	probe := e.joinProbeWork(l.Rows, r.Rows, matches, joinImpl, hashable)
+	probe := e.joinProbeWork(l.Rows, r.Rows, matches, joinImpl, hashable, par)
 
 	dang := e.danglingFrac(n.L, n.LVar, lk, n.R, n.RVar, rk)
 	rows := matches
@@ -160,8 +184,8 @@ func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl) Cost {
 	return Cost{Rows: rows, Work: l.Work + r.Work + probe}
 }
 
-func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl) Cost {
-	l, r := e.EstimatePhysical(n.L, impl), e.EstimatePhysical(n.R, impl)
+func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl, par int) Cost {
+	l, r := e.EstimatePhysicalPar(n.L, impl, par), e.EstimatePhysicalPar(n.R, impl, par)
 	lk, rk, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	hashable := len(lk) > 0
 
@@ -171,7 +195,7 @@ func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl) Cost {
 	} else {
 		matches = l.Rows * r.Rows * defaultSelectivity
 	}
-	probe := e.joinProbeWork(l.Rows, r.Rows, matches, impl, hashable)
+	probe := e.joinProbeWork(l.Rows, r.Rows, matches, impl, hashable, par)
 	// One output tuple per left element, always (dangling survive with ∅).
 	return Cost{Rows: l.Rows, Work: l.Work + r.Work + probe}
 }
@@ -179,8 +203,10 @@ func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl) Cost {
 // joinProbeWork is the per-implementation cost of pairing the operands:
 // nested loops evaluate the predicate over the cross product; hash pays one
 // visit per tuple on each side plus the matches emitted; sort-merge adds the
-// n·log n ordering passes on top of a hash-like merge.
-func (e *Estimator) joinProbeWork(lRows, rRows, matches float64, impl JoinImpl, hashable bool) float64 {
+// n·log n ordering passes on top of a hash-like merge. At par >= 2 the hash
+// family runs partitioned: probe work divides across the workers, with an
+// extra partition pass over both inputs and per-worker startup overhead.
+func (e *Estimator) joinProbeWork(lRows, rRows, matches float64, impl JoinImpl, hashable bool, par int) float64 {
 	eff := impl
 	if eff == ImplAuto {
 		if hashable {
@@ -199,7 +225,11 @@ func (e *Estimator) joinProbeWork(lRows, rRows, matches float64, impl JoinImpl, 
 	case ImplMerge:
 		return sortCost(lRows) + sortCost(rRows) + lRows + rRows + matches
 	default: // ImplHash
-		return lRows + rRows + matches
+		serial := lRows + rRows + matches
+		if par < 2 {
+			return serial
+		}
+		return (lRows+rRows)*parPartitionWork + serial/float64(par) + parStartupWork*float64(par)
 	}
 }
 

@@ -46,7 +46,17 @@ func (ji JoinImpl) String() string {
 type Options struct {
 	// Joins picks the implementation family for all join-like operators.
 	Joins JoinImpl
+	// Parallelism is the partitioned-execution degree for the hash join
+	// family: values >= 2 compile hash joins and hash nest joins to their
+	// exchange-style parallel forms (ParHashJoin, ParHashNestJoin), which
+	// partition both inputs by key hash across that many workers. 0 and 1
+	// mean serial execution. Results are identical at any degree — final
+	// results are canonical sets — so the knob only trades latency.
+	Parallelism int
 }
+
+// parallel reports whether planning targets the partitioned operators.
+func (o Options) parallel() bool { return o.Parallelism >= 2 }
 
 // Planner compiles logical plans to iterators over a context.
 type Planner struct {
@@ -144,6 +154,14 @@ func (p *Planner) compileJoin(n *algebra.Join) (exec.Iterator, error) {
 			LVar: n.LVar, RVar: n.RVar, Pred: n.Pred, RElem: n.R.Elem(),
 		}, nil
 	}
+	if p.opts.parallel() {
+		return &exec.ParHashJoin{
+			Ctx: p.ctx, Kind: n.Kind, L: l, R: r,
+			LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, RElem: n.R.Elem(),
+			Degree: p.opts.Parallelism,
+		}, nil
+	}
 	return &exec.HashJoin{
 		Ctx: p.ctx, Kind: n.Kind, L: l, R: r,
 		LVar: n.LVar, RVar: n.RVar,
@@ -185,6 +203,13 @@ func (p *Planner) compileNestJoin(n *algebra.NestJoin) (exec.Iterator, error) {
 			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
 		}, nil
 	default:
+		if p.opts.parallel() {
+			return &exec.ParHashNestJoin{
+				Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+				LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+				Degree: p.opts.Parallelism,
+			}, nil
+		}
 		return &exec.HashNestJoin{
 			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
 			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,

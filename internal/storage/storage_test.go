@@ -96,4 +96,3 @@ func TestHashIndex(t *testing.T) {
 		t.Errorf("Keys=%d Len=%d", ix.Keys(), ix.Len())
 	}
 }
-

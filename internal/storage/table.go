@@ -54,7 +54,10 @@ func (t *Table) MustInsert(v value.Value) {
 	}
 }
 
-// Seal deduplicates (set semantics) and freezes the table.
+// Seal deduplicates (set semantics) and freezes the table. The set view is
+// materialized here rather than lazily in AsSet so that sealed tables are
+// immutable afterwards — parallel join workers may evaluate table references
+// concurrently, and a lazy cache fill would race.
 func (t *Table) Seal() {
 	if t.sealed {
 		return
@@ -68,6 +71,8 @@ func (t *Table) Seal() {
 	}
 	t.rows = out
 	t.sealed = true
+	s := value.SetOf(t.rows...)
+	t.asSet = &s
 }
 
 // Len returns the current row count.
@@ -83,10 +88,6 @@ func (t *Table) Rows() []value.Value { return t.rows }
 // re-evaluation does not pay the canonicalization again.
 func (t *Table) AsSet() value.Value {
 	if t.sealed {
-		if t.asSet == nil {
-			s := value.SetOf(t.rows...)
-			t.asSet = &s
-		}
 		return *t.asSet
 	}
 	return value.SetOf(t.rows...)

@@ -87,14 +87,21 @@ func writeLen(h *maphash.Hash, n int) {
 // (collision-free) grouping is required.
 func Key(v Value) string {
 	buf := make([]byte, 0, 64)
-	buf = appendKey(buf, v)
+	buf = AppendKey(buf, v)
 	return string(buf)
 }
 
-func appendKey(buf []byte, v Value) []byte {
+// AppendKey appends the canonical encoding of v (the same bytes Key returns)
+// onto buf and returns the extended slice. The encoding is self-delimiting —
+// every variable-length component is length-prefixed — so concatenated
+// encodings of a fixed number of values stay injective. Hot paths (the hash
+// join family) keep a scratch buffer per iterator and look up Go maps via
+// string(buf), which the compiler compiles without allocating; only inserting
+// a previously unseen key materializes a string.
+func AppendKey(buf []byte, v Value) []byte {
 	if v.kind == KindInt {
 		// Same normalization as hashing: ints encode as floats.
-		return appendKey(buf, Float(float64(v.i)))
+		return AppendKey(buf, Float(float64(v.i)))
 	}
 	buf = append(buf, byte(v.kind))
 	switch v.kind {
@@ -123,12 +130,12 @@ func appendKey(buf []byte, v Value) []byte {
 		for _, f := range v.tuple {
 			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(f.Label)))
 			buf = append(buf, f.Label...)
-			buf = appendKey(buf, f.V)
+			buf = AppendKey(buf, f.V)
 		}
 	case KindSet, KindList:
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.elems)))
 		for _, e := range v.elems {
-			buf = appendKey(buf, e)
+			buf = AppendKey(buf, e)
 		}
 	}
 	return buf

@@ -432,3 +432,38 @@ func TestSortSliceWithLess(t *testing.T) {
 		}
 	}
 }
+
+// TestAppendKeyMatchesKey pins the scratch-buffer encoder contract: AppendKey
+// produces exactly Key's bytes, appends (preserving prefixes), and stays
+// injective for the values the join family encodes.
+func TestAppendKeyMatchesKey(t *testing.T) {
+	vals := []Value{
+		Null, True, False, Int(0), Int(-7), Float(1.0), Float(-0.0), Str(""), Str("ab"),
+		TupleOf(F("a", Int(1)), F("b", Str("x"))),
+		SetOf(Int(1), Int(2)), ListOf(Int(2), Int(1)),
+		SetOf(TupleOf(F("k", Int(1))), TupleOf(F("k", Int(2)))),
+	}
+	for _, v := range vals {
+		if got := string(AppendKey(nil, v)); got != Key(v) {
+			t.Errorf("AppendKey(nil, %s) = %q, want %q", v, got, Key(v))
+		}
+		prefix := []byte("prefix")
+		buf := AppendKey(prefix, v)
+		if string(buf[:6]) != "prefix" || string(buf[6:]) != Key(v) {
+			t.Errorf("AppendKey does not append for %s", v)
+		}
+	}
+	// Int/float normalization: 1 and 1.0 are Equal, so keys must coincide.
+	if string(AppendKey(nil, Int(1))) != string(AppendKey(nil, Float(1))) {
+		t.Error("AppendKey(1) != AppendKey(1.0)")
+	}
+	// Injectivity across the sample (distinct values → distinct keys).
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := Key(v)
+		if prev, dup := seen[k]; dup && !Equal(prev, v) {
+			t.Errorf("key collision between %s and %s", prev, v)
+		}
+		seen[k] = v
+	}
+}

@@ -18,10 +18,19 @@
 //   - physical operators: nested-loop / hash / sort-merge implementations of
 //     joins and nest joins, hash semijoins/antijoins, outerjoins, ν, ν*, μ;
 //   - a statistics-driven cost-based planner: with Options left zero the
-//     engine enumerates the correct strategies × join implementations,
-//     costs them against per-table statistics (see Analyze), and executes
-//     the cheapest; Engine.Explain renders the chosen physical plan with
-//     per-operator estimated rows and cost.
+//     engine enumerates the correct strategies × join implementations ×
+//     parallelism degrees, costs them against per-table statistics (see
+//     Analyze), and executes the cheapest; Engine.Explain renders the chosen
+//     physical plan with per-operator estimated rows and cost;
+//   - parallel partitioned execution: hash joins and hash nest joins run
+//     partitioned by key hash across Options.Parallelism workers (under the
+//     auto strategy the degree defaults to GOMAXPROCS and the cost model
+//     decides whether parallelism pays; fixed strategies opt in explicitly)
+//     over an allocation-lean key encoding, with results bit-identical to
+//     serial execution at any degree;
+//   - a per-engine plan cache memoizing (bound query, options) → physical
+//     plan, so repeated queries skip strategy enumeration; Engine.Analyze
+//     invalidates it, Engine.PlanCacheStats reports hits and misses.
 //
 // Quickstart:
 //
@@ -107,6 +116,10 @@ type Value = value.Value
 
 // Type is a TM type.
 type Type = types.Type
+
+// CacheStats reports the engine's plan-cache entry and hit/miss counts
+// (see Engine.PlanCacheStats).
+type CacheStats = engine.CacheStats
 
 // Stats is a per-table statistics catalog (cardinality, distinct counts,
 // set-attribute fan-out, dangling fractions) backing the cost-based planner.
