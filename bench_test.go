@@ -266,3 +266,47 @@ func BenchmarkPlanCacheRepeatedAuto(b *testing.B) {
 		}
 	})
 }
+
+// --- B6: rewrite-sensitive pairs — the unified optimizer's cost model must
+// keep picking the right logical alternative in both directions. "pushdown"
+// is a query where the §6-rewritten (selection pushed through the nest join)
+// plan beats the translation as produced; "nested-wins" is a grouping query
+// where the paper's nested-preserving nest join beats the relational
+// outerjoin+ν* flattening. In each trio the auto run should track the
+// winning pinned variant; a cost-model regression shows up as auto tracking
+// the loser. CI runs this group as a smoke test. ---
+
+func BenchmarkB6RewriteSensitive(b *testing.B) {
+	benchOpts := func(b *testing.B, eng *tmdb.Engine, q string, opts engine.Options) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(q, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	pushdown := `SELECT x.b FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b) AND x.b < 0`
+	eng := xyzEngine(400, 1200, 0)
+	b.Run("pushdown/pin-base", func(b *testing.B) {
+		benchOpts(b, eng, pushdown, engine.Options{PinAlt: tmdb.AltBase, Parallelism: 1})
+	})
+	b.Run("pushdown/pin-rewrite", func(b *testing.B) {
+		benchOpts(b, eng, pushdown, engine.Options{PinAlt: tmdb.AltRewrite, Parallelism: 1})
+	})
+	b.Run("pushdown/auto", func(b *testing.B) {
+		benchOpts(b, eng, pushdown, engine.Options{Parallelism: 1})
+	})
+
+	nested := `SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b`
+	eng2 := xyzEngine(400, 1600, 0)
+	b.Run("nested-wins/nestjoin", func(b *testing.B) {
+		benchQuery(b, eng2, nested, core.StrategyNestJoin, planner.ImplAuto)
+	})
+	b.Run("nested-wins/outerjoin-flattened", func(b *testing.B) {
+		benchQuery(b, eng2, nested, core.StrategyOuterJoin, planner.ImplAuto)
+	})
+	b.Run("nested-wins/auto", func(b *testing.B) {
+		benchOpts(b, eng2, nested, engine.Options{Parallelism: 1})
+	})
+}

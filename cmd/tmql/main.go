@@ -9,15 +9,30 @@
 //	tmql -q 'SELECT d.name FROM DEPT d'
 //	tmql -q '...' -strategy naive -explain
 //	tmql -q '...' -par 8           (partitioned hash joins at degree 8)
+//	tmql -q '...' -rewrite         (pin the §6-rewritten alternative)
+//	tmql -q '...' -pin 'order:((z y) x)'
+//	tmql -plancache 64             (bound the LRU plan cache)
+//
+// Under the auto strategy the optimizer already enumerates the §6 rewrites
+// and join orders as costed candidates, so -rewrite is not needed to benefit
+// from them: it is a compatibility override that PINS the rewritten
+// alternative (on a fixed strategy it applies the rewrite fixpoint, the
+// historical toggle behavior). -pin pins any alternative by the label shown
+// in EXPLAIN's candidate table.
 //
 // REPL commands:
 //
 //	explain <query>                (physical plan, estimated rows/cost,
-//	                                candidates under the auto strategy)
+//	                                candidate table: strategy × alternative
+//	                                × join family × degree under auto)
 //	\strategy auto|naive|nestjoin|kim|outerjoin
 //	\joins auto|nl|hash|merge
 //	\par <n>                      (0 = planner default, 1 = serial, n >= 2 = degree)
-//	\cache                        (plan-cache statistics; \cache clear drops it)
+//	\rewrite on|off               (pin / unpin the §6-rewritten alternative)
+//	\pin <label>|off              (pin a logical alternative by label)
+//	\cache                        (plan-cache statistics incl. evictions;
+//	                               \cache clear drops it, \cache cap <n>
+//	                               bounds the LRU capacity)
 //	\explain <query>               (alias of explain)
 //	\analyze                       (collect and show table statistics,
 //	                                invalidating the plan cache)
@@ -47,6 +62,9 @@ func main() {
 		strategy = flag.String("strategy", "auto", "auto | naive | nestjoin | kim | outerjoin")
 		joins    = flag.String("joins", "auto", "auto | nl | hash | merge")
 		par      = flag.Int("par", 0, "partitioned-execution degree (0 = planner default, 1 = serial)")
+		rewrite  = flag.Bool("rewrite", false, "pin the §6-rewritten logical alternative (the optimizer considers rewrites either way)")
+		pin      = flag.String("pin", "", "pin a logical alternative by candidate-table label (base | rewrite | order:…)")
+		cacheCap = flag.Int("plancache", 0, "plan-cache LRU capacity (0 = default 256)")
 		explain  = flag.Bool("explain", false, "print the physical plan with cost estimates instead of executing")
 	)
 	flag.Parse()
@@ -56,12 +74,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	eng.SetPlanCacheCapacity(*cacheCap)
 	opts, err := makeOptions(*strategy, *joins)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	opts.Parallelism = *par
+	opts.Rewrite = *rewrite
+	opts.PinAlt = *pin
 
 	if *query != "" {
 		if err := runOne(eng, *query, opts, *explain); err != nil {
@@ -133,7 +154,9 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 	}
 	how := res.Strategy.String()
 	if res.Auto {
-		how = fmt.Sprintf("auto: %s × %s, cost≈%.0f", res.Strategy, res.Joins, res.Cost.Work)
+		how = fmt.Sprintf("auto: %s/%s × %s, cost≈%.0f", res.Strategy, res.Alt, res.Joins, res.Cost.Work)
+	} else if res.Alt != "" && res.Alt != "base" {
+		how += "/" + res.Alt
 	}
 	if res.Parallelism > 1 {
 		how += fmt.Sprintf(", parallelism %d", res.Parallelism)
@@ -169,7 +192,7 @@ func analyze(eng *engine.Engine) {
 
 func repl(eng *engine.Engine, opts engine.Options) {
 	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
-	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\cache, \\analyze, \\tables, \\quit\n", opts.Strategy)
+	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\rewrite, \\pin, \\cache, \\analyze, \\tables, \\quit\n", opts.Strategy)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -214,11 +237,39 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			}
 			opts.Parallelism = n
 			fmt.Printf("parallelism = %d\n", n)
+		case strings.HasPrefix(line, "\\rewrite "):
+			switch strings.TrimSpace(strings.TrimPrefix(line, "\\rewrite ")) {
+			case "on":
+				opts.Rewrite = true
+				fmt.Println("pinned the §6-rewritten alternative (auto considers rewrites either way)")
+			case "off":
+				opts.Rewrite = false
+				fmt.Println("rewrite pin removed")
+			default:
+				fmt.Println("usage: \\rewrite on|off")
+			}
+		case strings.HasPrefix(line, "\\pin "):
+			label := strings.TrimSpace(strings.TrimPrefix(line, "\\pin "))
+			if label == "off" {
+				opts.PinAlt = ""
+				fmt.Println("alternative pin removed")
+			} else {
+				opts.PinAlt = label
+				fmt.Printf("pinned logical alternative %q\n", label)
+			}
 		case line == "\\cache":
 			fmt.Println(eng.PlanCacheStats())
 		case line == "\\cache clear":
 			eng.ClearPlanCache()
 			fmt.Println("plan cache cleared")
+		case strings.HasPrefix(line, "\\cache cap "):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "\\cache cap ")))
+			if err != nil {
+				fmt.Println("usage: \\cache cap <n>  (n <= 0 restores the default)")
+				continue
+			}
+			eng.SetPlanCacheCapacity(n)
+			fmt.Println(eng.PlanCacheStats())
 		case line == "\\analyze":
 			analyze(eng)
 		case strings.HasPrefix(line, "\\explain "), strings.HasPrefix(line, "explain "):

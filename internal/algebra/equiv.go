@@ -13,18 +13,24 @@ import (
 // every rule matches one of the identities the paper states:
 //
 //	πX(X △ Y) = X                            (projection elimination)
-//	σp(x)(X △ Y) = σp(x)(X) △ Y              (selection pushdown: the nest
+//	σp∧q(X △ Y) = σq(σp(X) △ Y)              (selection pushdown: the nest
 //	                                          join preserves X's tuples
-//	                                          one-to-one, so left-only
-//	                                          selections commute)
+//	                                          one-to-one, so the left-only
+//	                                          conjuncts p commute; the rest q
+//	                                          stays above)
+//	σp(map[t](X)) = map[t](σp∘t(X))          (selection through projection,
+//	                                          the enabling step for the
+//	                                          pushdown above)
 //	(X ⋈r(x,y) Y) △r(x,z) Z = (X △r(x,z) Z) ⋈r(x,y) Y   — not implemented as
 //	a rewrite (it needs cost guidance to be useful) but verified as a tested
 //	equivalence in equiv_test.go.
 //
 // Optimize applies the rules bottom-up until a fixpoint. It is semantics-
-// preserving (property-tested against execution of both plans) and optional:
-// the engine's measured comparisons run un-optimized plans so strategies
-// stay directly comparable.
+// preserving (property-tested against execution of both plans). Since the
+// unified optimizer, it is no longer a pre-planning pass: the planner's
+// logical-alternative generator calls it to produce the "rewrite" peer
+// candidate that competes on cost with the as-translated plan (see
+// planner.Alternatives); Options.Rewrite merely pins that candidate.
 func Optimize(b *Builder, p Plan) (Plan, error) {
 	for {
 		q, changed, err := rewriteOnce(b, p)
@@ -125,6 +131,9 @@ func rewriteOnce(b *Builder, p Plan) (Plan, bool, error) {
 	if q, ok, err := ruleMergeSelects(b, p); err != nil || ok {
 		return q, ok, err
 	}
+	if q, ok, err := ruleSelectThroughProject(b, p); err != nil || ok {
+		return q, ok, err
+	}
 	if q, ok, err := rulePushSelectLeftOfNestJoin(b, p); err != nil || ok {
 		return q, ok, err
 	}
@@ -163,11 +172,16 @@ func ruleMergeSelects(b *Builder, p Plan) (Plan, bool, error) {
 	return s, err == nil, err
 }
 
-// rulePushSelectLeftOfNestJoin pushes σ[p(x)](X △ Y) to σ[p(x)](X) △ Y when
-// the predicate references only attributes of the left operand (i.e. not the
-// nest-join label). Sound because the nest join emits each left tuple
-// exactly once, extended — left-only predicates see the same values before
-// and after.
+// rulePushSelectLeftOfNestJoin pushes the left-only conjuncts of
+// σ[p(x)](X △ Y) into the left operand: σ[rest](σ[pushable](X) △ Y). A
+// conjunct is pushable when it references neither the nest-join label nor
+// any attribute outside L's element type. Sound because the nest join emits
+// each left tuple exactly once, extended — left-only predicates see the same
+// values before and after. Splitting the conjunction (rather than requiring
+// the whole predicate to be left-only) lets the classification selection on
+// the grouped attribute stay above while outer-table restrictions shrink the
+// nest-join input — the §6 selection-pushdown the cost-based optimizer
+// weighs as a logical alternative.
 func rulePushSelectLeftOfNestJoin(b *Builder, p Plan) (Plan, bool, error) {
 	s, ok := p.(*Select)
 	if !ok {
@@ -177,19 +191,67 @@ func rulePushSelectLeftOfNestJoin(b *Builder, p Plan) (Plan, bool, error) {
 	if !ok {
 		return p, false, nil
 	}
-	if exprUsesLabel(s.Pred, s.Var, nj.Label) {
+	var push, keep []tmql.Expr
+	for _, c := range tmql.SplitAnd(s.Pred) {
+		if !exprUsesLabel(c, s.Var, nj.Label) && fieldsSubset(c, s.Var, nj.L.Elem()) {
+			push = append(push, c)
+		} else {
+			keep = append(keep, c)
+		}
+	}
+	if len(push) == 0 {
 		return p, false, nil
 	}
-	// The predicate must be evaluable on the un-extended left element: it
-	// may only select fields present in L's element type.
-	if !fieldsSubset(s.Pred, s.Var, nj.L.Elem()) {
-		return p, false, nil
-	}
-	pushed, err := b.Select(nj.L, nj.LVar, renameVar(s.Pred, s.Var, nj.LVar))
+	pushed, err := b.Select(nj.L, nj.LVar, renameVar(tmql.JoinAnd(push), s.Var, nj.LVar))
 	if err != nil {
 		return p, false, nil
 	}
 	out, err := b.NestJoin(pushed, nj.R, nj.LVar, nj.RVar, nj.Pred, nj.Fn, nj.Label)
+	if err != nil {
+		return nil, false, err
+	}
+	if len(keep) > 0 {
+		kept, err := b.Select(out, s.Var, tmql.JoinAnd(keep))
+		if err != nil {
+			return nil, false, err
+		}
+		return kept, true, nil
+	}
+	return out, true, nil
+}
+
+// ruleSelectThroughProject commutes a selection with a tuple-constructing
+// Map: σ[p](map[(l₁ = e₁, …)](X)) = map[…](σ[p′](X)) where p′ replaces every
+// v.lᵢ by eᵢ. Applicable when the predicate observes the map's output only
+// through field selections of constructed labels (never the whole tuple).
+// This is what lets a restriction that the translator placed above a
+// label-projection sink toward the nest join below it, where
+// rulePushSelectLeftOfNestJoin can take over.
+func ruleSelectThroughProject(b *Builder, p Plan) (Plan, bool, error) {
+	s, ok := p.(*Select)
+	if !ok {
+		return p, false, nil
+	}
+	m, ok := s.In.(*Map)
+	if !ok {
+		return p, false, nil
+	}
+	cons, ok := m.Out.(*tmql.TupleCons)
+	if !ok {
+		return p, false, nil
+	}
+	fields := make(map[string]tmql.Expr, len(cons.Fields))
+	for _, f := range cons.Fields {
+		fields[f.Label] = f.E
+	}
+	if usesVarOutsideFields(s.Pred, s.Var, fields) {
+		return p, false, nil
+	}
+	inner, err := b.Select(m.In, m.Var, substVarFields(s.Pred, s.Var, fields))
+	if err != nil {
+		return p, false, nil
+	}
+	out, err := b.Map(inner, m.Var, m.Out)
 	return out, err == nil, err
 }
 
@@ -284,6 +346,53 @@ func fieldsSubset(e tmql.Expr, v string, elem *types.Type) bool {
 	}
 	walk(e)
 	return ok
+}
+
+// usesVarOutsideFields reports whether e observes v other than through field
+// selections whose labels are keys of fields — whole-tuple use or a
+// selection of an unconstructed label.
+func usesVarOutsideFields(e tmql.Expr, v string, fields map[string]tmql.Expr) bool {
+	outside := false
+	var walk func(n tmql.Expr)
+	walk = func(n tmql.Expr) {
+		if outside || n == nil {
+			return
+		}
+		if fs, ok := n.(*tmql.FieldSel); ok {
+			if inner, ok := fs.X.(*tmql.Var); ok && inner.Name == v {
+				if _, has := fields[fs.Label]; !has {
+					outside = true
+				}
+				return
+			}
+			walk(fs.X)
+			return
+		}
+		if vr, ok := n.(*tmql.Var); ok {
+			if vr.Name == v {
+				outside = true
+			}
+			return
+		}
+		for _, c := range childrenOf(n) {
+			walk(c)
+		}
+	}
+	walk(e)
+	return outside
+}
+
+// substVarFields replaces every free field selection v.l in e by fields[l]
+// (shadow-aware via the shared tmql rewriter). Callers must have established
+// via usesVarOutsideFields that v is never used whole and every selected
+// label is present.
+func substVarFields(e tmql.Expr, v string, fields map[string]tmql.Expr) tmql.Expr {
+	return tmql.SubstFieldSel(e, func(u, l string) tmql.Expr {
+		if u != v {
+			return nil
+		}
+		return fields[l]
+	})
 }
 
 // childrenOf returns the direct child expressions of n (binders included —

@@ -484,3 +484,70 @@ func TestOptimizeDescendsThroughOperators(t *testing.T) {
 		t.Error("needed nest join vanished")
 	}
 }
+
+// TestSplitSelectionPushdown: a mixed predicate (one label-reading conjunct,
+// one left-only conjunct) must split — the left-only part sinks into the
+// nest join's left operand, the label part stays above — without changing
+// semantics.
+func TestSplitSelectionPushdown(t *testing.T) {
+	_, db, b := equivEnv()
+	x, _ := b.Scan("X")
+	y, _ := b.Scan("Y")
+	nj, _ := b.NestJoin(x, y, "x", "y", tmql.MustParse("x.b = y.b"), tmql.MustParse("y.a"), "s")
+	sel, err := b.Select(nj, "v", tmql.MustParse("1 IN v.s AND v.b > 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evalPlan(t, db, sel)
+	opt, err := Optimize(b, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := opt.(*Select)
+	if !ok {
+		t.Fatalf("label conjunct must keep a Select on top:\n%s", Explain(opt))
+	}
+	njTop, ok := top.In.(*NestJoin)
+	if !ok {
+		t.Fatalf("expected Select over NestJoin:\n%s", Explain(opt))
+	}
+	if _, ok := njTop.L.(*Select); !ok {
+		t.Errorf("left-only conjunct not pushed into the left operand:\n%s", Explain(opt))
+	}
+	if got := evalPlan(t, db, opt); !value.Equal(got, want) {
+		t.Error("split pushdown changed semantics")
+	}
+}
+
+// TestSelectThroughProject: a selection above a label projection commutes
+// with it, and composed with the pushdown it reaches the scan below a nest
+// join — the plan shape the translator produces for "subquery conjunct, then
+// plain conjunct" WHERE clauses.
+func TestSelectThroughProject(t *testing.T) {
+	_, db, b := equivEnv()
+	x, _ := b.Scan("X")
+	y, _ := b.Scan("Y")
+	nj, _ := b.NestJoin(x, y, "x", "y", tmql.MustParse("x.b = y.b"), tmql.MustParse("y.a"), "s")
+	proj, err := b.Project(nj, "x", "a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := b.Select(proj, "v", tmql.MustParse("v.b > 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := evalPlan(t, db, sel)
+	opt, err := Optimize(b, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selection must cross the projection; with only left attributes
+	// used, projection elimination and pushdown then collapse the plan all
+	// the way to σ over the scan.
+	if _, ok := opt.(*Select); ok {
+		t.Errorf("selection did not cross the projection:\n%s", Explain(opt))
+	}
+	if got := evalPlan(t, db, opt); !value.Equal(got, want) {
+		t.Error("select-through-project changed semantics")
+	}
+}

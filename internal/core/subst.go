@@ -4,26 +4,22 @@ import (
 	"tmdb/internal/tmql"
 )
 
-// Rewriting utilities over tmql ASTs. All functions build fresh trees (the
-// input is never mutated) and strip inferred types — the algebra builder
-// re-binds every expression it receives, so types are recomputed after
-// rewriting.
+// Rewriting utilities over tmql ASTs, thin wrappers around the generic
+// rewriter in internal/tmql (shared with the planner's join-order
+// extractor). All functions build fresh trees (the input is never mutated)
+// and strip inferred types — the algebra builder re-binds every expression
+// it receives, so types are recomputed after rewriting.
 
 // SubstVar replaces every free occurrence of the variable name in e by repl.
 // Binders that rebind name stop the substitution in their scope. repl is
 // inserted by reference; callers pass freshly built or immutable expressions.
 func SubstVar(e tmql.Expr, name string, repl tmql.Expr) tmql.Expr {
-	return rewrite(e, func(n tmql.Expr, bound map[string]int) (tmql.Expr, bool) {
-		if v, ok := n.(*tmql.Var); ok && v.Name == name && bound[name] == 0 {
-			return repl, true
-		}
-		return nil, false
-	})
+	return tmql.Subst(e, name, repl)
 }
 
 // ReplaceNode replaces the node target (by pointer identity) with repl.
 func ReplaceNode(e tmql.Expr, target, repl tmql.Expr) tmql.Expr {
-	return rewrite(e, func(n tmql.Expr, _ map[string]int) (tmql.Expr, bool) {
+	return tmql.Rewrite(e, func(n tmql.Expr, _ map[string]int) (tmql.Expr, bool) {
 		if n == target {
 			return repl, true
 		}
@@ -42,80 +38,6 @@ func InlineLets(e tmql.Expr) tmql.Expr {
 		}
 		e = SubstVar(let.Body, let.V, InlineLets(let.Def))
 	}
-}
-
-// rewrite rebuilds e bottom-up; at each node fn may return a replacement.
-// bound tracks variable bindings in scope so fn can respect shadowing.
-func rewrite(e tmql.Expr, fn func(tmql.Expr, map[string]int) (tmql.Expr, bool)) tmql.Expr {
-	return rewriteIn(e, fn, map[string]int{})
-}
-
-func rewriteIn(e tmql.Expr, fn func(tmql.Expr, map[string]int) (tmql.Expr, bool), bound map[string]int) tmql.Expr {
-	if e == nil {
-		return nil
-	}
-	if repl, ok := fn(e, bound); ok {
-		return repl
-	}
-	switch n := e.(type) {
-	case *tmql.Lit, *tmql.Var, *tmql.TableRef:
-		return e
-	case *tmql.FieldSel:
-		return &tmql.FieldSel{X: rewriteIn(n.X, fn, bound), Label: n.Label}
-	case *tmql.TupleCons:
-		fs := make([]tmql.TupleField, len(n.Fields))
-		for i, f := range n.Fields {
-			fs[i] = tmql.TupleField{Label: f.Label, E: rewriteIn(f.E, fn, bound)}
-		}
-		return &tmql.TupleCons{Fields: fs}
-	case *tmql.SetCons:
-		es := make([]tmql.Expr, len(n.Elems))
-		for i, el := range n.Elems {
-			es[i] = rewriteIn(el, fn, bound)
-		}
-		return &tmql.SetCons{Elems: es}
-	case *tmql.ListCons:
-		es := make([]tmql.Expr, len(n.Elems))
-		for i, el := range n.Elems {
-			es[i] = rewriteIn(el, fn, bound)
-		}
-		return &tmql.ListCons{Elems: es}
-	case *tmql.Binary:
-		return &tmql.Binary{Op: n.Op, L: rewriteIn(n.L, fn, bound), R: rewriteIn(n.R, fn, bound)}
-	case *tmql.Unary:
-		return &tmql.Unary{Op: n.Op, X: rewriteIn(n.X, fn, bound)}
-	case *tmql.Agg:
-		return &tmql.Agg{Kind: n.Kind, X: rewriteIn(n.X, fn, bound)}
-	case *tmql.Quant:
-		over := rewriteIn(n.Over, fn, bound)
-		bound[n.Var]++
-		pred := rewriteIn(n.Pred, fn, bound)
-		bound[n.Var]--
-		return &tmql.Quant{Kind: n.Kind, Var: n.Var, Over: over, Pred: pred}
-	case *tmql.SFW:
-		froms := make([]tmql.FromItem, len(n.Froms))
-		pushed := make([]string, 0, len(n.Froms))
-		for i, f := range n.Froms {
-			froms[i] = tmql.FromItem{Var: f.Var, Src: rewriteIn(f.Src, fn, bound)}
-			bound[f.Var]++
-			pushed = append(pushed, f.Var)
-		}
-		where := rewriteIn(n.Where, fn, bound)
-		result := rewriteIn(n.Result, fn, bound)
-		for _, v := range pushed {
-			bound[v]--
-		}
-		return &tmql.SFW{Result: result, Froms: froms, Where: where}
-	case *tmql.Let:
-		def := rewriteIn(n.Def, fn, bound)
-		bound[n.V]++
-		body := rewriteIn(n.Body, fn, bound)
-		bound[n.V]--
-		return &tmql.Let{V: n.V, Def: def, Body: body}
-	case *tmql.Unnest:
-		return &tmql.Unnest{X: rewriteIn(n.X, fn, bound)}
-	}
-	return e
 }
 
 // fieldOf builds the expression varName.label.

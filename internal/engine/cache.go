@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"container/list"
 	"fmt"
 	"sync"
 
@@ -10,69 +11,136 @@ import (
 // planCache memoizes physical planning decisions per engine: the key is the
 // bound query (canonically formatted) plus every option that can change the
 // outcome, and the value is the fully resolved planned decision — chosen
-// strategy, join family, parallelism degree, rewritten plan, cost, and the
-// candidate table for EXPLAIN. Repeated queries therefore skip strategy
-// enumeration and costing entirely. Entries are treated as immutable after
-// insertion; Analyze invalidates the whole cache because fresh statistics
-// can change which candidate wins.
+// strategy, logical alternative, join family, parallelism degree, plan,
+// cost, and the candidate table for EXPLAIN. Repeated queries therefore skip
+// translation, alternative generation, and costing entirely. Entries are
+// treated as immutable after insertion; Analyze invalidates the whole cache
+// because fresh statistics can change which candidate wins.
+//
+// The cache is bounded: at most capacity entries are kept and the least
+// recently used entry is evicted on overflow, so long-running engines serving
+// many distinct queries hold planning memory constant. Since the unified
+// optimizer, the key carries the pinned-alternative label instead of the
+// obsolete rewrite boolean: rewrites are enumerated inside planning, so only
+// an explicit pin (Options.PinAlt, or the Options.Rewrite compatibility
+// override mapping to planner.AltRewrite) distinguishes cache entries.
 type planCache struct {
-	mu      sync.Mutex
-	entries map[string]*planned
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// DefaultPlanCacheCapacity bounds the plan cache unless overridden with
+// Engine.SetPlanCacheCapacity.
+const DefaultPlanCacheCapacity = 256
+
+// cacheEntry is one LRU node.
+type cacheEntry struct {
+	key string
+	pl  *planned
 }
 
 func newPlanCache() *planCache {
-	return &planCache{entries: make(map[string]*planned)}
+	return &planCache{
+		capacity: DefaultPlanCacheCapacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
 }
 
 // cacheKey builds the memoization key for a bound query under the given
-// options and resolved parallelism degree.
+// options and resolved parallelism degree. The pin component replaces the
+// pre-unified-optimizer rewrite boolean.
 func cacheKey(bound tmql.Expr, opts Options, par int) string {
-	return fmt.Sprintf("s=%d|j=%d|p=%d|rw=%t|%s",
-		opts.Strategy, opts.Joins, par, opts.Rewrite, tmql.Format(bound))
+	return fmt.Sprintf("s=%d|j=%d|p=%d|pin=%s|%s",
+		opts.Strategy, opts.Joins, par, opts.pin(), tmql.Format(bound))
 }
 
 func (c *planCache) get(key string) (*planned, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	pl, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.misses++
+		return nil, false
 	}
-	return pl, ok
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).pl, true
 }
 
 func (c *planCache) put(key string, pl *planned) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = pl
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).pl = pl
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, pl: pl})
+	for c.capacity > 0 && len(c.entries) > c.capacity {
+		last := c.order.Back()
+		if last == nil {
+			break
+		}
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// setCapacity bounds the cache to n entries (n <= 0 restores the default),
+// evicting immediately if the cache is over the new bound.
+func (c *planCache) setCapacity(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		n = DefaultPlanCacheCapacity
+	}
+	c.capacity = n
+	for len(c.entries) > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions++
+	}
 }
 
 func (c *planCache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = make(map[string]*planned)
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
 }
 
 // CacheStats reports plan-cache effectiveness.
 type CacheStats struct {
-	// Entries is the number of memoized plans.
-	Entries int
+	// Entries is the number of memoized plans; Capacity the LRU bound.
+	Entries, Capacity int
 	// Hits and Misses count lookups since the engine was created (clearing
-	// the cache does not reset them).
-	Hits, Misses uint64
+	// the cache does not reset them). Evictions counts LRU displacements —
+	// a high rate signals the capacity is too small for the query mix.
+	Hits, Misses, Evictions uint64
 }
 
 func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+	return CacheStats{
+		Entries:   len(c.entries),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
 }
 
 // String renders the stats for the REPL's \cache command.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("plan cache: %d entries, %d hits, %d misses", s.Entries, s.Hits, s.Misses)
+	return fmt.Sprintf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions",
+		s.Entries, s.Capacity, s.Hits, s.Misses, s.Evictions)
 }

@@ -1,12 +1,18 @@
 // Package engine wires the full pipeline: parse → bind → translate
-// (strategy) → physically plan → execute. When no strategy is fixed in
-// Options (the zero value, core.StrategyAuto), the engine translates the
-// query under every correct strategy, costs each strategy × join-family ×
-// parallelism combination against the statistics catalog, and executes the
-// cheapest — the cost-based path Explain renders. Planning decisions are
-// memoized in a per-engine plan cache keyed on the bound query and options
-// (invalidated by Analyze), so repeated queries skip strategy enumeration.
-// It is the implementation behind the public tmdb package.
+// (strategy) → optimize → execute. When no strategy is fixed in Options (the
+// zero value, core.StrategyAuto), the engine runs the unified cost-based
+// optimizer: it translates the query under every correct strategy, expands
+// each translation into its logical alternatives (the plan as translated,
+// its §6 rewrite, and reordered join trees for multi-FROM blocks), costs
+// every alternative × join-family × parallelism-degree combination against
+// the statistics catalog (exact for tiny tables, histogram/sketch estimates
+// above the threshold), and executes the cheapest — the path Explain renders
+// together with the full candidate table. Options.Rewrite and Options.PinAlt
+// pin one logical alternative instead of toggling a pre-planning pass.
+// Planning decisions are memoized in a bounded per-engine LRU plan cache
+// keyed on the bound query and options (invalidated by Analyze), so repeated
+// queries skip translation and enumeration. It is the implementation behind
+// the public tmdb package.
 package engine
 
 import (
@@ -64,8 +70,14 @@ func (e *Engine) Analyze() *stats.Catalog {
 	return e.statsCat
 }
 
-// PlanCacheStats reports the plan cache's entry and hit/miss counts.
+// PlanCacheStats reports the plan cache's entry/capacity and
+// hit/miss/eviction counts.
 func (e *Engine) PlanCacheStats() CacheStats { return e.cache.stats() }
+
+// SetPlanCacheCapacity bounds the plan cache to n entries with LRU eviction
+// (n <= 0 restores DefaultPlanCacheCapacity). Shrinking below the current
+// size evicts immediately.
+func (e *Engine) SetPlanCacheCapacity(n int) { e.cache.setCapacity(n) }
 
 // ClearPlanCache drops every memoized planning decision.
 func (e *Engine) ClearPlanCache() { e.cache.clear() }
@@ -93,11 +105,36 @@ type Options struct {
 	// numbers comparable across releases). Results are identical at every
 	// degree.
 	Parallelism int
-	// Rewrite additionally applies the §6 algebraic rewrite rules
-	// (selection pushdown through nest joins, dead nest-join elimination,
-	// select fusion) after translation. Off by default so strategy
-	// comparisons measure the translation alone.
+	// Rewrite is a compatibility override. The optimizer now enumerates the
+	// §6 rewrite rules (selection pushdown through nest joins, selection
+	// through projections, dead nest-join elimination, select fusion) as
+	// logical alternatives inside the candidate search, so the cost-based
+	// path weighs rewritten and as-translated plans automatically and this
+	// flag is unnecessary there. Setting it PINS the rewritten alternative:
+	// on the cost-based path only rewrite candidates are considered (falling
+	// back to the translation when no rule fires); on a fixed-strategy path
+	// the rewrite fixpoint is applied to the translated plan, preserving the
+	// historical toggle behavior.
 	Rewrite bool
+	// PinAlt pins one logical alternative by label on the cost-based path:
+	// planner.AltBase, planner.AltRewrite, or a join-order label as shown in
+	// EXPLAIN's candidate table (e.g. "order:((z y) x)"). Empty means free
+	// choice. Pinning a label the query does not generate is an error; the
+	// conformance harness uses this to execute every alternative and assert
+	// identical results. Ignored on fixed-strategy paths.
+	PinAlt string
+}
+
+// pin resolves the effective alternative pin: PinAlt wins, then the Rewrite
+// compatibility override.
+func (o Options) pin() string {
+	if o.PinAlt != "" {
+		return o.PinAlt
+	}
+	if o.Rewrite {
+		return planner.AltRewrite
+	}
+	return ""
 }
 
 // resolveParallelism maps the option to an effective degree for the given
@@ -124,6 +161,10 @@ type Result struct {
 	Expr tmql.Expr
 	// Strategy is the unnesting strategy actually used (resolved from Auto).
 	Strategy core.Strategy
+	// Alt is the logical alternative executed: planner.AltBase for the plain
+	// translation, planner.AltRewrite when the §6 rewrite won (or was
+	// pinned), an "order:…" label for a reordered join tree.
+	Alt string
 	// Joins is the join family actually used (resolved from Auto when the
 	// cost-based planner chose).
 	Joins planner.JoinImpl
@@ -151,6 +192,7 @@ type Result struct {
 type planned struct {
 	plan       algebra.Plan
 	strategy   core.Strategy
+	alt        string
 	joins      planner.JoinImpl
 	par        int
 	cost       planner.Cost
@@ -192,6 +234,7 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 		Plan:        pl.plan,
 		Expr:        bound,
 		Strategy:    pl.strategy,
+		Alt:         pl.alt,
 		Joins:       pl.joins,
 		Parallelism: pl.par,
 		Cost:        pl.cost,
@@ -220,34 +263,32 @@ func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, bool, error) {
 }
 
 // planMiss performs the full planning work: the fixed path translates under
-// the requested strategy and keeps the requested join family; the auto path
-// enumerates and costs strategy × join × degree candidates. The §6 rewrite
-// (when requested) is applied here so cached entries hold the final plan.
+// the requested strategy and keeps the requested join family (applying the
+// §6 rewrite fixpoint when Options.Rewrite pins it); the auto path is the
+// unified optimizer — logical alternatives × join orders × join families ×
+// degrees, costed uniformly.
 func (e *Engine) planMiss(bound tmql.Expr, opts Options, par int) (*planned, error) {
-	var (
-		pl *planned
-		tr *core.Translator
-	)
+	var pl *planned
 	if opts.Strategy == core.StrategyAuto {
 		var err error
-		pl, tr, err = e.autoPlan(bound, opts.Joins, par)
+		pl, err = e.autoPlan(bound, opts, par)
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		tr = core.NewTranslator(e.cat)
+		tr := core.NewTranslator(e.cat)
 		p, err := tr.Translate(bound, opts.Strategy)
 		if err != nil {
 			return nil, err
 		}
-		pl = &planned{plan: p, strategy: opts.Strategy, joins: opts.Joins, par: par}
-	}
-	if opts.Rewrite {
-		p, err := algebra.Optimize(tr.Builder(), pl.plan)
-		if err != nil {
-			return nil, err
+		alt := planner.AltBase
+		if opts.Rewrite {
+			if p, err = algebra.Optimize(tr.Builder(), p); err != nil {
+				return nil, err
+			}
+			alt = planner.AltRewrite
 		}
-		pl.plan = p
+		pl = &planned{plan: p, strategy: opts.Strategy, alt: alt, joins: opts.Joins, par: par}
 	}
 	// Result.Parallelism reports the degree the plan actually runs at: a
 	// degree > 1 on a (possibly rewritten) plan with nothing to partition
@@ -258,18 +299,16 @@ func (e *Engine) planMiss(bound tmql.Expr, opts Options, par int) (*planned, err
 	return pl, nil
 }
 
-// autoPlan is the cost-based path: translate under every correct strategy,
-// let the planner cost strategy × join-family × parallelism candidates, pick
-// the cheapest. fixed (when not ImplAuto) pins the join family and only
-// strategies and degrees are enumerated.
-func (e *Engine) autoPlan(bound tmql.Expr, fixed planner.JoinImpl, par int) (*planned, *core.Translator, error) {
+// autoPlan is the unified cost-based path: translate under every correct
+// strategy, expand each translation into its logical alternatives (as
+// translated, §6 rewrite, join orders), honor a pinned alternative, and let
+// the planner cost alternative × join-family × parallelism candidates to
+// pick the cheapest. A fixed Options.Joins pins the join family; strategy,
+// alternative, and degree are still enumerated.
+func (e *Engine) autoPlan(bound tmql.Expr, opts Options, par int) (*planned, error) {
 	est := planner.NewEstimatorStats(e.Stats())
-	type strat struct {
-		s  core.Strategy
-		tr *core.Translator
-	}
+	strategies := make(map[string]core.Strategy)
 	var sps []planner.StrategyPlan
-	trs := make(map[string]strat)
 	var firstErr error
 	for _, s := range core.CandidateStrategies() {
 		tr := core.NewTranslator(e.cat)
@@ -281,28 +320,33 @@ func (e *Engine) autoPlan(bound tmql.Expr, fixed planner.JoinImpl, par int) (*pl
 			continue
 		}
 		sps = append(sps, planner.StrategyPlan{Strategy: s.String(), Plan: p})
-		trs[s.String()] = strat{s: s, tr: tr}
+		strategies[s.String()] = s
 	}
 	if len(sps) == 0 {
 		if firstErr != nil {
-			return nil, nil, firstErr
+			return nil, firstErr
 		}
-		return nil, nil, fmt.Errorf("engine: no strategy could translate the query")
+		return nil, fmt.Errorf("engine: no strategy could translate the query")
 	}
-	best, all, err := est.Choose(sps, fixed, par)
+	alts := est.Alternatives(algebra.NewBuilder(e.cat), sps)
+	alts, err := planner.PinAlternatives(alts, opts.pin())
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	st := trs[best.Strategy]
+	best, all, err := est.Choose(alts, opts.Joins, par)
+	if err != nil {
+		return nil, err
+	}
 	return &planned{
 		plan:       best.Plan,
-		strategy:   st.s,
+		strategy:   strategies[best.Strategy],
+		alt:        best.Alt,
 		joins:      best.Joins,
 		par:        best.Par,
 		cost:       best.Cost,
 		auto:       true,
 		candidates: all,
-	}, st.tr, nil
+	}, nil
 }
 
 // Explain parses, binds, and plans a query, returning the physical plan
@@ -332,7 +376,11 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if pl.auto {
 		mode = "cost-based"
 	}
-	fmt.Fprintf(&b, "strategy=%s joins=%s parallelism=%d (%s)\n", pl.strategy, pl.joins, pl.par, mode)
+	alt := pl.alt
+	if alt == "" {
+		alt = planner.AltBase
+	}
+	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s parallelism=%d (%s)\n", pl.strategy, alt, pl.joins, pl.par, mode)
 	b.WriteString(est.ExplainPhysicalPar(pl.plan, pl.joins, pl.par))
 	if pl.auto && len(pl.candidates) > 1 {
 		b.WriteString("candidates considered:\n")
@@ -341,6 +389,27 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// PlanCandidates plans the query (through the plan cache, like Query and
+// Explain) and returns every candidate the optimizer considered — the
+// machine-readable form of EXPLAIN's candidate table. On a fixed-strategy
+// path the slice is empty. The conformance harness uses it to enumerate and
+// pin each logical alternative.
+func (e *Engine) PlanCandidates(src string, opts Options) ([]planner.Candidate, error) {
+	expr, err := tmql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := tmql.NewBinder(e.cat).Bind(expr)
+	if err != nil {
+		return nil, err
+	}
+	pl, _, err := e.plan(bound, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.candidates, nil
 }
 
 // ExplainCosts renders the logical plan annotated with the cost model's

@@ -107,7 +107,8 @@ func TestConformanceExplainRenders(t *testing.T) {
 			t.Errorf("%s: Explain: %v", g.Name, err)
 			continue
 		}
-		if !strings.HasPrefix(out, "strategy=") || !strings.Contains(out, "rows≈") {
+		if !strings.HasPrefix(out, "strategy=") || !strings.Contains(out, " alt=") ||
+			!strings.Contains(out, "rows≈") {
 			t.Errorf("%s: malformed Explain output:\n%s", g.Name, out)
 		}
 	}

@@ -120,6 +120,23 @@ var Goldens = []Golden{
 		DB:    "company",
 		Query: `SELECT d.name FROM DEPT d WHERE FORALL e IN d.emps (e.sal > 1000)`,
 	},
+	{
+		// The unified optimizer's flagship: the grouping conjunct first and
+		// the plain restriction second puts a selection above the nest-join
+		// projection, so the §6 pushdown rewrite is a strictly cheaper peer
+		// candidate the pre-unified engine could never consider.
+		Name:     "rewrite-pushdown-wins",
+		DB:       "xyz",
+		Query:    `SELECT x.b FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b) AND x.b < 0`,
+		KimBuggy: true,
+	},
+	{
+		// Three-source flat block: the join-order search contributes
+		// reordered bushy/left-deep alternatives.
+		Name:  "three-table-join-order",
+		DB:    "xyz",
+		Query: `SELECT (xb = x.b, zc = z.c) FROM X x, Y y, Z z WHERE x.b = y.d AND y.b = z.d`,
+	},
 }
 
 // Strategies returns every strategy the harness exercises, including the

@@ -9,24 +9,34 @@ import (
 )
 
 // Cost-based physical planning: the engine translates the query once per
-// candidate unnesting strategy, and Choose enumerates those plans × the
-// physical join families, estimates each feasible combination, and returns
-// the cheapest. This replaces the seed behavior where the caller had to fix
-// Options.Strategy and Options.Joins by hand.
+// candidate unnesting strategy, Alternatives expands each translation into
+// its logical alternatives (as translated, §6-rewritten, reordered joins),
+// and Choose enumerates those plans × the physical join families × the
+// parallelism degrees, estimates each feasible combination, and returns the
+// cheapest. This replaces the seed behavior where the caller had to fix
+// Options.Strategy and Options.Joins by hand and Options.Rewrite was a
+// pre-planning toggle the optimizer could not weigh.
 
-// StrategyPlan is one strategy's translation of a query, labeled by the
-// strategy name (the planner stays agnostic of the core package to keep the
-// import graph acyclic).
+// StrategyPlan is one logical candidate plan: a strategy's translation of a
+// query, optionally refined into a labeled logical alternative (the planner
+// stays agnostic of the core package to keep the import graph acyclic). An
+// empty Alt means AltBase, the translation as produced.
 type StrategyPlan struct {
 	Strategy string
-	Plan     algebra.Plan
+	// Alt labels the logical alternative this plan embodies: AltBase,
+	// AltRewrite, or a join-order label ("order:(x (y z))").
+	Alt  string
+	Plan algebra.Plan
 }
 
-// Candidate is one strategy × join-implementation × parallelism combination
-// considered by Choose.
+// Candidate is one logical alternative × join-implementation × parallelism
+// combination considered by Choose.
 type Candidate struct {
 	Strategy string
-	Joins    JoinImpl
+	// Alt is the logical-alternative label (AltBase when the strategy's
+	// translation ran unmodified).
+	Alt   string
+	Joins JoinImpl
 	// Par is the partitioned-execution degree this candidate was costed at
 	// (1 = serial).
 	Par  int
@@ -40,13 +50,19 @@ type Candidate struct {
 	Chosen bool
 }
 
-// String renders the candidate for EXPLAIN output.
+// String renders the candidate as one row of EXPLAIN's candidate table:
+// strategy, logical alternative (the "rewrite" column), join family with
+// degree, and estimated cost.
 func (c Candidate) String() string {
 	joins := c.Joins.String()
 	if c.Par > 1 {
 		joins = fmt.Sprintf("%s×%d", joins, c.Par)
 	}
-	label := fmt.Sprintf("%-9s × %-11s", c.Strategy, joins)
+	alt := c.Alt
+	if alt == "" {
+		alt = AltBase
+	}
+	label := fmt.Sprintf("%-9s %-16s × %-11s", c.Strategy, alt, joins)
 	switch {
 	case c.Infeasible != "":
 		return fmt.Sprintf("%s  infeasible: %s", label, c.Infeasible)
@@ -82,12 +98,16 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 		if !hasJoinFamily(sp.Plan) {
 			implsHere = []JoinImpl{ImplAuto}
 		}
+		alt := sp.Alt
+		if alt == "" {
+			alt = AltBase
+		}
 		for _, impl := range implsHere {
 			// Feasibility does not depend on degree: report an infeasible
 			// combination once, not per degree.
 			if reason := ImplInfeasible(sp.Plan, impl); reason != "" {
 				all = append(all, Candidate{
-					Strategy: sp.Strategy, Joins: impl, Par: 1, Plan: sp.Plan, Infeasible: reason,
+					Strategy: sp.Strategy, Alt: alt, Joins: impl, Par: 1, Plan: sp.Plan, Infeasible: reason,
 				})
 				continue
 			}
@@ -96,7 +116,7 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 				degrees = append(degrees, par)
 			}
 			for _, deg := range degrees {
-				c := Candidate{Strategy: sp.Strategy, Joins: impl, Par: deg, Plan: sp.Plan}
+				c := Candidate{Strategy: sp.Strategy, Alt: alt, Joins: impl, Par: deg, Plan: sp.Plan}
 				c.Cost = e.EstimatePhysicalPar(sp.Plan, impl, deg)
 				all = append(all, c)
 				if best < 0 || c.Cost.Work < all[best].Cost.Work {

@@ -111,7 +111,7 @@ func (e *Estimator) EstimatePhysicalPar(p algebra.Plan, impl JoinImpl, par int) 
 
 	case *algebra.Select:
 		in := e.EstimatePhysicalPar(n.In, impl, par)
-		sel := e.predicateSelectivity(n.Pred, n.In)
+		sel := e.predicateSelectivity(n.Pred, n.In, n.Var)
 		return Cost{Rows: in.Rows * sel, Work: in.Work + in.Rows}
 
 	case *algebra.Map:
@@ -252,20 +252,24 @@ func (e *Estimator) unnestFanout(n *algebra.Unnest) float64 {
 }
 
 // keySelectivity estimates 1/NDV of the join key on the right operand. When
-// the operand is a direct scan and the key is a plain attribute selection,
-// the attribute's exact distinct count is used; otherwise fall back to the
-// most selective attribute of the scanned table, or 0.1.
+// the key resolves to a stored attribute (direct scan, filtered scan, or the
+// flat-join single-field wrapper over either), that attribute's distinct
+// count — exact or sketch-estimated, see internal/stats — is used; otherwise
+// fall back to the most selective attribute of a directly scanned table, or
+// 0.1.
 func (e *Estimator) keySelectivity(r algebra.Plan, rvar string, rkeys []tmql.Expr) float64 {
+	if len(rkeys) > 0 {
+		if tab, attr, ok := resolveScanAttr(r, rvar, rkeys[0]); ok {
+			if d, ok := e.tableStats(tab).Distinct[attr]; ok && d > 0 {
+				return 1.0 / float64(d)
+			}
+		}
+	}
 	s, ok := r.(*algebra.Scan)
 	if !ok {
 		return 0.1
 	}
 	st := e.tableStats(s.Table)
-	if tab, attr, ok := scanKeyAttr(r, rvar, rkeys); ok && tab == s.Table {
-		if d, ok := st.Distinct[attr]; ok && d > 0 {
-			return 1.0 / float64(d)
-		}
-	}
 	best := 0.1
 	for _, d := range st.Distinct {
 		if d > 0 {
@@ -278,66 +282,212 @@ func (e *Estimator) keySelectivity(r algebra.Plan, rvar string, rkeys []tmql.Exp
 }
 
 // danglingFrac estimates the fraction of left tuples with no join partner.
-// When both operands are direct scans and the first key pair is a plain
-// attribute selection on each side, the statistics catalog computes the
-// exact figure; otherwise the conventional default 0.5.
+// When both key sides resolve to stored attributes the statistics catalog
+// answers (exactly below its threshold, by histogram overlap above it);
+// otherwise the conventional default 0.5.
 func (e *Estimator) danglingFrac(l algebra.Plan, lvar string, lkeys []tmql.Expr,
 	r algebra.Plan, rvar string, rkeys []tmql.Expr) float64 {
-	lt, la, ok := scanKeyAttr(l, lvar, lkeys)
+	if len(lkeys) == 0 || len(rkeys) == 0 {
+		return defaultDangling
+	}
+	lt, la, ok := resolveScanAttr(l, lvar, lkeys[0])
 	if !ok {
 		return defaultDangling
 	}
-	rt, ra, ok := scanKeyAttr(r, rvar, rkeys)
+	rt, ra, ok := resolveScanAttr(r, rvar, rkeys[0])
 	if !ok {
 		return defaultDangling
 	}
 	return e.stats.DanglingFrac(lt, la, rt, ra)
 }
 
-// scanKeyAttr reports the (table, attribute) a join key refers to when the
-// operand is a direct scan and the first key expression is var.attr.
-func scanKeyAttr(p algebra.Plan, varName string, keys []tmql.Expr) (table, attr string, ok bool) {
-	s, isScan := p.(*algebra.Scan)
-	if !isScan || len(keys) == 0 {
-		return "", "", false
-	}
-	fs, isSel := keys[0].(*tmql.FieldSel)
+// resolveScanAttr resolves an attribute expression over varName to the
+// underlying stored (table, attribute): either varName.attr with the plan a
+// (possibly filtered) scan, or varName.w.attr with the plan containing the
+// single-field wrapper Map labeled w over a scan — the shape the flat-join
+// translation and the join-order search build for every FROM source. This is
+// what threads histogram selectivities through wrapped join chains.
+func resolveScanAttr(p algebra.Plan, varName string, e tmql.Expr) (table, attr string, ok bool) {
+	fs, isSel := e.(*tmql.FieldSel)
 	if !isSel {
 		return "", "", false
 	}
-	v, isVar := fs.X.(*tmql.Var)
-	if !isVar || v.Name != varName {
-		return "", "", false
+	switch x := fs.X.(type) {
+	case *tmql.Var:
+		if x.Name != varName {
+			return "", "", false
+		}
+		if s := unwrapToScan(p); s != nil {
+			return s.Table, fs.Label, true
+		}
+	case *tmql.FieldSel:
+		v, isVar := x.X.(*tmql.Var)
+		if !isVar || v.Name != varName {
+			return "", "", false
+		}
+		if s := findWrapperScan(p, x.Label); s != nil {
+			return s.Table, fs.Label, true
+		}
 	}
-	return s.Table, fs.Label, true
+	return "", "", false
 }
 
-// predicateSelectivity assigns standard selectivities by predicate shape:
-// equality 1/NDV (when the attribute is statistically known), range 1/3,
-// everything else the default.
-func (e *Estimator) predicateSelectivity(pred tmql.Expr, in algebra.Plan) float64 {
+// unwrapToScan sees through selections to a scan leaf (selections restrict
+// rows but keep the stored attribute statistics usable as approximations).
+func unwrapToScan(p algebra.Plan) *algebra.Scan {
+	for {
+		switch n := p.(type) {
+		case *algebra.Scan:
+			return n
+		case *algebra.Select:
+			p = n.In
+		default:
+			return nil
+		}
+	}
+}
+
+// findWrapperScan finds the scan beneath the single-field wrapper Map
+// introducing label w anywhere inside p.
+func findWrapperScan(p algebra.Plan, w string) *algebra.Scan {
+	var found *algebra.Scan
+	algebra.Walk(p, func(n algebra.Plan) bool {
+		if found != nil {
+			return false
+		}
+		m, ok := n.(*algebra.Map)
+		if !ok {
+			return true
+		}
+		cons, ok := m.Out.(*tmql.TupleCons)
+		if !ok || len(cons.Fields) != 1 || cons.Fields[0].Label != w {
+			return true
+		}
+		if v, ok := cons.Fields[0].E.(*tmql.Var); ok && v.Name == m.Var {
+			if s := unwrapToScan(m.In); s != nil {
+				found = s
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// predicateSelectivity assigns selectivities by predicate shape: equality
+// and range comparisons against literals use the attribute's equi-depth
+// histogram when the attribute resolves to a stored one; plain equality
+// falls back to 1/NDV; anything else gets the defaults.
+func (e *Estimator) predicateSelectivity(pred tmql.Expr, in algebra.Plan, varName string) float64 {
 	b, ok := pred.(*tmql.Binary)
 	if !ok {
 		return defaultSelectivity
 	}
 	switch b.Op {
-	case tmql.OpEq:
-		if s, ok := in.(*algebra.Scan); ok {
-			if fs, ok := b.L.(*tmql.FieldSel); ok {
-				return e.tableStats(s.Table).Selectivity(fs.Label)
-			}
+	case tmql.OpEq, tmql.OpLt, tmql.OpLe, tmql.OpGt, tmql.OpGe:
+		if sel, ok := e.compareSelectivity(b, in, varName); ok {
+			return sel
 		}
-		return 0.1
-	case tmql.OpLt, tmql.OpLe, tmql.OpGt, tmql.OpGe:
+		if b.Op == tmql.OpEq {
+			if fs, ok := b.L.(*tmql.FieldSel); ok {
+				if tab, attr, ok := resolveScanAttr(in, varName, fs); ok {
+					return e.tableStats(tab).Selectivity(attr)
+				}
+			}
+			return 0.1
+		}
 		return defaultSelectivity
 	case tmql.OpAnd:
-		return e.predicateSelectivity(b.L, in) * e.predicateSelectivity(b.R, in)
+		return e.predicateSelectivity(b.L, in, varName) * e.predicateSelectivity(b.R, in, varName)
 	case tmql.OpOr:
-		sl := e.predicateSelectivity(b.L, in)
-		sr := e.predicateSelectivity(b.R, in)
+		sl := e.predicateSelectivity(b.L, in, varName)
+		sr := e.predicateSelectivity(b.R, in, varName)
 		return sl + sr - sl*sr
 	}
 	return defaultSelectivity
+}
+
+// compareSelectivity estimates an attribute-vs-literal comparison through
+// the attribute's histogram. ok is false when the shape doesn't match or no
+// histogram exists.
+func (e *Estimator) compareSelectivity(b *tmql.Binary, in algebra.Plan, varName string) (float64, bool) {
+	attrE, litE, op := b.L, b.R, b.Op
+	if _, isLit := attrE.(*tmql.Lit); isLit {
+		attrE, litE = litE, attrE
+		op = flipCompare(op)
+	}
+	lit, isLit := litE.(*tmql.Lit)
+	if !isLit {
+		return 0, false
+	}
+	tab, attr, ok := resolveScanAttr(in, varName, attrE)
+	if !ok {
+		return 0, false
+	}
+	st := e.tableStats(tab)
+	h := st.Histogram(attr)
+	if op == tmql.OpEq {
+		if h != nil {
+			if f := h.EstimateEq(lit.V); f >= 0 {
+				return clampSelectivity(f, st.Card), true
+			}
+		}
+		return st.Selectivity(attr), true
+	}
+	if h == nil {
+		return 0, false
+	}
+	lt := h.EstimateLess(lit.V)
+	if lt < 0 {
+		return 0, false
+	}
+	eq := math.Max(0, h.EstimateEq(lit.V))
+	var f float64
+	switch op {
+	case tmql.OpLt:
+		f = lt
+	case tmql.OpLe:
+		f = lt + eq
+	case tmql.OpGt:
+		f = 1 - lt - eq
+	case tmql.OpGe:
+		f = 1 - lt
+	default:
+		return 0, false
+	}
+	return clampSelectivity(f, st.Card), true
+}
+
+// clampSelectivity keeps estimates inside (0, 1]: a zero estimate would zero
+// out entire plan costs and turn the candidate comparison into degenerate
+// ties, so the floor is half a row.
+func clampSelectivity(f float64, card int) float64 {
+	lo := 0.0
+	if card > 0 {
+		lo = 0.5 / float64(card)
+	}
+	if f < lo {
+		f = lo
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// flipCompare mirrors a comparison operator for swapped operands.
+func flipCompare(op tmql.Op) tmql.Op {
+	switch op {
+	case tmql.OpLt:
+		return tmql.OpGt
+	case tmql.OpLe:
+		return tmql.OpGe
+	case tmql.OpGt:
+		return tmql.OpLt
+	case tmql.OpGe:
+		return tmql.OpLe
+	}
+	return op
 }
 
 // evalCost estimates naive (tuple-at-a-time) evaluation of a TM expression:

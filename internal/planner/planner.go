@@ -256,26 +256,13 @@ func onlyVar(free map[string]bool, v string) bool {
 }
 
 // SplitConjuncts flattens a right- or left-nested AND tree into its
-// conjuncts; a nil predicate yields nil.
+// conjuncts; a nil predicate yields nil. (Delegates to the shared tmql
+// helper; kept for the planner's public surface.)
 func SplitConjuncts(pred tmql.Expr) []tmql.Expr {
-	if pred == nil {
-		return nil
-	}
-	if b, ok := pred.(*tmql.Binary); ok && b.Op == tmql.OpAnd {
-		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
-	}
-	return []tmql.Expr{pred}
+	return tmql.SplitAnd(pred)
 }
 
 // JoinConjuncts rebuilds a conjunction from parts (nil for none).
 func JoinConjuncts(parts []tmql.Expr) tmql.Expr {
-	var out tmql.Expr
-	for _, p := range parts {
-		if out == nil {
-			out = p
-		} else {
-			out = &tmql.Binary{Op: tmql.OpAnd, L: out, R: p}
-		}
-	}
-	return out
+	return tmql.JoinAnd(parts)
 }

@@ -5,13 +5,19 @@
 // (the outer tuples Kim's transformation loses and the nest join must
 // preserve).
 //
-// Statistics are exact, computed in one scan per table, which is appropriate
-// at the paper's laptop scale; a production system would sample. Collection
-// is lazy by default (New); Analyze is the eager ANALYZE entry point that
-// scans every table up front. FromXYZSpec is the datagen-aware entry point:
-// it derives the same catalog analytically from a generator Spec, without
-// touching data — used to validate Analyze against ground truth and to cost
-// plans for not-yet-materialized workloads.
+// Tables at or below the catalog's exact threshold get exact statistics in
+// one scan (distinct counts from full key sets, dangling fractions by exact
+// anti-lookup). Larger tables switch to approximate summaries — equi-depth
+// histograms per scalar attribute plus KMV distinct-count sketches (see
+// histogram.go) — so per-attribute memory is O(buckets + k) instead of
+// O(distinct) and dangling fractions are estimated from histogram overlap.
+// Every table also carries histograms for the planner's equality/range
+// selectivity estimates regardless of mode. Collection is lazy by default
+// (New); Analyze is the eager ANALYZE entry point that scans every table up
+// front. FromXYZSpec is the datagen-aware entry point: it derives the same
+// catalog analytically from a generator Spec, without touching data — used to
+// validate Analyze against ground truth and to cost plans for
+// not-yet-materialized workloads.
 package stats
 
 import (
@@ -28,16 +34,29 @@ import (
 type TableStats struct {
 	// Card is the stored cardinality.
 	Card int
-	// Distinct maps top-level attribute labels to their distinct-value count.
+	// Distinct maps top-level attribute labels to their distinct-value count —
+	// exact below the catalog's threshold, a KMV sketch estimate above it.
 	Distinct map[string]int
 	// AvgSetLen maps set-valued attribute labels to their mean cardinality —
 	// the main driver of nest-join output size and μ fan-out.
 	AvgSetLen map[string]float64
+	// Hist maps scalar attribute labels to their equi-depth histograms, the
+	// planner's source for equality/range selectivity and (on the approximate
+	// path) dangling-fraction estimates.
+	Hist map[string]*Histogram
+	// Approx reports that Distinct is sketch-estimated and the exact key sets
+	// were dropped (table larger than the catalog's exact threshold).
+	Approx bool
 
-	// keys retains the distinct scalar value keys per attribute so the
-	// catalog can compute dangling fractions without rescanning this side.
+	// keys retains the distinct value keys per attribute so the catalog can
+	// compute dangling fractions without rescanning this side. nil when
+	// Approx.
 	keys map[string]map[string]bool
 }
+
+// Histogram returns the attribute's histogram, or nil when the attribute is
+// unknown or not scalar.
+func (s *TableStats) Histogram(attr string) *Histogram { return s.Hist[attr] }
 
 // Selectivity estimates equi-predicate selectivity on the attribute: 1/NDV,
 // defaulting to 0.1 when the attribute is unknown.
@@ -58,15 +77,34 @@ type Catalog struct {
 	mu       sync.Mutex
 	tables   map[string]*TableStats
 	dangling map[string]float64
+	// exactThreshold is the cardinality at or below which a table keeps exact
+	// statistics; above it the catalog stores histograms and sketches only.
+	exactThreshold int
 }
+
+// DefaultExactThreshold is the cardinality up to which per-table statistics
+// stay exact. Above it the catalog switches to equi-depth histograms and KMV
+// sketches.
+const DefaultExactThreshold = 1024
 
 // New returns a lazy catalog over db: each table is scanned on first use.
 func New(db *storage.DB) *Catalog {
 	return &Catalog{
-		db:       db,
-		tables:   make(map[string]*TableStats),
-		dangling: make(map[string]float64),
+		db:             db,
+		tables:         make(map[string]*TableStats),
+		dangling:       make(map[string]float64),
+		exactThreshold: DefaultExactThreshold,
 	}
+}
+
+// SetExactThreshold overrides the exact-statistics cardinality threshold
+// (n <= 0 forces the approximate path for every table). It affects tables
+// scanned after the call; estimator tests use it to compare the approximate
+// path against exact ground truth on the same data.
+func (c *Catalog) SetExactThreshold(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.exactThreshold = n
 }
 
 // Analyze is the eager ANALYZE entry point: it scans every table of db and
@@ -108,6 +146,7 @@ func (c *Catalog) table(name string) *TableStats {
 	s := &TableStats{
 		Distinct:  make(map[string]int),
 		AvgSetLen: make(map[string]float64),
+		Hist:      make(map[string]*Histogram),
 		keys:      make(map[string]map[string]bool),
 	}
 	c.tables[name] = s
@@ -119,27 +158,71 @@ func (c *Catalog) table(name string) *TableStats {
 		return s
 	}
 	s.Card = tab.Len()
+	s.Approx = s.Card > c.exactThreshold
 	setLen := make(map[string]int)
 	setCnt := make(map[string]int)
-	for _, r := range tab.Rows() {
+	scalars := make(map[string][]value.Value)
+	// Histogram collection memory is bounded: above the cap only every
+	// stride-th row feeds the histograms (sketches and set counters still see
+	// every row). Row order is insertion order, uncorrelated with attribute
+	// values, so the stride behaves as a uniform sample; all histogram
+	// figures are fractions of Total and stay scale-free.
+	stride := 1
+	if s.Card > histogramSampleCap {
+		stride = (s.Card + histogramSampleCap - 1) / histogramSampleCap
+	}
+	var sketches map[string]*distinctSketch
+	if s.Approx {
+		s.keys = nil
+		sketches = make(map[string]*distinctSketch)
+	}
+	for i, r := range tab.Rows() {
 		if r.Kind() != value.KindTuple {
 			continue
 		}
+		sampled := i%stride == 0
 		for _, f := range r.Fields() {
-			m, ok := s.keys[f.Label]
-			if !ok {
-				m = make(map[string]bool)
-				s.keys[f.Label] = m
+			if s.Approx {
+				sk, ok := sketches[f.Label]
+				if !ok {
+					sk = newDistinctSketch(sketchK)
+					sketches[f.Label] = sk
+				}
+				sk.Add(value.Key(f.V))
+			} else {
+				m, ok := s.keys[f.Label]
+				if !ok {
+					m = make(map[string]bool)
+					s.keys[f.Label] = m
+				}
+				m[value.Key(f.V)] = true
 			}
-			m[value.Key(f.V)] = true
-			if f.V.Kind() == value.KindSet {
+			switch f.V.Kind() {
+			case value.KindSet:
 				setLen[f.Label] += f.V.Len()
 				setCnt[f.Label]++
+			case value.KindTuple, value.KindList:
+				// not histogrammed
+			default:
+				if sampled {
+					scalars[f.Label] = append(scalars[f.Label], f.V)
+				}
 			}
 		}
 	}
-	for l, m := range s.keys {
-		s.Distinct[l] = len(m)
+	if s.Approx {
+		for l, sk := range sketches {
+			s.Distinct[l] = sk.Estimate()
+		}
+	} else {
+		for l, m := range s.keys {
+			s.Distinct[l] = len(m)
+		}
+	}
+	for l, vals := range scalars {
+		if h := buildHistogram(vals, defaultBuckets); h != nil {
+			s.Hist[l] = h
+		}
 	}
 	for l, n := range setCnt {
 		if n > 0 {
@@ -157,7 +240,10 @@ func (c *Catalog) Selectivity(table, attr string) float64 {
 // DanglingFrac returns the fraction of lTable rows whose lAttr value matches
 // no rAttr value of rTable — the tuples a semijoin drops, an antijoin keeps,
 // and a nest join pairs with ∅. The result is cached per attribute pair.
-// When either side is unknown the conventional default 0.5 is returned.
+// Below the exact threshold the figure is exact (anti-lookup of every left
+// key against the right key set); above it, it is estimated from the two
+// attribute histograms by bucket overlap. When either side is unknown the
+// conventional default 0.5 is returned.
 func (c *Catalog) DanglingFrac(lTable, lAttr, rTable, rAttr string) float64 {
 	const def = 0.5
 	key := lTable + "." + lAttr + "|" + rTable + "." + rAttr
@@ -167,10 +253,19 @@ func (c *Catalog) DanglingFrac(lTable, lAttr, rTable, rAttr string) float64 {
 		return f
 	}
 	ls, rs := c.table(lTable), c.table(rTable)
-	rKeys := rs.keys[rAttr]
-	if c.db == nil || ls.Card == 0 || rKeys == nil {
+	if c.db == nil || ls.Card == 0 {
 		c.dangling[key] = def
 		return def
+	}
+	rKeys := rs.keys[rAttr]
+	if rKeys == nil {
+		// Approximate path: estimate from histogram overlap.
+		frac := estimateDangling(ls.Hist[lAttr], rs.Hist[rAttr])
+		if frac < 0 {
+			frac = def
+		}
+		c.dangling[key] = frac
+		return frac
 	}
 	tab, ok := c.db.Table(lTable)
 	if !ok {
@@ -192,6 +287,31 @@ func (c *Catalog) DanglingFrac(lTable, lAttr, rTable, rAttr string) float64 {
 	return frac
 }
 
+// estimateDangling estimates the dangling fraction of the left attribute
+// against the right from their histograms: per left bucket, the match
+// probability is the containment assumption min(1, |R distinct in bucket
+// range| / |bucket distinct|), so left values falling outside the right
+// side's populated ranges count as dangling. Reports -1 when either
+// histogram is missing.
+func estimateDangling(lh, rh *Histogram) float64 {
+	if lh == nil || lh.Total == 0 || rh == nil {
+		return -1
+	}
+	dangling := 0.0
+	for _, b := range lh.Buckets {
+		rDistinct := rh.DistinctInRange(b.Lo, b.Hi)
+		match := 1.0
+		if b.Distinct > 0 {
+			match = rDistinct / float64(b.Distinct)
+			if match > 1 {
+				match = 1
+			}
+		}
+		dangling += float64(b.Count) * (1 - match)
+	}
+	return dangling / float64(lh.Total)
+}
+
 // SetDangling records a dangling fraction directly, bypassing scanning. Used
 // by the analytic (datagen-aware) constructors.
 func (c *Catalog) SetDangling(lTable, lAttr, rTable, rAttr string, frac float64) {
@@ -210,7 +330,10 @@ func (c *Catalog) SetTable(name string, s *TableStats) {
 	if s.AvgSetLen == nil {
 		s.AvgSetLen = make(map[string]float64)
 	}
-	if s.keys == nil {
+	if s.Hist == nil {
+		s.Hist = make(map[string]*Histogram)
+	}
+	if s.keys == nil && !s.Approx {
 		s.keys = make(map[string]map[string]bool)
 	}
 	c.tables[name] = s

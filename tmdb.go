@@ -17,20 +17,31 @@
 //     outerjoin + ν* repair;
 //   - physical operators: nested-loop / hash / sort-merge implementations of
 //     joins and nest joins, hash semijoins/antijoins, outerjoins, ν, ν*, μ;
-//   - a statistics-driven cost-based planner: with Options left zero the
-//     engine enumerates the correct strategies × join implementations ×
-//     parallelism degrees, costs them against per-table statistics (see
-//     Analyze), and executes the cheapest; Engine.Explain renders the chosen
-//     physical plan with per-operator estimated rows and cost;
+//   - a unified cost-driven optimizer: with Options left zero the engine
+//     enumerates the correct strategies × logical alternatives (each
+//     translation as produced, its §6 rewrite, and bushy/left-deep join
+//     orders for multi-FROM blocks) × join implementations × parallelism
+//     degrees, costs them against per-table statistics (see Analyze), and
+//     executes the cheapest; Engine.Explain renders the chosen physical plan
+//     with per-operator estimated rows and cost plus the full candidate
+//     table. Options.Rewrite is a compatibility override that pins the
+//     §6-rewritten alternative (the optimizer weighs rewrites regardless);
+//     Options.PinAlt pins any alternative by its candidate-table label;
+//   - histogram/sketch statistics: tables above a threshold are summarized
+//     by equi-depth histograms and KMV distinct-count sketches (selectivity,
+//     NDV, and dangling fractions become bounded-error estimates), tiny
+//     tables keep exact figures;
 //   - parallel partitioned execution: hash joins and hash nest joins run
 //     partitioned by key hash across Options.Parallelism workers (under the
 //     auto strategy the degree defaults to GOMAXPROCS and the cost model
 //     decides whether parallelism pays; fixed strategies opt in explicitly)
 //     over an allocation-lean key encoding, with results bit-identical to
 //     serial execution at any degree;
-//   - a per-engine plan cache memoizing (bound query, options) → physical
-//     plan, so repeated queries skip strategy enumeration; Engine.Analyze
-//     invalidates it, Engine.PlanCacheStats reports hits and misses.
+//   - a bounded per-engine plan cache memoizing (bound query, options) →
+//     physical plan with LRU eviction (default capacity 256, see
+//     Engine.SetPlanCacheCapacity), so repeated queries skip translation and
+//     candidate enumeration; Engine.Analyze invalidates it,
+//     Engine.PlanCacheStats reports hits, misses, and evictions.
 //
 // Quickstart:
 //
@@ -85,6 +96,15 @@ const (
 	// OuterJoin is the relational repair: outerjoin followed by the
 	// NULL-aware nest ν*.
 	OuterJoin = core.StrategyOuterJoin
+)
+
+// Logical-alternative labels for Options.PinAlt and Result.Alt. Join-order
+// alternatives use the "order:…" labels shown in EXPLAIN's candidate table.
+const (
+	// AltBase is a strategy's translation as produced.
+	AltBase = planner.AltBase
+	// AltRewrite is the §6 rewrite fixpoint of a translation.
+	AltRewrite = planner.AltRewrite
 )
 
 // JoinImpl selects the physical join family.
