@@ -310,3 +310,50 @@ func BenchmarkB6RewriteSensitive(b *testing.B) {
 		benchOpts(b, eng2, nested, engine.Options{Parallelism: 1})
 	})
 }
+
+// --- B7: index-backed joins — persistent index probes vs per-query builds ---
+
+// BenchmarkB7IndexJoin measures the idxjoin family against the hash family
+// on the B1 semijoin shape: the persistent index on Y.d removes the
+// right-input drain and the per-query hash build, so idxjoin's advantage
+// grows with the inner relation. The mutated variant re-runs the query after
+// a sealed insert each iteration, measuring the per-table invalidation path
+// (replan + incremental index maintenance) end to end.
+func BenchmarkB7IndexJoin(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	for _, n := range []int{400, 2000} {
+		eng := xyzEngine(n, 5*n, 0)
+		if err := eng.CreateIndex("Y", "d"); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("hash/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplHash)
+		})
+		b.Run(fmt.Sprintf("idxjoin/n=%d", n), func(b *testing.B) {
+			benchQuery(b, eng, q, core.StrategyNestJoin, planner.ImplIndex)
+		})
+		b.Run(fmt.Sprintf("auto/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(q, engine.Options{Parallelism: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Joins != planner.ImplIndex && i == 0 {
+					b.Logf("note: auto picked %s, not idxjoin", res.Joins)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("idxjoin-mutating/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.InsertValue("Y", datagen.YRow(int64(i), int64(i%7), int64(i%5), int64(1_000_000+i))); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Query(q, engine.Options{Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -26,16 +26,24 @@
 //	                                candidate table: strategy × alternative
 //	                                × join family × degree under auto)
 //	\strategy auto|naive|nestjoin|kim|outerjoin
-//	\joins auto|nl|hash|merge
+//	\joins auto|nl|hash|merge|index
 //	\par <n>                      (0 = planner default, 1 = serial, n >= 2 = degree)
 //	\rewrite on|off               (pin / unpin the §6-rewritten alternative)
 //	\pin <label>|off              (pin a logical alternative by label)
-//	\cache                        (plan-cache statistics incl. evictions;
-//	                               \cache clear drops it, \cache cap <n>
-//	                               bounds the LRU capacity)
+//	\cache                        (plan-cache statistics incl. evictions and
+//	                               per-table invalidations; \cache clear
+//	                               drops it, \cache cap <n> bounds the LRU)
 //	\explain <query>               (alias of explain)
-//	\analyze                       (collect and show table statistics,
-//	                                invalidating the plan cache)
+//	\analyze                       (collect and show table statistics;
+//	                                per-table staleness means only mutated
+//	                                tables rescan)
+//	\insert <table> <tuple-expr>   (mutate a sealed table in place; plans and
+//	                                statistics for it — and only it — go
+//	                                stale via the table's mutation epoch)
+//	\delete <table> <var> WHERE <pred>
+//	\index <table> <attr>          (create a persistent hash index; idxjoin
+//	                                candidates then compete in planning —
+//	                                \index alone lists indexes)
 //	\tables
 //	\quit
 package main
@@ -60,7 +68,7 @@ func main() {
 		dbName   = flag.String("db", "company", "sample database: company | xyz | table1 | rs")
 		query    = flag.String("q", "", "run one query and exit")
 		strategy = flag.String("strategy", "auto", "auto | naive | nestjoin | kim | outerjoin")
-		joins    = flag.String("joins", "auto", "auto | nl | hash | merge")
+		joins    = flag.String("joins", "auto", "auto | nl | hash | merge | index")
 		par      = flag.Int("par", 0, "partitioned-execution degree (0 = planner default, 1 = serial)")
 		rewrite  = flag.Bool("rewrite", false, "pin the §6-rewritten logical alternative (the optimizer considers rewrites either way)")
 		pin      = flag.String("pin", "", "pin a logical alternative by candidate-table label (base | rewrite | order:…)")
@@ -130,6 +138,8 @@ func makeOptions(strategy, joins string) (engine.Options, error) {
 		opts.Joins = planner.ImplHash
 	case "merge":
 		opts.Joins = planner.ImplMerge
+	case "index", "idx":
+		opts.Joins = planner.ImplIndex
 	default:
 		return opts, fmt.Errorf("unknown join impl %q", joins)
 	}
@@ -192,7 +202,7 @@ func analyze(eng *engine.Engine) {
 
 func repl(eng *engine.Engine, opts engine.Options) {
 	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
-	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\rewrite, \\pin, \\cache, \\analyze, \\tables, \\quit\n", opts.Strategy)
+	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\rewrite, \\pin, \\cache, \\analyze, \\insert, \\delete, \\index, \\tables, \\quit\n", opts.Strategy)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -272,6 +282,64 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			fmt.Println(eng.PlanCacheStats())
 		case line == "\\analyze":
 			analyze(eng)
+		case strings.HasPrefix(line, "\\insert "):
+			args := strings.SplitN(strings.TrimSpace(strings.TrimPrefix(line, "\\insert ")), " ", 2)
+			if len(args) != 2 {
+				fmt.Println("usage: \\insert <table> <tuple-expr>   e.g. \\insert X (a = {1, 2}, b = 7)")
+				continue
+			}
+			added, err := eng.Insert(args[0], args[1])
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			case added:
+				fmt.Printf("inserted into %s (epoch advanced; plans/stats for it invalidated)\n", args[0])
+			default:
+				fmt.Printf("already present in %s (set semantics)\n", args[0])
+			}
+		case strings.HasPrefix(line, "\\delete "):
+			// \delete <table> <var> WHERE <pred>
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "\\delete "))
+			args := strings.SplitN(rest, " ", 3)
+			var pred string
+			if len(args) == 3 {
+				clause := strings.TrimSpace(args[2])
+				if w := strings.SplitN(clause, " ", 2); len(w) == 2 && strings.EqualFold(w[0], "WHERE") {
+					pred = strings.TrimSpace(w[1])
+				}
+			}
+			if pred == "" {
+				fmt.Println("usage: \\delete <table> <var> WHERE <pred>   e.g. \\delete X x WHERE x.b < 0")
+				continue
+			}
+			n, err := eng.Delete(args[0], args[1], pred)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("deleted %d tuples from %s\n", n, args[0])
+		case line == "\\index":
+			for _, name := range eng.DB().Names() {
+				tab, _ := eng.DB().Table(name)
+				for _, attr := range tab.IndexAttrs() {
+					if ix, ok := tab.Index(attr); ok {
+						fmt.Printf("%s(%s): %d keys, %d rows\n", name, attr, ix.Keys(), ix.Len())
+					} else {
+						fmt.Printf("%s(%s): stale (table unsealed)\n", name, attr)
+					}
+				}
+			}
+		case strings.HasPrefix(line, "\\index "):
+			args := strings.Fields(strings.TrimPrefix(line, "\\index "))
+			if len(args) != 2 {
+				fmt.Println("usage: \\index <table> <attr>  (\\index alone lists indexes)")
+				continue
+			}
+			if err := eng.CreateIndex(args[0], args[1]); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Printf("index created on %s(%s); idxjoin candidates now compete in planning\n", args[0], args[1])
 		case strings.HasPrefix(line, "\\explain "), strings.HasPrefix(line, "explain "):
 			q := strings.TrimPrefix(strings.TrimPrefix(line, "\\explain "), "explain ")
 			if err := runOne(eng, q, opts, true); err != nil {

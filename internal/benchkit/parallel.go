@@ -42,13 +42,24 @@ type ParallelBenchResult struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
 }
 
-// ParallelBenchReport is the BENCH_parallel.json payload.
+// ParallelBenchReport is the BENCH_parallel.json payload. GOMAXPROCS and
+// NumCPU record the hardware the numbers were measured on — consumers must
+// read them before trusting SpeedupVsSerial, since a single-core host cannot
+// convert partitioned execution into wall-clock speedup.
 type ParallelBenchReport struct {
-	GOMAXPROCS int                   `json:"gomaxprocs"`
-	NumCPU     int                   `json:"num_cpu"`
-	Quick      bool                  `json:"quick"`
-	Results    []ParallelBenchResult `json:"results"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	NumCPU     int  `json:"num_cpu"`
+	Quick      bool `json:"quick"`
+	// Warning is set when the measurement environment makes the speedup
+	// column misleading (one usable core → speedup ≈ 1× by construction).
+	Warning string                `json:"warning,omitempty"`
+	Results []ParallelBenchResult `json:"results"`
 }
+
+// singleCPUWarning is recorded in the artifact and printed whenever parallel
+// speedup is measured without real parallelism available.
+const singleCPUWarning = "measured with a single usable CPU: parallel speedup ≈ 1x is an artifact " +
+	"of the hardware, not the operators; re-run on a multi-core host for wall-clock effects"
 
 // parallelCase is one B-series workload in the serial-vs-parallel ablation.
 type parallelCase struct {
@@ -106,6 +117,9 @@ func RunParallelBench(quick bool, par int) (*ParallelBenchReport, error) {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Quick:      quick,
+	}
+	if report.GOMAXPROCS < 2 || report.NumCPU < 2 {
+		report.Warning = singleCPUWarning
 	}
 	for _, c := range parallelCases(quick) {
 		env := c.env(c.n)
@@ -180,5 +194,8 @@ func (r *ParallelBenchReport) Print(w io.Writer) {
 			fmt.Sprintf("%.2fx", res.SpeedupVsSerial))
 	}
 	out.Note("parallel results verified bit-identical to serial before measuring")
+	if r.Warning != "" {
+		out.Note("WARNING: %s", r.Warning)
+	}
 	out.Print(w)
 }

@@ -155,6 +155,15 @@ func XYZTypes() (x, y, z *types.Type) {
 	return
 }
 
+// YRow builds one Y tuple (see XYZTypes) — the shape mutation tests and
+// benchmarks insert into sealed Y tables.
+func YRow(a, b, c, d int64) value.Value {
+	return value.TupleOf(
+		value.F("a", value.Int(a)), value.F("b", value.Int(b)),
+		value.F("c", value.SetOf(value.Int(c))), value.F("d", value.Int(d)),
+	)
+}
+
 // XYZ builds the synthetic database. Keys are integers; a dangling X tuple
 // gets a key from a disjoint negative range so it matches nothing.
 func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {

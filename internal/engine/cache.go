@@ -3,6 +3,8 @@ package engine
 import (
 	"container/list"
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"tmdb/internal/tmql"
@@ -10,12 +12,24 @@ import (
 
 // planCache memoizes physical planning decisions per engine: the key is the
 // bound query (canonically formatted) plus every option that can change the
-// outcome, and the value is the fully resolved planned decision — chosen
-// strategy, logical alternative, join family, parallelism degree, plan,
-// cost, and the candidate table for EXPLAIN. Repeated queries therefore skip
-// translation, alternative generation, and costing entirely. Entries are
-// treated as immutable after insertion; Analyze invalidates the whole cache
-// because fresh statistics can change which candidate wins.
+// outcome plus the mutation-epoch vector of the referenced tables, and the
+// value is the fully resolved planned decision — chosen strategy, logical
+// alternative, join family, parallelism degree, plan, cost, and the
+// candidate table for EXPLAIN. Repeated queries therefore skip translation,
+// alternative generation, and costing entirely. Entries are treated as
+// immutable after insertion.
+//
+// Invalidation is per table, in two layers. The epoch vector in the key
+// makes entries self-invalidating: mutating a table advances its epoch, so
+// the next lookup of any query touching it builds a different key and
+// replans (an "epoch mismatch"), while queries over untouched tables keep
+// hitting. On top of that, invalidateTable proactively sweeps the entries
+// referencing a table — the engine calls it from its mutation entry points
+// so stale decisions don't linger in the LRU, and from CreateIndex, where
+// the data (and hence the epoch) is unchanged but new physical candidates
+// exist. Analyze no longer touches the cache at all: statistics are
+// epoch-tracked per table, so a cached plan and its statistics can only go
+// stale together.
 //
 // The cache is bounded: at most capacity entries are kept and the least
 // recently used entry is evicted on overflow, so long-running engines serving
@@ -25,23 +39,26 @@ import (
 // an explicit pin (Options.PinAlt, or the Options.Rewrite compatibility
 // override mapping to planner.AltRewrite) distinguishes cache entries.
 type planCache struct {
-	mu        sync.Mutex
-	capacity  int
-	entries   map[string]*list.Element
-	order     *list.List // front = most recently used
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	mu            sync.Mutex
+	capacity      int
+	entries       map[string]*list.Element
+	order         *list.List // front = most recently used
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
 }
 
 // DefaultPlanCacheCapacity bounds the plan cache unless overridden with
 // Engine.SetPlanCacheCapacity.
 const DefaultPlanCacheCapacity = 256
 
-// cacheEntry is one LRU node.
+// cacheEntry is one LRU node. tables records which extensions the plan
+// reads, so invalidateTable can sweep by table without parsing keys.
 type cacheEntry struct {
-	key string
-	pl  *planned
+	key    string
+	tables []string
+	pl     *planned
 }
 
 func newPlanCache() *planCache {
@@ -53,11 +70,17 @@ func newPlanCache() *planCache {
 }
 
 // cacheKey builds the memoization key for a bound query under the given
-// options and resolved parallelism degree. The pin component replaces the
-// pre-unified-optimizer rewrite boolean.
-func cacheKey(bound tmql.Expr, opts Options, par int) string {
-	return fmt.Sprintf("s=%d|j=%d|p=%d|pin=%s|%s",
-		opts.Strategy, opts.Joins, par, opts.pin(), tmql.Format(bound))
+// options, resolved parallelism degree, and the epoch vector of the tables
+// the query references (names sorted, so the rendering is deterministic).
+// The pin component replaces the pre-unified-optimizer rewrite boolean; the
+// epoch vector makes entries self-invalidating under mutation.
+func cacheKey(bound tmql.Expr, opts Options, par int, tables []string, epochs map[string]uint64) string {
+	var ev strings.Builder
+	for _, t := range tables {
+		fmt.Fprintf(&ev, "%s:%d,", t, epochs[t])
+	}
+	return fmt.Sprintf("s=%d|j=%d|p=%d|pin=%s|e=%s|%s",
+		opts.Strategy, opts.Joins, par, opts.pin(), ev.String(), tmql.Format(bound))
 }
 
 func (c *planCache) get(key string) (*planned, bool) {
@@ -73,7 +96,7 @@ func (c *planCache) get(key string) (*planned, bool) {
 	return el.Value.(*cacheEntry).pl, true
 }
 
-func (c *planCache) put(key string, pl *planned) {
+func (c *planCache) put(key string, tables []string, pl *planned) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
@@ -81,7 +104,7 @@ func (c *planCache) put(key string, pl *planned) {
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, pl: pl})
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, tables: tables, pl: pl})
 	for c.capacity > 0 && len(c.entries) > c.capacity {
 		last := c.order.Back()
 		if last == nil {
@@ -117,6 +140,34 @@ func (c *planCache) clear() {
 	c.order.Init()
 }
 
+// invalidateTable drops every cached decision whose plan reads the named
+// table — and only those — returning how many were dropped. The epoch vector
+// in the keys already prevents stale hits; the sweep reclaims the memory and
+// covers mutations that do not advance the epoch (index creation).
+func (c *planCache) invalidateTable(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ce := el.Value.(*cacheEntry)
+		if sliceContains(ce.tables, name) {
+			c.order.Remove(el)
+			delete(c.entries, ce.key)
+			dropped++
+			c.invalidations++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// sliceContains reports membership in a sorted table-name slice.
+func sliceContains(ss []string, s string) bool {
+	i := sort.SearchStrings(ss, s)
+	return i < len(ss) && ss[i] == s
+}
+
 // CacheStats reports plan-cache effectiveness.
 type CacheStats struct {
 	// Entries is the number of memoized plans; Capacity the LRU bound.
@@ -125,22 +176,26 @@ type CacheStats struct {
 	// the cache does not reset them). Evictions counts LRU displacements —
 	// a high rate signals the capacity is too small for the query mix.
 	Hits, Misses, Evictions uint64
+	// Invalidations counts entries dropped by per-table invalidation
+	// (mutations and index creation on the tables they reference).
+	Invalidations uint64
 }
 
 func (c *planCache) stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   len(c.entries),
-		Capacity:  c.capacity,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:       len(c.entries),
+		Capacity:      c.capacity,
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
 	}
 }
 
 // String renders the stats for the REPL's \cache command.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions",
-		s.Entries, s.Capacity, s.Hits, s.Misses, s.Evictions)
+	return fmt.Sprintf("plan cache: %d/%d entries, %d hits, %d misses, %d evictions, %d invalidations",
+		s.Entries, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations)
 }

@@ -36,10 +36,12 @@ import (
 type Engine struct {
 	cat *schema.Catalog
 	db  *storage.DB
-	// statsCat caches per-table statistics across queries; tables are
-	// immutable once sealed, so the cache never invalidates.
+	// statsCat caches per-table statistics across queries; staleness is
+	// tracked per table through storage mutation epochs, so mutating one
+	// table recollects only that table's figures (lazily, on next use).
 	statsCat *stats.Catalog
-	// cache memoizes (bound query, options) → physical planning decision.
+	// cache memoizes (bound query, options, table epochs) → physical
+	// planning decision, invalidated per table on mutation.
 	cache *planCache
 }
 
@@ -60,13 +62,15 @@ func (e *Engine) DB() *storage.DB { return e.db }
 func (e *Engine) Stats() *stats.Catalog { return e.statsCat }
 
 // Analyze eagerly collects statistics for every table (the ANALYZE entry
-// point) and returns the engine's catalog. It invalidates the plan cache:
-// refreshed statistics can change which candidate plan wins.
+// point) and returns the engine's catalog. Tables whose statistics are
+// already current (their mutation epoch is unchanged) are not rescanned, and
+// the plan cache is left alone: cached plans carry the epoch vector of their
+// tables, so a plan and the statistics it was costed with can only go stale
+// together — per table, on mutation.
 func (e *Engine) Analyze() *stats.Catalog {
 	for _, name := range e.db.Names() {
 		e.statsCat.Table(name)
 	}
-	e.cache.clear()
 	return e.statsCat
 }
 
@@ -246,11 +250,22 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 }
 
 // plan resolves Options into a concrete (plan, strategy, join family,
-// degree), consulting the plan cache first. The reported bool is true on a
-// cache hit.
+// degree), consulting the plan cache first. The cache key carries the
+// mutation-epoch vector of the tables the query references, so a cached
+// decision is served only while every one of its tables is unchanged — a
+// mutated table shows a different epoch, the key misses, and the query
+// replans against fresh statistics. The reported bool is true on a cache
+// hit.
 func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, bool, error) {
 	par := resolveParallelism(opts.Parallelism, opts.Strategy == core.StrategyAuto)
-	key := cacheKey(bound, opts, par)
+	tables := tmql.Tables(bound)
+	epochs := make(map[string]uint64, len(tables))
+	for _, name := range tables {
+		if t, ok := e.db.Table(name); ok {
+			epochs[name] = t.Epoch()
+		}
+	}
+	key := cacheKey(bound, opts, par, tables, epochs)
 	if pl, ok := e.cache.get(key); ok {
 		return pl, true, nil
 	}
@@ -258,7 +273,7 @@ func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	e.cache.put(key, pl)
+	e.cache.put(key, tables, pl)
 	return pl, false, nil
 }
 

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"fmt"
+
+	"tmdb/internal/eval"
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// Mutation entry points. The storage layer already advances a table's epoch
+// on every mutation — which self-invalidates cached plans (the epoch vector
+// in the cache key changes) and statistics (the stats catalog recollects a
+// table whose epoch advanced). The engine wrappers additionally sweep the
+// plan cache's entries for the mutated table so stale decisions do not
+// occupy LRU capacity, and give the REPL and embedders a typed, typechecked
+// surface: literals are parsed, bound, and evaluated with the naive
+// evaluator; delete predicates are bound against the table's element type
+// and evaluated over a snapshot (never under the table's lock, so predicates
+// may freely subquery any table, including the one being mutated).
+
+// InsertValue inserts one tuple into a sealed table, reporting whether it
+// was actually added (false: already present, set semantics). Cached plans
+// and statistics for that table — and only that table — invalidate.
+func (e *Engine) InsertValue(table string, v value.Value) (bool, error) {
+	tab, ok := e.db.Table(table)
+	if !ok {
+		return false, fmt.Errorf("engine: unknown table %s", table)
+	}
+	added, err := tab.InsertSealed(v)
+	if added {
+		e.cache.invalidateTable(table)
+	}
+	return added, err
+}
+
+// Insert parses src as a closed TM expression (typically a tuple
+// constructor), evaluates it, and inserts the value into the table.
+func (e *Engine) Insert(table, src string) (bool, error) {
+	expr, err := tmql.Parse(src)
+	if err != nil {
+		return false, err
+	}
+	bound, err := tmql.NewBinder(e.cat).Bind(expr)
+	if err != nil {
+		return false, err
+	}
+	v, err := eval.New(e.db).Eval(bound)
+	if err != nil {
+		return false, err
+	}
+	return e.InsertValue(table, v)
+}
+
+// DeleteValue deletes one tuple (by value equality) from a sealed table,
+// reporting whether it was present.
+func (e *Engine) DeleteValue(table string, v value.Value) (bool, error) {
+	tab, ok := e.db.Table(table)
+	if !ok {
+		return false, fmt.Errorf("engine: unknown table %s", table)
+	}
+	removed, err := tab.Delete(v)
+	if removed {
+		e.cache.invalidateTable(table)
+	}
+	return removed, err
+}
+
+// Delete removes every tuple of the table satisfying the predicate, with
+// varName bound to the candidate tuple (e.g. Delete("EMP", "e",
+// "e.sal > 4000")). It returns the number of tuples removed. The predicate
+// is evaluated over a snapshot of the rows first and the victims deleted in
+// one batch, so it may contain subqueries over any table.
+func (e *Engine) Delete(table, varName, predSrc string) (int, error) {
+	tab, ok := e.db.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown table %s", table)
+	}
+	expr, err := tmql.Parse(predSrc)
+	if err != nil {
+		return 0, err
+	}
+	elem, err := e.cat.ElementType(table)
+	if err != nil {
+		elem = tab.ElemType()
+	}
+	pred, err := tmql.NewBinder(e.cat).BindIn(expr, tmql.VarBinding{Name: varName, Type: elem})
+	if err != nil {
+		return 0, err
+	}
+	if !types.AssignableTo(pred.Type(), types.Bool) {
+		return 0, fmt.Errorf("engine: delete predicate must be BOOL, got %s", pred.Type())
+	}
+	ev := eval.New(e.db)
+	var victims []value.Value
+	for _, row := range tab.Rows() {
+		env := (*eval.Env)(nil).Bind(varName, row)
+		v, err := ev.EvalEnv(pred, env)
+		if err != nil {
+			return 0, err
+		}
+		if v.Kind() != value.KindBool {
+			return 0, fmt.Errorf("engine: delete predicate yielded %s, not BOOL", v)
+		}
+		if v.AsBool() {
+			victims = append(victims, row)
+		}
+	}
+	n, err := tab.DeleteRows(victims)
+	if n > 0 {
+		e.cache.invalidateTable(table)
+	}
+	return n, err
+}
+
+// CreateIndex registers (and builds) a persistent equi-key hash index on
+// table.attr. The data is unchanged — statistics stay valid — but new
+// physical candidates (the idxjoin family) now exist, so cached plans
+// reading the table are invalidated to let the optimizer reconsider.
+func (e *Engine) CreateIndex(table, attr string) error {
+	if err := e.db.CreateIndex(table, attr); err != nil {
+		return err
+	}
+	e.cache.invalidateTable(table)
+	return nil
+}

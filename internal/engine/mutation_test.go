@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// Queries for the per-table invalidation tests: one touching X and Y, one
+// touching only Z.
+const (
+	xyQ = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	zQ  = `SELECT z.c FROM Z z WHERE z.d = 1`
+)
+
+// TestMutationInvalidatesPerTable is the acceptance test for per-table plan
+// cache invalidation: after mutating Y, the cached plan for the X⋈Y query is
+// discarded (epoch mismatch — the next lookup misses and the swept entry is
+// gone), while the Z-only query keeps hitting, and results track the new
+// data.
+func TestMutationInvalidatesPerTable(t *testing.T) {
+	eng := xyzEngine(t)
+	if _, err := eng.Query(xyQ, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Query(zQ, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.PlanCacheStats(); st.Entries != 2 {
+		t.Fatalf("precondition: %+v", st)
+	}
+
+	// Mutate Y: insert a row whose d-value matches no current X.b, then one
+	// that matches every dangling X row? No — keep it surgical: a fresh key.
+	added, err := eng.Insert("Y", `(a = 2, b = 7, c = {1}, d = 424242)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Fatal("insert reported a duplicate")
+	}
+
+	// The swept entry is gone; only the Z entry remains.
+	st := eng.PlanCacheStats()
+	if st.Entries != 1 {
+		t.Errorf("after mutating Y: %d entries, want 1 (X⋈Y swept)", st.Entries)
+	}
+	if st.Invalidations == 0 {
+		t.Error("no invalidations recorded")
+	}
+
+	resXY, err := eng.Query(xyQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resXY.CacheHit {
+		t.Error("query over the mutated table must replan (epoch mismatch)")
+	}
+	resZ, err := eng.Query(zQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resZ.CacheHit {
+		t.Error("query over the untouched table must stay cached")
+	}
+
+	// Correctness across the mutation: the replanned result matches naive.
+	oracle, err := eng.Query(xyQ, Options{Strategy: core.StrategyNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Key(resXY.Value) != value.Key(oracle.Value) {
+		t.Error("replanned result differs from naive oracle after mutation")
+	}
+}
+
+// TestMutationRefreshesStatsLazily: the engine's statistics catalog
+// recollects exactly the mutated table, reflected in the cardinalities the
+// cost model sees.
+func TestMutationRefreshesStatsLazily(t *testing.T) {
+	eng := xyzEngine(t)
+	cardY := eng.Stats().Table("Y").Card
+	zBefore := eng.Stats().Table("Z")
+
+	if _, err := eng.Insert("Y", `(a = 2, b = 7, c = {1}, d = 555555)`); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Stats().Table("Y").Card; got != cardY+1 {
+		t.Errorf("Y Card after insert = %d, want %d", got, cardY+1)
+	}
+	if eng.Stats().Table("Z") != zBefore {
+		t.Error("Z statistics recollected although Z never mutated")
+	}
+
+	n, err := eng.Delete("Y", "y", "y.d = 555555")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("deleted %d rows, want 1", n)
+	}
+	if got := eng.Stats().Table("Y").Card; got != cardY {
+		t.Errorf("Y Card after delete = %d, want %d", got, cardY)
+	}
+}
+
+// TestMutationEntryPointErrors pins the typed surface: unknown tables,
+// ill-typed tuples, and non-boolean predicates are rejected.
+func TestMutationEntryPointErrors(t *testing.T) {
+	eng := xyzEngine(t)
+	if _, err := eng.Insert("GHOST", `(a = 1)`); err == nil {
+		t.Error("insert into unknown table must fail")
+	}
+	if _, err := eng.Insert("Y", `(totally = "wrong")`); err == nil {
+		t.Error("ill-typed insert must fail")
+	}
+	if _, err := eng.Delete("Y", "y", "y.d + 1"); err == nil {
+		t.Error("non-boolean delete predicate must fail")
+	}
+	if _, err := eng.Delete("GHOST", "g", "true"); err == nil {
+		t.Error("delete from unknown table must fail")
+	}
+	if err := eng.CreateIndex("GHOST", "d"); err == nil {
+		t.Error("index on unknown table must fail")
+	}
+	if err := eng.CreateIndex("Y", "nope"); err == nil {
+		t.Error("index on unknown attribute must fail")
+	}
+}
+
+// TestIndexBackedJoinChosen is the acceptance test for index-aware planning:
+// after CreateIndex, EXPLAIN lists an idxjoin candidate, the optimizer picks
+// it (statistics favor skipping the build pass), execution matches the naive
+// oracle, and a subsequent mutation still keeps everything consistent.
+func TestIndexBackedJoinChosen(t *testing.T) {
+	eng := xyzEngine(t)
+	before, err := eng.Query(xyQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Joins == planner.ImplIndex {
+		t.Fatal("idxjoin chosen without an index")
+	}
+
+	if err := eng.CreateIndex("Y", "d"); err != nil {
+		t.Fatal(err)
+	}
+	// CreateIndex does not change the data, but it must invalidate cached
+	// plans for Y so the new physical candidate competes.
+	res, err := eng.Query(xyQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("CreateIndex must invalidate cached plans for the table")
+	}
+	if res.Joins != planner.ImplIndex {
+		t.Errorf("optimizer chose %s, want idxjoin", res.Joins)
+	}
+	out, err := eng.Explain(xyQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "joins=idxjoin") || !strings.Contains(out, "idxjoin") {
+		t.Errorf("EXPLAIN misses the idxjoin choice:\n%s", out)
+	}
+	if !strings.Contains(out, "Idx") || !strings.Contains(out, "using Y(d)") {
+		t.Errorf("EXPLAIN misses the index operator rendering:\n%s", out)
+	}
+
+	oracle, err := eng.Query(xyQ, Options{Strategy: core.StrategyNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Key(res.Value) != value.Key(oracle.Value) {
+		t.Error("idxjoin result differs from naive oracle")
+	}
+
+	// Mutate through the index: insert a matching partner for a dangling X
+	// row and re-check conformance end to end.
+	if _, err := eng.Insert("Y", `(a = 2, b = 1, c = {1}, d = 0 - 1)`); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Query(xyQ, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle2, err := eng.Query(xyQ, Options{Strategy: core.StrategyNaive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Key(after.Value) != value.Key(oracle2.Value) {
+		t.Error("idxjoin result stale after mutation")
+	}
+	if value.Key(after.Value) == value.Key(oracle.Value) {
+		t.Log("note: mutation did not change the result set (data-dependent); conformance still verified")
+	}
+
+	// The fixed idxjoin family is also directly selectable.
+	fixed, err := eng.Query(xyQ, Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplIndex})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if value.Key(fixed.Value) != value.Key(oracle2.Value) {
+		t.Error("fixed idxjoin result differs from naive oracle")
+	}
+}
+
+// TestDatagenNeverMutates guards the XYZ generator contract used above: the
+// insert literals must stay type-compatible with the generated schema.
+func TestDatagenMutationLiteralShape(t *testing.T) {
+	cat, db := datagen.XYZ(datagen.Spec{NX: 5, NY: 5, NZ: 5, Keys: 2, DanglingFrac: 0, SetAttrCard: 2, Seed: 1})
+	eng := New(cat, db)
+	if _, err := eng.Insert("Y", `(a = 4, b = 1, c = {3}, d = 2)`); err != nil {
+		t.Fatalf("generator schema drifted from the test literals: %v", err)
+	}
+}

@@ -152,12 +152,16 @@ func Strategies() []core.Strategy {
 }
 
 // JoinImpls returns every physical join family the harness exercises.
+// ImplIndex runs everywhere: without registered indexes it is the auto
+// fallback (exercising the fallback path), with them it probes persistent
+// indexes — both must agree with the oracle.
 func JoinImpls() []planner.JoinImpl {
 	return []planner.JoinImpl{
 		planner.ImplAuto,
 		planner.ImplNestedLoop,
 		planner.ImplHash,
 		planner.ImplMerge,
+		planner.ImplIndex,
 	}
 }
 

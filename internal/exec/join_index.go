@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"fmt"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/storage"
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+// Index-backed join operators: the right operand is a stored table with a
+// persistent hash index on the join-key attribute (storage.Table.CreateIndex),
+// so there is no build phase at all — each left row evaluates its key and
+// probes the index's bucket directly. This is the physical family behind
+// planner.ImplIndex ("idxjoin"): it wins over the per-query hash build
+// whenever the index exists, because the right input is never drained.
+//
+// Like the hash family, the probing side is the left operand — §6's
+// restriction for the nest join (output grouped by left elements) is
+// trivially preserved. Residual predicates (the non-indexed remainder of the
+// join condition, including extra equi-key pairs) are re-checked per bucket
+// candidate.
+
+// indexProbeSide resolves the table's live index at Open and evaluates the
+// left key per row; shared by IndexJoin and IndexNestJoin.
+type indexProbeSide struct {
+	ctx         *Ctx
+	table, attr string
+	lvar        string
+	lkey        tmql.Expr
+	ix          *storage.HashIndex
+}
+
+func (s *indexProbeSide) open() error {
+	t, ok := s.ctx.DB.Table(s.table)
+	if !ok {
+		return fmt.Errorf("exec: unknown table %s", s.table)
+	}
+	ix, ok := t.Index(s.attr)
+	if !ok {
+		return fmt.Errorf("exec: no live index on %s.%s (table unsealed or index dropped since planning)",
+			s.table, s.attr)
+	}
+	s.ix = ix
+	return nil
+}
+
+// bucket returns the index bucket matching the left row's key.
+func (s *indexProbeSide) bucket(l value.Value) ([]value.Value, error) {
+	k, err := s.ctx.evalIn(s.lkey, env1(s.lvar, l))
+	if err != nil {
+		return nil, err
+	}
+	return s.ix.Lookup(k), nil
+}
+
+// IndexJoin is the index-backed implementation of the flat join family
+// (inner, semi, anti, left-outer) on an equi-key with a persistent index.
+type IndexJoin struct {
+	Ctx  *Ctx
+	Kind algebra.JoinKind
+	L    Iterator
+	// Table and Attr name the right side: the indexed stored table and its
+	// indexed attribute.
+	Table, Attr string
+	LVar, RVar  string
+	// LKey is the probe-key expression over LVar (the left half of the
+	// equi-key pair the index covers).
+	LKey tmql.Expr
+	// Residual is the remaining predicate (may be nil).
+	Residual tmql.Expr
+	// RElem is required for the outer join's NULL padding.
+	RElem *types.Type
+
+	probe   indexProbeSide
+	cur     value.Value
+	bucket  []value.Value
+	bi      int
+	matched bool
+	state   nlState
+	pad     value.Value
+}
+
+// Open resolves the index and opens the left input. The right table is never
+// scanned.
+func (j *IndexJoin) Open() error {
+	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, attr: j.Attr, lvar: j.LVar, lkey: j.LKey}
+	if err := j.probe.open(); err != nil {
+		return err
+	}
+	if j.Kind == algebra.JoinLeftOuter {
+		if j.RElem == nil {
+			return fmt.Errorf("exec: outer IndexJoin needs RElem for NULL padding")
+		}
+		j.pad = nullTuple(j.RElem)
+	}
+	j.state = nlNeedLeft
+	return j.L.Open()
+}
+
+// Next produces the next output tuple.
+func (j *IndexJoin) Next() (value.Value, bool, error) {
+	for {
+		switch j.state {
+		case nlDone:
+			return value.Value{}, false, nil
+		case nlNeedLeft:
+			l, ok, err := j.L.Next()
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			if !ok {
+				j.state = nlDone
+				return value.Value{}, false, nil
+			}
+			j.cur = l
+			j.bucket, err = j.probe.bucket(l)
+			if err != nil {
+				return value.Value{}, false, err
+			}
+			j.bi = 0
+			j.matched = false
+			switch j.Kind {
+			case algebra.JoinSemi, algebra.JoinAnti:
+				m, err := probeAnyBucket(j.Ctx, j.cur, j.bucket, j.LVar, j.RVar, j.Residual)
+				if err != nil {
+					return value.Value{}, false, err
+				}
+				if m == (j.Kind == algebra.JoinSemi) {
+					return j.cur, true, nil
+				}
+				continue
+			default:
+				j.state = nlScanRight
+			}
+		case nlScanRight:
+			for j.bi < len(j.bucket) {
+				r := j.bucket[j.bi]
+				j.bi++
+				if j.Residual != nil {
+					ok, err := j.Ctx.evalPred(j.Residual, env2(j.LVar, j.cur, j.RVar, r))
+					if err != nil {
+						return value.Value{}, false, err
+					}
+					if !ok {
+						continue
+					}
+				}
+				j.matched = true
+				return j.cur.Concat(r), true, nil
+			}
+			j.state = nlNeedLeft
+			if j.Kind == algebra.JoinLeftOuter && !j.matched {
+				return j.cur.Concat(j.pad), true, nil
+			}
+		}
+	}
+}
+
+// Close releases the bucket and closes the left input.
+func (j *IndexJoin) Close() error {
+	j.probe.ix = nil
+	j.bucket = nil
+	return j.L.Close()
+}
+
+// IndexNestJoin is the index-backed implementation of the nest join: each
+// left element probes the persistent index, applies the join function to
+// qualifying candidates, and emits one output tuple carrying the whole group
+// (§6's grouping restriction, trivially satisfied — no build table needed).
+type IndexNestJoin struct {
+	Ctx         *Ctx
+	L           Iterator
+	Table, Attr string
+	LVar, RVar  string
+	LKey        tmql.Expr
+	Residual    tmql.Expr
+	Fn          tmql.Expr
+	Label       string
+
+	probe indexProbeSide
+}
+
+// Open resolves the index and opens the left input.
+func (j *IndexNestJoin) Open() error {
+	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, attr: j.Attr, lvar: j.LVar, lkey: j.LKey}
+	if err := j.probe.open(); err != nil {
+		return err
+	}
+	return j.L.Open()
+}
+
+// Next emits the next left element extended with its group.
+func (j *IndexNestJoin) Next() (value.Value, bool, error) {
+	l, ok, err := j.L.Next()
+	if err != nil || !ok {
+		return value.Value{}, false, err
+	}
+	bucket, err := j.probe.bucket(l)
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	group, err := nestGroup(j.Ctx, l, bucket, j.LVar, j.RVar, j.Residual, j.Fn)
+	if err != nil {
+		return value.Value{}, false, err
+	}
+	return l.Extend(j.Label, group), true, nil
+}
+
+// Close releases the index reference and closes the left input.
+func (j *IndexNestJoin) Close() error {
+	j.probe.ix = nil
+	return j.L.Close()
+}

@@ -97,6 +97,12 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 		implsHere := impls
 		if !hasJoinFamily(sp.Plan) {
 			implsHere = []JoinImpl{ImplAuto}
+		} else if fixed == ImplAuto && e.HasIndexProbe(sp.Plan) {
+			// A live persistent index can serve at least one join of this
+			// plan: the idxjoin family joins the enumeration (it skips the
+			// right-input drain and build pass where the index applies and
+			// falls back to the auto mapping elsewhere).
+			implsHere = append(append([]JoinImpl{}, implsHere...), ImplIndex)
 		}
 		alt := sp.Alt
 		if alt == "" {
@@ -134,7 +140,9 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 
 // Parallelizable reports whether the plan contains a join-family operator
 // that the given implementation choice would compile to a partitioned
-// parallel operator at degrees >= 2. The decision reuses the same
+// parallel operator at degrees >= 2. The idxjoin family is deliberately
+// serial: index probes have no build pass to partition, so ImplIndex plans
+// report false and run at degree 1. The decision reuses the same
 // implementation-resolution rules Compile applies — effectiveJoinImpl plus
 // the flat-join merge→hash lowering — so the chooser, the EXPLAIN renderer,
 // and compilation cannot drift apart. The engine uses it to report an
@@ -167,7 +175,8 @@ func Parallelizable(p algebra.Plan, impl JoinImpl) bool {
 // ImplInfeasible reports why a plan cannot be compiled under the given join
 // implementation ("" when it can): the hash and sort-merge families require
 // an extractable equi-key on every join-family operator, mirroring the
-// errors Compile would raise.
+// errors Compile would raise. The idxjoin family is always feasible — an
+// operator without a usable index falls back to the auto mapping.
 func ImplInfeasible(p algebra.Plan, impl JoinImpl) string {
 	if impl != ImplHash && impl != ImplMerge {
 		return ""
@@ -229,13 +238,34 @@ func (e *Estimator) ExplainPhysicalPar(p algebra.Plan, impl JoinImpl, par int) s
 	walk = func(n algebra.Plan, depth int) {
 		c := e.EstimatePhysicalPar(n, impl, par)
 		b.WriteString(strings.Repeat("  ", depth))
-		fmt.Fprintf(&b, "%s  (%s)\n", PhysicalDescribePar(n, impl, par), c)
+		fmt.Fprintf(&b, "%s  (%s)\n", e.physicalDescribePar(n, impl, par), c)
 		for _, ch := range n.Children() {
 			walk(ch, depth+1)
 		}
 	}
 	walk(p, 0)
 	return b.String()
+}
+
+// physicalDescribePar is the estimator-aware operator naming: under the
+// idxjoin family it consults the index registry to render index-served
+// operators as "Idx…" with the probed index, and names the auto fallback
+// for the rest; other families delegate to PhysicalDescribePar.
+func (e *Estimator) physicalDescribePar(n algebra.Plan, impl JoinImpl, par int) string {
+	if impl != ImplIndex {
+		return PhysicalDescribePar(n, impl, par)
+	}
+	switch j := n.(type) {
+	case *algebra.Join:
+		if pr, ok := e.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar); ok {
+			return fmt.Sprintf("Idx%s using %s(%s)", j.Describe(), pr.Table, pr.Attr)
+		}
+	case *algebra.NestJoin:
+		if pr, ok := e.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar); ok {
+			return fmt.Sprintf("Idx%s using %s(%s)", j.Describe(), pr.Table, pr.Attr)
+		}
+	}
+	return PhysicalDescribePar(n, ImplAuto, par)
 }
 
 // PhysicalDescribe names the physical operator a logical node compiles to

@@ -161,14 +161,6 @@ func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int) Cost {
 		matches = l.Rows * r.Rows * defaultSelectivity
 	}
 
-	// Flat joins have no merge variant: Compile lowers ImplMerge to hash, so
-	// cost what actually runs.
-	joinImpl := impl
-	if joinImpl == ImplMerge {
-		joinImpl = ImplHash
-	}
-	probe := e.joinProbeWork(l.Rows, r.Rows, matches, joinImpl, hashable, par)
-
 	dang := e.danglingFrac(n.L, n.LVar, lk, n.R, n.RVar, rk)
 	rows := matches
 	switch n.Kind {
@@ -181,6 +173,24 @@ func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int) Cost {
 			rows = l.Rows
 		}
 	}
+
+	// An index-served operator never drains the right input: the persistent
+	// index pre-exists, so neither the right subtree's work nor a build pass
+	// is paid — only the per-left-row probe and the emitted matches.
+	if impl == ImplIndex {
+		if _, ok := FindIndexProbe(n.R, n.RVar, rk, e.statsHasIndex); ok {
+			return Cost{Rows: rows, Work: l.Work + l.Rows + matches}
+		}
+	}
+
+	// Flat joins have no merge variant: Compile lowers ImplMerge to hash, so
+	// cost what actually runs. An idxjoin operator without a usable index
+	// falls back to the auto mapping, exactly as Compile does.
+	joinImpl := impl
+	if joinImpl == ImplMerge || joinImpl == ImplIndex {
+		joinImpl = ImplHash
+	}
+	probe := e.joinProbeWork(l.Rows, r.Rows, matches, joinImpl, hashable, par)
 	return Cost{Rows: rows, Work: l.Work + r.Work + probe}
 }
 
@@ -195,8 +205,14 @@ func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl, par int
 	} else {
 		matches = l.Rows * r.Rows * defaultSelectivity
 	}
-	probe := e.joinProbeWork(l.Rows, r.Rows, matches, impl, hashable, par)
 	// One output tuple per left element, always (dangling survive with ∅).
+	if impl == ImplIndex {
+		if _, ok := FindIndexProbe(n.R, n.RVar, rk, e.statsHasIndex); ok {
+			return Cost{Rows: l.Rows, Work: l.Work + l.Rows + matches}
+		}
+		impl = ImplAuto // no usable index: costed as Compile's fallback
+	}
+	probe := e.joinProbeWork(l.Rows, r.Rows, matches, impl, hashable, par)
 	return Cost{Rows: l.Rows, Work: l.Work + r.Work + probe}
 }
 

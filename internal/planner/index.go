@@ -1,0 +1,119 @@
+package planner
+
+import (
+	"tmdb/internal/algebra"
+	"tmdb/internal/tmql"
+)
+
+// Index-aware planning support. A join-family operator can be served by a
+// persistent table index (storage.Table.CreateIndex) when its right operand
+// is a direct scan and one of its equi-key pairs addresses an indexed
+// top-level attribute of that scan: the operator then probes the index per
+// left row instead of draining the right input and building a hash table.
+// The shape test is shared between compilation (which asks the storage layer
+// whether the index is live) and costing (which asks the statistics catalog),
+// so the chooser, EXPLAIN, and the compiled operators cannot drift apart.
+
+// IndexProbe names the persistent index serving a join-family operator's
+// right operand, and which equi-key pair it covers.
+type IndexProbe struct {
+	// Table and Attr identify the index: the scanned extension and the
+	// indexed top-level attribute.
+	Table, Attr string
+	// Pair is the position of the covered equi-key pair in the
+	// ExtractEquiKeys lists; the remaining pairs are re-checked as
+	// residual predicates.
+	Pair int
+}
+
+// FindIndexProbe reports how the right operand r (iterated as rvar, with
+// right-side equi-key expressions rk) can be probed through a persistent
+// index. has answers whether an index is registered and live on a
+// (table, attribute) pair — the storage registry at compile time, the
+// statistics catalog at costing time.
+func FindIndexProbe(r algebra.Plan, rvar string, rk []tmql.Expr, has func(table, attr string) bool) (IndexProbe, bool) {
+	s, ok := r.(*algebra.Scan)
+	if !ok {
+		return IndexProbe{}, false
+	}
+	for i, k := range rk {
+		fs, ok := k.(*tmql.FieldSel)
+		if !ok {
+			continue
+		}
+		v, ok := fs.X.(*tmql.Var)
+		if !ok || v.Name != rvar {
+			continue
+		}
+		if has(s.Table, fs.Label) {
+			return IndexProbe{Table: s.Table, Attr: fs.Label, Pair: i}, true
+		}
+	}
+	return IndexProbe{}, false
+}
+
+// indexResidual folds the equi-key pairs not covered by the index probe back
+// into the residual predicate: the probe narrows candidates to one bucket,
+// and everything else is re-checked per candidate.
+func indexResidual(lk, rk []tmql.Expr, pair int, residual tmql.Expr) tmql.Expr {
+	var parts []tmql.Expr
+	for i := range lk {
+		if i != pair {
+			parts = append(parts, &tmql.Binary{Op: tmql.OpEq, L: lk[i], R: rk[i]})
+		}
+	}
+	if residual != nil {
+		parts = append(parts, residual)
+	}
+	return tmql.JoinAnd(parts)
+}
+
+// hasIndex reports whether a live persistent index exists on table.attr in
+// the planner's execution context.
+func (p *Planner) hasIndex(table, attr string) bool {
+	if p.ctx == nil || p.ctx.DB == nil {
+		return false
+	}
+	t, ok := p.ctx.DB.Table(table)
+	if !ok {
+		return false
+	}
+	_, ok = t.Index(attr)
+	return ok
+}
+
+// statsHasIndex is the costing-side index oracle, backed by the statistics
+// catalog (which consults the storage registry's O(1) counters).
+func (e *Estimator) statsHasIndex(table, attr string) bool {
+	_, ok := e.stats.IndexKeys(table, attr)
+	return ok
+}
+
+// indexProbeFor resolves the index probe for a join-family node at costing
+// time: the node's equi-keys against the statistics catalog's index view.
+func (e *Estimator) indexProbeFor(r algebra.Plan, rvar string, pred tmql.Expr, lvar string) (IndexProbe, bool) {
+	_, rk, _ := ExtractEquiKeys(pred, lvar, rvar)
+	return FindIndexProbe(r, rvar, rk, e.statsHasIndex)
+}
+
+// HasIndexProbe reports whether any join-family operator in the plan can be
+// served by a live persistent index — the condition under which Choose adds
+// the idxjoin family to the candidate enumeration.
+func (e *Estimator) HasIndexProbe(p algebra.Plan) bool {
+	switch j := p.(type) {
+	case *algebra.Join:
+		if _, ok := e.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar); ok {
+			return true
+		}
+	case *algebra.NestJoin:
+		if _, ok := e.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar); ok {
+			return true
+		}
+	}
+	for _, ch := range p.Children() {
+		if e.HasIndexProbe(ch) {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,13 @@ const (
 	ImplNestedLoop
 	ImplHash
 	ImplMerge // nest join only; others fall back to hash
+	// ImplIndex probes a table's persistent hash index (see
+	// storage.Table.CreateIndex) instead of building a per-query hash table:
+	// join-family operators whose right operand is a direct scan of an
+	// indexed equi-key attribute compile to IndexJoin/IndexNestJoin, skipping
+	// the build pass entirely; operators without a usable index fall back to
+	// the auto mapping (hash when an equi-key exists, else nested loops).
+	ImplIndex
 )
 
 // String names the implementation choice.
@@ -38,6 +45,8 @@ func (ji JoinImpl) String() string {
 		return "hash"
 	case ImplMerge:
 		return "sort-merge"
+	case ImplIndex:
+		return "idxjoin"
 	}
 	return "impl?"
 }
@@ -133,11 +142,24 @@ func (p *Planner) compileJoin(n *algebra.Join) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	if p.opts.Joins == ImplIndex {
+		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.hasIndex); ok {
+			return &exec.IndexJoin{
+				Ctx: p.ctx, Kind: n.Kind, L: l,
+				Table: pr.Table, Attr: pr.Attr,
+				LVar: n.LVar, RVar: n.RVar,
+				LKey:     lk[pr.Pair],
+				Residual: indexResidual(lk, rk, pr.Pair, residual),
+				RElem:    n.R.Elem(),
+			}, nil
+		}
+		// No usable index on this operator: auto fallback below.
+	}
 	r, err := p.Compile(n.R)
 	if err != nil {
 		return nil, err
 	}
-	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	useHash := len(lk) > 0
 	switch p.opts.Joins {
 	case ImplNestedLoop:
@@ -174,12 +196,25 @@ func (p *Planner) compileNestJoin(n *algebra.NestJoin) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
+	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	impl := p.opts.Joins
+	if impl == ImplIndex {
+		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.hasIndex); ok {
+			return &exec.IndexNestJoin{
+				Ctx: p.ctx, L: l,
+				Table: pr.Table, Attr: pr.Attr,
+				LVar: n.LVar, RVar: n.RVar,
+				LKey:     lk[pr.Pair],
+				Residual: indexResidual(lk, rk, pr.Pair, residual),
+				Fn:       n.Fn, Label: n.Label,
+			}, nil
+		}
+		impl = ImplAuto // no usable index on this operator
+	}
 	r, err := p.Compile(n.R)
 	if err != nil {
 		return nil, err
 	}
-	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
-	impl := p.opts.Joins
 	if impl == ImplAuto {
 		if len(lk) > 0 {
 			impl = ImplHash

@@ -101,7 +101,10 @@ func TestHistogramEqEstimatesWithinBounds(t *testing.T) {
 
 func TestHistogramRangeEstimate(t *testing.T) {
 	db := storage.NewDB()
-	tab := db.MustCreate("T", nil)
+	tab := db.MustCreate("T", types.Tuple(
+		types.F("k", types.Int),
+		types.F("pad", types.Int),
+	))
 	for i := 0; i < 1000; i++ {
 		tab.MustInsert(value.TupleOf(
 			value.F("k", value.Int(int64(i))),
@@ -160,7 +163,10 @@ func TestHistogramEmptyTable(t *testing.T) {
 
 func TestHistogramSingleValueColumn(t *testing.T) {
 	db := storage.NewDB()
-	tab := db.MustCreate("S", nil)
+	tab := db.MustCreate("S", types.Tuple(
+		types.F("k", types.Int),
+		types.F("u", types.Int),
+	))
 	for i := 0; i < 300; i++ {
 		tab.MustInsert(value.TupleOf(
 			value.F("k", value.Int(42)),
@@ -186,7 +192,7 @@ func TestHistogramSingleValueColumn(t *testing.T) {
 func TestHistogramAllDistinctColumn(t *testing.T) {
 	const n = 2000
 	db := storage.NewDB()
-	tab := db.MustCreate("D", nil)
+	tab := db.MustCreate("D", types.Tuple(types.F("k", types.String)))
 	for i := 0; i < n; i++ {
 		tab.MustInsert(value.TupleOf(value.F("k", value.Str(fmt.Sprintf("v%06d", i)))))
 	}

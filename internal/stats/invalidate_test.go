@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"testing"
+
+	"tmdb/internal/storage"
+	"tmdb/internal/types"
+	"tmdb/internal/value"
+)
+
+func kvType() *types.Type {
+	return types.Tuple(types.F("k", types.Int), types.F("v", types.Int))
+}
+
+func kvRow(k, v int64) value.Value {
+	return value.TupleOf(value.F("k", value.Int(k)), value.F("v", value.Int(v)))
+}
+
+// TestPerTableStaleness pins the epoch-tracked invalidation contract:
+// mutating one table recollects that table's statistics on next use, while
+// the other tables' statistics objects are untouched (same pointers — no
+// rescan, no discard).
+func TestPerTableStaleness(t *testing.T) {
+	db := storage.NewDB()
+	tt := db.MustCreate("T", kvType())
+	uu := db.MustCreate("U", kvType())
+	for i := 0; i < 20; i++ {
+		tt.MustInsert(kvRow(int64(i), int64(i%5)))
+		uu.MustInsert(kvRow(int64(i%7), int64(i)))
+	}
+	db.SealAll()
+
+	c := Analyze(db)
+	tBefore, uBefore := c.Table("T"), c.Table("U")
+	if tBefore.Card != 20 {
+		t.Fatalf("T Card = %d", tBefore.Card)
+	}
+	dBefore := c.DanglingFrac("T", "k", "U", "k")
+
+	if _, err := tt.InsertSealed(kvRow(1000, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	tAfter, uAfter := c.Table("T"), c.Table("U")
+	if tAfter == tBefore {
+		t.Error("mutated table's statistics were not recollected")
+	}
+	if tAfter.Card != 21 {
+		t.Errorf("recollected T Card = %d, want 21", tAfter.Card)
+	}
+	if uAfter != uBefore {
+		t.Error("unmutated table's statistics were recollected (should be untouched)")
+	}
+
+	// The dangling fraction involving T must be recomputed: row 1000 has no
+	// U partner, so the fraction strictly grows.
+	dAfter := c.DanglingFrac("T", "k", "U", "k")
+	if dAfter <= dBefore {
+		t.Errorf("dangling fraction not refreshed: before %v, after %v", dBefore, dAfter)
+	}
+
+	// MarkStale forces recollection without a mutation.
+	c.MarkStale("U")
+	if c.Table("U") == uAfter {
+		t.Error("MarkStale did not force recollection")
+	}
+}
+
+// TestIndexKeys pins the planner-facing index oracle: present only for live
+// registered indexes, with the O(1) key counter.
+func TestIndexKeys(t *testing.T) {
+	db := storage.NewDB()
+	tt := db.MustCreate("T", kvType())
+	for i := 0; i < 30; i++ {
+		tt.MustInsert(kvRow(int64(i), int64(i%6)))
+	}
+	if err := tt.CreateIndex("v"); err != nil {
+		t.Fatal(err)
+	}
+	c := New(db)
+	if _, ok := c.IndexKeys("T", "v"); ok {
+		t.Error("unsealed table must not report a live index")
+	}
+	db.SealAll()
+	keys, ok := c.IndexKeys("T", "v")
+	if !ok || keys != 6 {
+		t.Errorf("IndexKeys = %d,%v want 6,true", keys, ok)
+	}
+	if _, ok := c.IndexKeys("T", "k"); ok {
+		t.Error("unindexed attribute must not report an index")
+	}
+	if _, ok := c.IndexKeys("GHOST", "v"); ok {
+		t.Error("unknown table must not report an index")
+	}
+	if _, ok := New(nil).IndexKeys("T", "v"); ok {
+		t.Error("nil-db catalog must not report indexes")
+	}
+}

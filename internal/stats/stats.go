@@ -14,7 +14,9 @@
 // Every table also carries histograms for the planner's equality/range
 // selectivity estimates regardless of mode. Collection is lazy by default
 // (New); Analyze is the eager ANALYZE entry point that scans every table up
-// front. FromXYZSpec is the datagen-aware entry point: it derives the same
+// front. Staleness is per table: statistics remember the storage epoch they
+// were collected at and recollect automatically when the table has mutated —
+// mutating one table never invalidates the statistics of another. FromXYZSpec is the datagen-aware entry point: it derives the same
 // catalog analytically from a generator Spec, without touching data — used to
 // validate Analyze against ground truth and to cost plans for
 // not-yet-materialized workloads.
@@ -48,6 +50,11 @@ type TableStats struct {
 	// were dropped (table larger than the catalog's exact threshold).
 	Approx bool
 
+	// Epoch is the storage epoch of the table at collection time; the catalog
+	// recollects lazily when the table's current epoch differs (see
+	// storage.Table.Epoch).
+	Epoch uint64
+
 	// keys retains the distinct value keys per attribute so the catalog can
 	// compute dangling fractions without rescanning this side. nil when
 	// Approx.
@@ -71,15 +78,28 @@ func (s *TableStats) Selectivity(attr string) float64 {
 // dangling-tuple fractions. It is safe for concurrent use: engines share one
 // catalog across queries, and computed TableStats are immutable once
 // published.
+//
+// Staleness is tracked per table through storage mutation epochs: statistics
+// record the table's epoch at collection time, and a lookup against a table
+// whose epoch has since advanced recollects that table (and drops the
+// dangling fractions involving it) lazily. Mutating one table therefore
+// never discards the statistics of the others.
 type Catalog struct {
 	db *storage.DB
 
 	mu       sync.Mutex
 	tables   map[string]*TableStats
-	dangling map[string]float64
+	dangling map[danglingKey]float64
 	// exactThreshold is the cardinality at or below which a table keeps exact
 	// statistics; above it the catalog stores histograms and sketches only.
 	exactThreshold int
+}
+
+// danglingKey identifies one cached dangling fraction by its attribute pair;
+// a struct key (rather than a formatted string) lets invalidation match
+// either side's table by field.
+type danglingKey struct {
+	lTable, lAttr, rTable, rAttr string
 }
 
 // DefaultExactThreshold is the cardinality up to which per-table statistics
@@ -92,7 +112,7 @@ func New(db *storage.DB) *Catalog {
 	return &Catalog{
 		db:             db,
 		tables:         make(map[string]*TableStats),
-		dangling:       make(map[string]float64),
+		dangling:       make(map[danglingKey]float64),
 		exactThreshold: DefaultExactThreshold,
 	}
 }
@@ -132,16 +152,69 @@ func (c *Catalog) Names() []string {
 }
 
 // Table returns statistics for the named table, computing and caching them
-// on first use. Unknown tables yield zero statistics.
+// on first use and recollecting them lazily when the table has mutated since
+// (its storage epoch advanced). Unknown tables yield zero statistics.
 func (c *Catalog) Table(name string) *TableStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.table(name)
 }
 
+// MarkStale drops the cached statistics for one table and every dangling
+// fraction involving it; the next lookup recollects. Epoch tracking makes
+// this automatic for storage-backed tables — MarkStale exists for catalogs
+// populated through SetTable/SetDangling, whose figures have no backing
+// epoch to compare against.
+func (c *Catalog) MarkStale(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evict(name)
+}
+
+// evict removes the table's stats and associated dangling fractions. Caller
+// holds the lock.
+func (c *Catalog) evict(name string) {
+	delete(c.tables, name)
+	for k := range c.dangling {
+		if k.lTable == name || k.rTable == name {
+			delete(c.dangling, k)
+		}
+	}
+}
+
+// IndexKeys reports the distinct-key count of the persistent hash index on
+// table.attr, if one is registered and live — the figure the planner's index
+// joins use for lookup selectivity. Both counters are O(1) reads.
+func (c *Catalog) IndexKeys(table, attr string) (keys int, ok bool) {
+	if c.db == nil {
+		return 0, false
+	}
+	tab, ok := c.db.Table(table)
+	if !ok {
+		return 0, false
+	}
+	ix, ok := tab.Index(attr)
+	if !ok {
+		return 0, false
+	}
+	return ix.Keys(), true
+}
+
 func (c *Catalog) table(name string) *TableStats {
+	var epoch uint64
+	var tab *storage.Table
+	if c.db != nil {
+		if t, ok := c.db.Table(name); ok {
+			tab = t
+			epoch = t.Epoch()
+		}
+	}
 	if s, ok := c.tables[name]; ok {
-		return s
+		if tab == nil || s.Epoch == epoch {
+			return s
+		}
+		// The table mutated since collection: recollect it (and only it).
+		c.evict(name)
 	}
 	s := &TableStats{
 		Distinct:  make(map[string]int),
@@ -150,13 +223,10 @@ func (c *Catalog) table(name string) *TableStats {
 		keys:      make(map[string]map[string]bool),
 	}
 	c.tables[name] = s
-	if c.db == nil {
+	if tab == nil {
 		return s
 	}
-	tab, ok := c.db.Table(name)
-	if !ok {
-		return s
-	}
+	s.Epoch = epoch
 	s.Card = tab.Len()
 	s.Approx = s.Card > c.exactThreshold
 	setLen := make(map[string]int)
@@ -246,13 +316,16 @@ func (c *Catalog) Selectivity(table, attr string) float64 {
 // conventional default 0.5 is returned.
 func (c *Catalog) DanglingFrac(lTable, lAttr, rTable, rAttr string) float64 {
 	const def = 0.5
-	key := lTable + "." + lAttr + "|" + rTable + "." + rAttr
+	key := danglingKey{lTable, lAttr, rTable, rAttr}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Freshness first: looking up either side recollects it if its epoch
+	// advanced, which also sweeps stale dangling entries involving it — so
+	// the cache hit below is always consistent with the current data.
+	ls, rs := c.table(lTable), c.table(rTable)
 	if f, ok := c.dangling[key]; ok {
 		return f
 	}
-	ls, rs := c.table(lTable), c.table(rTable)
 	if c.db == nil || ls.Card == 0 {
 		c.dangling[key] = def
 		return def
@@ -317,7 +390,7 @@ func estimateDangling(lh, rh *Histogram) float64 {
 func (c *Catalog) SetDangling(lTable, lAttr, rTable, rAttr string, frac float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.dangling[lTable+"."+lAttr+"|"+rTable+"."+rAttr] = frac
+	c.dangling[danglingKey{lTable, lAttr, rTable, rAttr}] = frac
 }
 
 // SetTable records table statistics directly, bypassing scanning.
@@ -335,6 +408,13 @@ func (c *Catalog) SetTable(name string, s *TableStats) {
 	}
 	if s.keys == nil && !s.Approx {
 		s.keys = make(map[string]map[string]bool)
+	}
+	// Tag the override with the current epoch (when the table is backed by
+	// storage), so it survives lookups until the table actually mutates.
+	if c.db != nil {
+		if t, ok := c.db.Table(name); ok {
+			s.Epoch = t.Epoch()
+		}
 	}
 	c.tables[name] = s
 }

@@ -122,7 +122,10 @@ func TestUnknownTableZeroStats(t *testing.T) {
 
 func TestExactFigures(t *testing.T) {
 	db := storage.NewDB()
-	tab := db.MustCreate("T", nil)
+	tab := db.MustCreate("T", types.Tuple(
+		types.F("k", types.Int),
+		types.F("s", types.SetOf(types.Int)),
+	))
 	tab.MustInsert(value.TupleOf(
 		value.F("k", value.Int(1)),
 		value.F("s", value.SetOf(value.Int(1), value.Int(2))),

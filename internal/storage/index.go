@@ -1,19 +1,31 @@
 package storage
 
 import (
+	"sync"
+
 	"tmdb/internal/value"
 )
 
 // HashIndex is an exact-key hash index over a table, keyed by an arbitrary
-// extractor over the element tuples. The exec package builds these on the fly
-// for hash joins; the engine may also keep persistent ones per table.
+// extractor over the element tuples. Tables keep persistent ones per equi-key
+// attribute (see Table.CreateIndex); the planner's index joins probe them
+// instead of building a hash table per query.
 //
 // Keys use the collision-free canonical encoding value.Key, so lookups never
 // need a re-check against the key itself (residual join predicates are still
 // re-checked by the operators that own them).
+//
+// The index is safe for concurrent use: lookups may run while a mutation
+// adds or removes rows. Removal rewrites the affected bucket (copy-on-write)
+// and Add only ever appends, so a bucket slice returned by Lookup stays
+// valid for the reader that obtained it.
 type HashIndex struct {
+	mu      sync.RWMutex
 	buckets map[string][]value.Value
 	keys    int
+	// rows counts indexed rows across all buckets, so Len is O(1) — the
+	// cost model reads it per candidate plan.
+	rows int
 }
 
 // NewHashIndex returns an empty index.
@@ -37,33 +49,74 @@ func BuildHashIndex(t *Table, extract func(value.Value) (value.Value, error)) (*
 // Add inserts a row under the given key value.
 func (ix *HashIndex) Add(key, row value.Value) {
 	k := value.Key(key)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	b, existed := ix.buckets[k]
 	ix.buckets[k] = append(b, row)
 	if !existed {
 		ix.keys++
 	}
+	ix.rows++
+}
+
+// Remove deletes one row (by value equality) stored under the key, reporting
+// whether it was present. The bucket is rewritten rather than edited so
+// concurrent readers holding the old bucket stay consistent.
+func (ix *HashIndex) Remove(key, row value.Value) bool {
+	k := value.Key(key)
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	b, ok := ix.buckets[k]
+	if !ok {
+		return false
+	}
+	for i, r := range b {
+		if value.Equal(r, row) {
+			if len(b) == 1 {
+				delete(ix.buckets, k)
+				ix.keys--
+			} else {
+				nb := make([]value.Value, 0, len(b)-1)
+				nb = append(nb, b[:i]...)
+				nb = append(nb, b[i+1:]...)
+				ix.buckets[k] = nb
+			}
+			ix.rows--
+			return true
+		}
+	}
+	return false
 }
 
 // Lookup returns the rows stored under the key (nil if none). The returned
 // slice must not be modified.
 func (ix *HashIndex) Lookup(key value.Value) []value.Value {
-	return ix.buckets[value.Key(key)]
+	k := value.Key(key)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.buckets[k]
 }
 
 // Contains reports whether any row is stored under the key.
 func (ix *HashIndex) Contains(key value.Value) bool {
-	_, ok := ix.buckets[value.Key(key)]
+	k := value.Key(key)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, ok := ix.buckets[k]
 	return ok
 }
 
 // Keys returns the number of distinct keys.
-func (ix *HashIndex) Keys() int { return ix.keys }
+func (ix *HashIndex) Keys() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.keys
+}
 
-// Len returns the total number of indexed rows.
+// Len returns the total number of indexed rows in O(1) — maintained by
+// Add/Remove instead of rescanning every bucket.
 func (ix *HashIndex) Len() int {
-	n := 0
-	for _, b := range ix.buckets {
-		n += len(b)
-	}
-	return n
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.rows
 }

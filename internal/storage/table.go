@@ -3,11 +3,24 @@
 // live in internal/stats). TM sets are duplicate-free, so a table is
 // a set of tuples; Insert enforces this lazily (deduplication happens on
 // Seal, giving O(n log n) bulk loads instead of per-insert probes).
+//
+// Tables are mutable. The lifecycle is: bulk-load with Insert, Seal once, and
+// from then on either mutate in place with InsertSealed/Delete/DeleteWhere or
+// run an Unseal → bulk Insert → Seal cycle. Every mutation advances the
+// table's epoch, a monotonic counter that the statistics catalog and the
+// engine's plan cache use for per-table staleness: a cached artifact derived
+// at epoch e is valid exactly while the table still reports e.
+//
+// Concurrency: readers (scans, set views, index lookups) may run concurrently
+// with mutators. Sealed-table mutations replace the row slice and set view
+// (copy-on-write) instead of editing them, so a snapshot taken by an open
+// scan stays immutable while later mutations build new ones.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"tmdb/internal/types"
 	"tmdb/internal/value"
@@ -16,15 +29,27 @@ import (
 // Table is one class extension: a duplicate-free collection of tuples of a
 // fixed element type.
 type Table struct {
-	name   string
-	elem   *types.Type
+	name string
+	elem *types.Type
+
+	mu     sync.RWMutex
 	rows   []value.Value
 	sealed bool
-	asSet  *value.Value // cached set view, valid once sealed
+	asSet  *value.Value // cached set view, valid while sealed
+	// epoch counts mutations (inserts, deletes, seal/unseal transitions).
+	epoch uint64
+	// indexes maps an equi-key attribute to its persistent hash index,
+	// rebuilt on Seal and maintained incrementally by sealed mutations.
+	indexes map[string]*HashIndex
 }
 
-// NewTable creates an empty table for elements of the given tuple type.
+// NewTable creates an empty table for elements of the given tuple type. The
+// element type is mandatory: a nil elem would silently disable Insert's
+// typechecking (use db.Create for the error-returning form).
 func NewTable(name string, elem *types.Type) *Table {
+	if elem == nil {
+		panic(fmt.Sprintf("storage: table %s created with nil element type", name))
+	}
 	return &Table{name: name, elem: elem}
 }
 
@@ -34,16 +59,39 @@ func (t *Table) Name() string { return t.name }
 // ElemType returns the element tuple type.
 func (t *Table) ElemType() *types.Type { return t.elem }
 
-// Insert appends a tuple after typechecking it. Tables must not be mutated
-// while scans are open; the engine loads then seals.
+// Epoch returns the table's mutation epoch: a monotonically increasing
+// counter advanced by every successful Insert, InsertSealed, Delete,
+// DeleteWhere, Seal, and Unseal. Consumers caching anything derived from the
+// table's contents (statistics, plans) record the epoch at derivation time
+// and treat a differing current epoch as staleness.
+func (t *Table) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Sealed reports whether the table is sealed (deduplicated, sorted, and
+// serving a cached set view and live indexes).
+func (t *Table) Sealed() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.sealed
+}
+
+// Insert appends a tuple after typechecking it — the bulk-load path. It is
+// only valid before Seal (or between Unseal and the next Seal); use
+// InsertSealed to mutate a sealed table in place.
 func (t *Table) Insert(v value.Value) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.sealed {
-		return fmt.Errorf("storage: table %s is sealed", t.name)
+		return fmt.Errorf("storage: table %s is sealed (use InsertSealed or Unseal)", t.name)
 	}
-	if t.elem != nil && !types.Check(v, t.elem) {
+	if !types.Check(v, t.elem) {
 		return fmt.Errorf("storage: value %s does not conform to %s element type %s", v, t.name, t.elem)
 	}
 	t.rows = append(t.rows, v)
+	t.epoch++
 	return nil
 }
 
@@ -54,11 +102,14 @@ func (t *Table) MustInsert(v value.Value) {
 	}
 }
 
-// Seal deduplicates (set semantics) and freezes the table. The set view is
-// materialized here rather than lazily in AsSet so that sealed tables are
-// immutable afterwards — parallel join workers may evaluate table references
-// concurrently, and a lazy cache fill would race.
+// Seal deduplicates (set semantics), sorts into the canonical order, freezes
+// the bulk-load path, materializes the set view, and (re)builds every
+// registered index. The set view is materialized here rather than lazily in
+// AsSet so that sealed snapshots are immutable — parallel join workers may
+// evaluate table references concurrently, and a lazy cache fill would race.
 func (t *Table) Seal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.sealed {
 		return
 	}
@@ -73,24 +124,258 @@ func (t *Table) Seal() {
 	t.sealed = true
 	s := value.SetOf(t.rows...)
 	t.asSet = &s
+	t.epoch++
+	for attr := range t.indexes {
+		t.indexes[attr] = t.buildIndexLocked(attr)
+	}
+}
+
+// Unseal reopens the table for bulk loading: the set view and indexes go
+// stale (indexes are rebuilt by the next Seal) and the epoch advances, so
+// any plan or statistic derived from the sealed state invalidates.
+func (t *Table) Unseal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sealed {
+		return
+	}
+	t.sealed = false
+	t.asSet = nil
+	t.epoch++
+}
+
+// InsertSealed inserts one tuple into a sealed table, maintaining the sorted
+// duplicate-free row order, the set view, and every registered index
+// incrementally. It reports whether the tuple was actually added (false for
+// a duplicate: set semantics make duplicate insertion a no-op). The row
+// slice and set view are replaced, not edited, so open scans keep a
+// consistent snapshot.
+func (t *Table) InsertSealed(v value.Value) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sealed {
+		return false, fmt.Errorf("storage: table %s is not sealed (use Insert during bulk load)", t.name)
+	}
+	if !types.Check(v, t.elem) {
+		return false, fmt.Errorf("storage: value %s does not conform to %s element type %s", v, t.name, t.elem)
+	}
+	i := sort.Search(len(t.rows), func(i int) bool { return !value.Less(t.rows[i], v) })
+	if i < len(t.rows) && value.Equal(t.rows[i], v) {
+		return false, nil // already present
+	}
+	rows := make([]value.Value, 0, len(t.rows)+1)
+	rows = append(rows, t.rows[:i]...)
+	rows = append(rows, v)
+	rows = append(rows, t.rows[i:]...)
+	t.rows = rows
+	s := value.SetOf(rows...)
+	t.asSet = &s
+	t.epoch++
+	for attr, ix := range t.indexes {
+		k, err := indexKeyOf(v, attr)
+		if err != nil {
+			// The value typechecked, so a registered attribute must exist;
+			// treat a miss as corruption rather than silently skipping.
+			return true, fmt.Errorf("storage: maintaining index %s(%s): %w", t.name, attr, err)
+		}
+		ix.Add(k, v)
+	}
+	return true, nil
+}
+
+// Delete removes one tuple (by value equality) from a sealed table,
+// maintaining row order, set view, and indexes. It reports whether the tuple
+// was present.
+func (t *Table) Delete(v value.Value) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sealed {
+		return false, fmt.Errorf("storage: table %s is not sealed", t.name)
+	}
+	i := sort.Search(len(t.rows), func(i int) bool { return !value.Less(t.rows[i], v) })
+	if i >= len(t.rows) || !value.Equal(t.rows[i], v) {
+		return false, nil
+	}
+	t.removeRowsLocked(map[int]bool{i: true})
+	return true, nil
+}
+
+// DeleteRows removes every listed tuple (by value equality) from a sealed
+// table in one batch — the entry point for callers that computed the victim
+// set from a snapshot (e.g. by evaluating a predicate that may itself read
+// this table, which must not run under the table's lock). Returns the number
+// of tuples actually present and removed.
+func (t *Table) DeleteRows(vs []value.Value) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sealed {
+		return 0, fmt.Errorf("storage: table %s is not sealed", t.name)
+	}
+	victims := make(map[int]bool)
+	for _, v := range vs {
+		i := sort.Search(len(t.rows), func(i int) bool { return !value.Less(t.rows[i], v) })
+		if i < len(t.rows) && value.Equal(t.rows[i], v) {
+			victims[i] = true
+		}
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	t.removeRowsLocked(victims)
+	return len(victims), nil
+}
+
+// DeleteWhere removes every tuple of a sealed table for which pred returns
+// true, returning the number removed. Mutation bookkeeping (epoch, set view,
+// indexes) is paid once for the whole batch. pred runs under the table's
+// lock: it must be a pure function of the row and must not read this table
+// (or any table, transitively) through the database.
+func (t *Table) DeleteWhere(pred func(value.Value) bool) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.sealed {
+		return 0, fmt.Errorf("storage: table %s is not sealed", t.name)
+	}
+	victims := make(map[int]bool)
+	for i, r := range t.rows {
+		if pred(r) {
+			victims[i] = true
+		}
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	t.removeRowsLocked(victims)
+	return len(victims), nil
+}
+
+// removeRowsLocked drops the rows at the given indices (copy-on-write),
+// refreshes the set view, removes the victims from every index, and advances
+// the epoch. Caller holds the write lock on a sealed table.
+func (t *Table) removeRowsLocked(victims map[int]bool) {
+	rows := make([]value.Value, 0, len(t.rows)-len(victims))
+	for i, r := range t.rows {
+		if victims[i] {
+			for attr, ix := range t.indexes {
+				if k, err := indexKeyOf(r, attr); err == nil {
+					ix.Remove(k, r)
+				}
+			}
+			continue
+		}
+		rows = append(rows, r)
+	}
+	t.rows = rows
+	s := value.SetOf(rows...)
+	t.asSet = &s
+	t.epoch++
 }
 
 // Len returns the current row count.
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
 
-// Rows returns the rows; the slice must not be modified. Seal first for set
-// semantics.
-func (t *Table) Rows() []value.Value { return t.rows }
+// Rows returns a snapshot of the rows; the slice must not be modified. Once
+// the table is sealed the snapshot is immutable — sealed mutations replace
+// the slice rather than editing it. Seal first for set semantics.
+func (t *Table) Rows() []value.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
 
 // AsSet returns the table contents as a TM set value (used by the naive
 // evaluator, where a table reference is simply a set-valued constant). The
-// view is cached once the table is sealed, so repeated correlated
+// view is maintained while the table is sealed, so repeated correlated
 // re-evaluation does not pay the canonicalization again.
 func (t *Table) AsSet() value.Value {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	if t.sealed {
 		return *t.asSet
 	}
 	return value.SetOf(t.rows...)
+}
+
+// --- Per-table index registry ---
+
+// CreateIndex registers (and, if the table is sealed, builds) a persistent
+// hash index on the given top-level attribute. The index is rebuilt on every
+// Seal and maintained incrementally by InsertSealed/Delete/DeleteWhere.
+// Creating an index that already exists is a no-op.
+func (t *Table) CreateIndex(attr string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.elem.Kind != types.KTuple {
+		return fmt.Errorf("storage: cannot index %s: element type %s is not a tuple", t.name, t.elem)
+	}
+	if _, ok := t.elem.Field(attr); !ok {
+		return fmt.Errorf("storage: cannot index %s: no attribute %s in element type %s", t.name, attr, t.elem)
+	}
+	if t.indexes == nil {
+		t.indexes = make(map[string]*HashIndex)
+	}
+	if _, dup := t.indexes[attr]; dup {
+		return nil
+	}
+	if t.sealed {
+		t.indexes[attr] = t.buildIndexLocked(attr)
+	} else {
+		t.indexes[attr] = NewHashIndex() // built by the next Seal
+	}
+	return nil
+}
+
+// buildIndexLocked builds a fresh index over the current rows. Caller holds
+// the write lock; attr existence was validated by CreateIndex.
+func (t *Table) buildIndexLocked(attr string) *HashIndex {
+	ix := NewHashIndex()
+	for _, r := range t.rows {
+		if k, err := indexKeyOf(r, attr); err == nil {
+			ix.Add(k, r)
+		}
+	}
+	return ix
+}
+
+// indexKeyOf extracts the index key attribute from a row.
+func indexKeyOf(row value.Value, attr string) (value.Value, error) {
+	if row.Kind() != value.KindTuple {
+		return value.Value{}, fmt.Errorf("row %s is not a tuple", row)
+	}
+	k, ok := row.Get(attr)
+	if !ok {
+		return value.Value{}, fmt.Errorf("row %s has no attribute %s", row, attr)
+	}
+	return k, nil
+}
+
+// Index returns the live index on attr. It reports ok only while the table
+// is sealed: between Unseal and the next Seal the registered indexes are
+// stale, and consumers (the planner's index joins) must not probe them.
+func (t *Table) Index(attr string) (*HashIndex, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.sealed {
+		return nil, false
+	}
+	ix, ok := t.indexes[attr]
+	return ix, ok
+}
+
+// IndexAttrs returns the attributes with registered indexes, sorted.
+func (t *Table) IndexAttrs() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for a := range t.indexes {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DB is a collection of extension tables addressed by extension name.
@@ -101,8 +386,12 @@ type DB struct {
 // NewDB returns an empty database.
 func NewDB() *DB { return &DB{tables: make(map[string]*Table)} }
 
-// Create creates and registers a new empty table.
+// Create creates and registers a new empty table. A nil element type is
+// rejected: it would silently disable Insert's typechecking.
 func (db *DB) Create(name string, elem *types.Type) (*Table, error) {
+	if elem == nil {
+		return nil, fmt.Errorf("storage: table %s needs an element type (nil would skip typechecking)", name)
+	}
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("storage: table %s already exists", name)
 	}
@@ -124,6 +413,16 @@ func (db *DB) MustCreate(name string, elem *types.Type) *Table {
 func (db *DB) Table(name string) (*Table, bool) {
 	t, ok := db.tables[name]
 	return t, ok
+}
+
+// CreateIndex registers a persistent hash index on table.attr (see
+// Table.CreateIndex).
+func (db *DB) CreateIndex(table, attr string) error {
+	t, ok := db.tables[table]
+	if !ok {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	return t.CreateIndex(attr)
 }
 
 // SealAll seals every table.

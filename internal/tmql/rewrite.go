@@ -1,5 +1,28 @@
 package tmql
 
+import "sort"
+
+// Tables returns the names of every stored extension referenced anywhere in
+// e (table references may hide inside subqueries, quantifiers, and
+// predicates), sorted and deduplicated. The engine's plan cache uses it to
+// key cached plans by the mutation epochs of exactly the tables a query
+// depends on.
+func Tables(e Expr) []string {
+	seen := make(map[string]bool)
+	Walk(e, func(n Expr) bool {
+		if t, ok := n.(*TableRef); ok {
+			seen[t.Name] = true
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Generic rewriting over TM ASTs. All functions build fresh trees (the input
 // is never mutated) and strip inferred types — consumers re-bind rewritten
 // expressions, so types are recomputed afterwards. The shared worker tracks

@@ -37,11 +37,26 @@
 //     decides whether parallelism pays; fixed strategies opt in explicitly)
 //     over an allocation-lean key encoding, with results bit-identical to
 //     serial execution at any degree;
-//   - a bounded per-engine plan cache memoizing (bound query, options) →
-//     physical plan with LRU eviction (default capacity 256, see
-//     Engine.SetPlanCacheCapacity), so repeated queries skip translation and
-//     candidate enumeration; Engine.Analyze invalidates it,
-//     Engine.PlanCacheStats reports hits, misses, and evictions.
+//   - mutable storage with per-table invalidation: tables are bulk-loaded,
+//     sealed, and then mutated in place (Engine.Insert / Engine.Delete /
+//     Engine.InsertValue / Engine.DeleteValue, or the storage-level
+//     InsertSealed / Delete / DeleteWhere / Unseal→reseal cycle). Every
+//     mutation advances the table's epoch; statistics recollect lazily for
+//     exactly the mutated table, and cached plans carry the epoch vector of
+//     the tables they read, so a mutation invalidates the plans and
+//     statistics of that table — and only that table;
+//   - persistent secondary indexes: Engine.CreateIndex registers an
+//     equi-key hash index (rebuilt on Seal, maintained incrementally by
+//     mutations) and the optimizer costs an idxjoin family (IndexJoins)
+//     that probes the index per outer row instead of draining and hashing
+//     the inner table — EXPLAIN lists the idxjoin candidates and the
+//     cost-based path picks them when statistics favor it;
+//   - a bounded per-engine plan cache memoizing (bound query, options,
+//     table epochs) → physical plan with LRU eviction (default capacity
+//     256, see Engine.SetPlanCacheCapacity), so repeated queries skip
+//     translation and candidate enumeration; mutations invalidate per
+//     table (epoch mismatch + sweep), Engine.PlanCacheStats reports hits,
+//     misses, evictions, and invalidations.
 //
 // Quickstart:
 //
@@ -120,6 +135,10 @@ const (
 	HashJoins = planner.ImplHash
 	// MergeJoins uses sort-merge for nest joins (hash elsewhere).
 	MergeJoins = planner.ImplMerge
+	// IndexJoins probes persistent per-table hash indexes (see
+	// Engine.CreateIndex) where one covers the join key, falling back to
+	// the auto mapping elsewhere. Shown as "idxjoin" in EXPLAIN.
+	IndexJoins = planner.ImplIndex
 )
 
 // Catalog is a TM schema: classes with extensions and sorts.
