@@ -357,3 +357,57 @@ func BenchmarkB7IndexJoin(b *testing.B) {
 		})
 	}
 }
+
+// --- B8: index-backed access paths — point selections via persistent
+// indexes vs full scans. The fullscan/idxscan pair pins the access-path win
+// (≥5× at n=2000 is the acceptance bar: the scan pays n predicate
+// evaluations, the index scan one probe plus a handful of bucket rows); auto
+// must track the winner. The composite variant probes Y(b,d) with both
+// conjuncts folded into one point. ---
+
+func BenchmarkB8IndexScan(b *testing.B) {
+	const q = `SELECT x FROM X x WHERE x.b = 3`
+	for _, n := range []int{400, 2000} {
+		eng := xyzEngine(n, n, 0)
+		if err := eng.CreateIndex("X", "b"); err != nil {
+			b.Fatal(err)
+		}
+		benchAccess := func(b *testing.B, q string, access planner.AccessPath) {
+			b.Helper()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Query(q, engine.Options{Access: access, Parallelism: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.Run(fmt.Sprintf("fullscan/n=%d", n), func(b *testing.B) {
+			benchAccess(b, q, planner.AccessScan)
+		})
+		b.Run(fmt.Sprintf("idxscan/n=%d", n), func(b *testing.B) {
+			benchAccess(b, q, planner.AccessIndex)
+		})
+		b.Run(fmt.Sprintf("auto/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Query(q, engine.Options{Parallelism: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Access != planner.AccessIndex && i == 0 {
+					b.Logf("note: auto picked access=%s, not idxscan", res.Access)
+				}
+			}
+		})
+		if err := eng.CreateIndex("Y", "b", "d"); err != nil {
+			b.Fatal(err)
+		}
+		const qc = `SELECT y.a FROM Y y WHERE y.b = 3 AND y.d = 2`
+		b.Run(fmt.Sprintf("composite-fullscan/n=%d", n), func(b *testing.B) {
+			benchAccess(b, qc, planner.AccessScan)
+		})
+		b.Run(fmt.Sprintf("composite-idxscan/n=%d", n), func(b *testing.B) {
+			benchAccess(b, qc, planner.AccessIndex)
+		})
+	}
+}

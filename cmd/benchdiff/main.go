@@ -1,0 +1,90 @@
+// Command benchdiff is the CI bench-regression gate: it measures the gated
+// B1/B6/B7/B8 benchmark scenarios with the standard testing.Benchmark
+// machinery and compares ns/op and allocs/op against the committed
+// BENCH_baseline.json, exiting non-zero when any benchmark regresses beyond
+// the tolerance (default 25%).
+//
+// Cross-machine comparability: allocs/op is machine-independent and compared
+// directly; ns/op is compared against the baseline scaled by a calibration
+// ratio (a fixed pure-CPU workload measured both at baseline time and now),
+// which cancels machine-speed differences while preserving genuine
+// per-operation regressions.
+//
+// Usage:
+//
+//	benchdiff                      # gate against BENCH_baseline.json
+//	benchdiff -out report.json     # also write the report artifact
+//	benchdiff -tolerance 0.4       # loosen the gate
+//	benchdiff -update              # refresh the baseline (after an
+//	                               # intentional perf change; commit it)
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"tmdb/internal/benchkit"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "committed baseline path")
+		out       = flag.String("out", "", "write the comparison report to this JSON file")
+		update    = flag.Bool("update", false, "re-measure and overwrite the baseline instead of gating")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed regression fraction for ns/op and allocs/op")
+	)
+	flag.Parse()
+
+	if *update {
+		// Measure into memory first: a failed or interrupted run must not
+		// leave a truncated committed baseline behind.
+		var buf bytes.Buffer
+		if err := benchkit.WriteBaseline(&buf); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baseline, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s — commit it alongside the perf change\n", *baseline)
+		return
+	}
+
+	bf, err := os.Open(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("%w (generate with: go run ./cmd/benchdiff -update)", err))
+	}
+	base, err := benchkit.ReadBaseline(bf)
+	bf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	report, err := benchkit.RunRegressGate(base, *tolerance)
+	if err != nil {
+		fatal(err)
+	}
+	report.Print(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	if report.Regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n",
+			report.Regressions, *tolerance*100)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

@@ -30,6 +30,9 @@
 //	\par <n>                      (0 = planner default, 1 = serial, n >= 2 = degree)
 //	\rewrite on|off               (pin / unpin the §6-rewritten alternative)
 //	\pin <label>|off              (pin a logical alternative by label)
+//	\access auto|scan|index       (access path for selections: auto lets the
+//	                               optimizer weigh index scans, index pins
+//	                               them, scan pins full scans)
 //	\cache                        (plan-cache statistics incl. evictions and
 //	                               per-table invalidations; \cache clear
 //	                               drops it, \cache cap <n> bounds the LRU)
@@ -41,9 +44,11 @@
 //	                                statistics for it — and only it — go
 //	                                stale via the table's mutation epoch)
 //	\delete <table> <var> WHERE <pred>
-//	\index <table> <attr>          (create a persistent hash index; idxjoin
-//	                                candidates then compete in planning —
-//	                                \index alone lists indexes)
+//	\index <table> <attr> [attr…]  (create a persistent hash index — several
+//	                                attributes build a composite index whose
+//	                                prefixes are probeable; idxjoin and
+//	                                idxscan candidates then compete in
+//	                                planning — \index alone lists indexes)
 //	\tables
 //	\quit
 package main
@@ -69,6 +74,7 @@ func main() {
 		query    = flag.String("q", "", "run one query and exit")
 		strategy = flag.String("strategy", "auto", "auto | naive | nestjoin | kim | outerjoin")
 		joins    = flag.String("joins", "auto", "auto | nl | hash | merge | index")
+		access   = flag.String("access", "auto", "auto | scan | index (access path for selections)")
 		par      = flag.Int("par", 0, "partitioned-execution degree (0 = planner default, 1 = serial)")
 		rewrite  = flag.Bool("rewrite", false, "pin the §6-rewritten logical alternative (the optimizer considers rewrites either way)")
 		pin      = flag.String("pin", "", "pin a logical alternative by candidate-table label (base | rewrite | order:…)")
@@ -84,6 +90,11 @@ func main() {
 	}
 	eng.SetPlanCacheCapacity(*cacheCap)
 	opts, err := makeOptions(*strategy, *joins)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	opts.Access, err = parseAccess(*access)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -146,6 +157,19 @@ func makeOptions(strategy, joins string) (engine.Options, error) {
 	return opts, nil
 }
 
+// parseAccess maps the -access / \access argument to an access path.
+func parseAccess(s string) (planner.AccessPath, error) {
+	switch s {
+	case "auto":
+		return planner.AccessAuto, nil
+	case "scan":
+		return planner.AccessScan, nil
+	case "index", "idx", "idxscan":
+		return planner.AccessIndex, nil
+	}
+	return planner.AccessAuto, fmt.Errorf("unknown access path %q (auto | scan | index)", s)
+}
+
 func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) error {
 	if explain {
 		plan, err := eng.Explain(q, opts)
@@ -167,6 +191,9 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 		how = fmt.Sprintf("auto: %s/%s × %s, cost≈%.0f", res.Strategy, res.Alt, res.Joins, res.Cost.Work)
 	} else if res.Alt != "" && res.Alt != "base" {
 		how += "/" + res.Alt
+	}
+	if res.Access == planner.AccessIndex {
+		how += ", idxscan"
 	}
 	if res.Parallelism > 1 {
 		how += fmt.Sprintf(", parallelism %d", res.Parallelism)
@@ -258,6 +285,16 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			default:
 				fmt.Println("usage: \\rewrite on|off")
 			}
+		case line == "\\access":
+			fmt.Printf("access path = %s (\\access auto|scan|index to change)\n", opts.Access)
+		case strings.HasPrefix(line, "\\access "):
+			a, err := parseAccess(strings.TrimSpace(strings.TrimPrefix(line, "\\access ")))
+			if err != nil {
+				fmt.Println(err)
+				continue
+			}
+			opts.Access = a
+			fmt.Printf("access path = %s\n", a)
 		case strings.HasPrefix(line, "\\pin "):
 			label := strings.TrimSpace(strings.TrimPrefix(line, "\\pin "))
 			if label == "off" {
@@ -321,25 +358,30 @@ func repl(eng *engine.Engine, opts engine.Options) {
 		case line == "\\index":
 			for _, name := range eng.DB().Names() {
 				tab, _ := eng.DB().Table(name)
-				for _, attr := range tab.IndexAttrs() {
-					if ix, ok := tab.Index(attr); ok {
-						fmt.Printf("%s(%s): %d keys, %d rows\n", name, attr, ix.Keys(), ix.Len())
+				for _, ixName := range tab.IndexAttrs() {
+					if ix, ok := tab.Index(ixName); ok {
+						fmt.Printf("%s(%s): %d keys, %d rows\n", name, ixName, ix.Keys(), ix.Len())
 					} else {
-						fmt.Printf("%s(%s): stale (table unsealed)\n", name, attr)
+						fmt.Printf("%s(%s): stale (table unsealed)\n", name, ixName)
 					}
 				}
 			}
 		case strings.HasPrefix(line, "\\index "):
-			args := strings.Fields(strings.TrimPrefix(line, "\\index "))
-			if len(args) != 2 {
-				fmt.Println("usage: \\index <table> <attr>  (\\index alone lists indexes)")
+			args := strings.Fields(strings.ReplaceAll(strings.TrimPrefix(line, "\\index "), ",", " "))
+			if len(args) < 2 {
+				fmt.Println("usage: \\index <table> <attr> [attr…]  (\\index alone lists indexes)")
 				continue
 			}
-			if err := eng.CreateIndex(args[0], args[1]); err != nil {
+			table, attrs := args[0], args[1:]
+			if err := eng.CreateIndex(table, attrs...); err != nil {
 				fmt.Println("error:", err)
 				continue
 			}
-			fmt.Printf("index created on %s(%s); idxjoin candidates now compete in planning\n", args[0], args[1])
+			kind := "idxjoin/idxscan candidates now compete in planning"
+			if len(attrs) > 1 {
+				kind = "composite index; every prefix is probeable — " + kind
+			}
+			fmt.Printf("index created on %s(%s); %s\n", table, strings.Join(attrs, ","), kind)
 		case strings.HasPrefix(line, "\\explain "), strings.HasPrefix(line, "explain "):
 			q := strings.TrimPrefix(strings.TrimPrefix(line, "\\explain "), "explain ")
 			if err := runOne(eng, q, opts, true); err != nil {

@@ -1,0 +1,297 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"sort"
+	"testing"
+
+	"tmdb/internal/core"
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// Bench-regression gating (cmd/benchdiff): a fixed scenario set drawn from
+// the B1/B6/B7/B8 experiments is measured with testing.Benchmark and
+// compared against a committed baseline (BENCH_baseline.json). allocs/op is
+// machine-independent and compared directly. ns/op is not — CI runners
+// differ from the machine that wrote the baseline — so the baseline also
+// records a calibration figure (a fixed pure-CPU workload measured at
+// baseline time); current ns/op numbers are compared against the baseline
+// scaled by the calibration ratio, which cancels the machine-speed
+// difference while preserving genuine per-operation regressions.
+//
+// Refreshing the baseline after an intentional perf change:
+//
+//	go run ./cmd/benchdiff -update
+//
+// which rewrites BENCH_baseline.json (commit it with the change).
+
+// RegressScenario is one gated measurement.
+type RegressScenario struct {
+	Name  string
+	Query string
+	run   func() (*engine.Engine, engine.Options, error)
+}
+
+// BaselineEntry is one benchmark's committed reference numbers.
+type BaselineEntry struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Baseline is the BENCH_baseline.json payload.
+type Baseline struct {
+	// CalibrationNsPerOp is the calibration loop's ns/op on the machine that
+	// wrote the baseline; current runs rescale ns/op comparisons by it.
+	CalibrationNsPerOp int64 `json:"calibration_ns_per_op"`
+	// GOMAXPROCS records the baseline host (informational).
+	GOMAXPROCS int                      `json:"gomaxprocs"`
+	Benches    map[string]BaselineEntry `json:"benches"`
+}
+
+// RegressResult is one compared benchmark in the report.
+type RegressResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BaseNs      int64   `json:"baseline_ns_per_op"`
+	BaseAllocs  int64   `json:"baseline_allocs_per_op"`
+	ScaledNs    float64 `json:"scaled_baseline_ns_per_op"`
+	NsRatio     float64 `json:"ns_ratio"`     // current / scaled baseline
+	AllocsRatio float64 `json:"allocs_ratio"` // current / baseline
+	Status      string  `json:"status"`       // ok | regression | new
+}
+
+// RegressReport is the benchdiff report artifact.
+type RegressReport struct {
+	Tolerance          float64         `json:"tolerance"`
+	CalibrationNsPerOp int64           `json:"calibration_ns_per_op"`
+	CalibrationScale   float64         `json:"calibration_scale"`
+	GOMAXPROCS         int             `json:"gomaxprocs"`
+	Results            []RegressResult `json:"results"`
+	Regressions        int             `json:"regressions"`
+}
+
+// regressScenarios returns the gated scenario set. Sizes are CI-sized: each
+// scenario is measured by testing.Benchmark for its default ~1s.
+func regressScenarios() []RegressScenario {
+	xyz := func(nx, ny int, index func(*engine.Engine) error, opts engine.Options) func() (*engine.Engine, engine.Options, error) {
+		return func() (*engine.Engine, engine.Options, error) {
+			cat, db := datagen.XYZ(datagen.Spec{
+				NX: nx, NY: ny, NZ: 0, Keys: max(1, nx/4), DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+			})
+			eng := engine.New(cat, db)
+			if index != nil {
+				if err := index(eng); err != nil {
+					return nil, engine.Options{}, err
+				}
+			}
+			return eng, opts, nil
+		}
+	}
+	noIndex := (func(*engine.Engine) error)(nil)
+	ixYd := func(eng *engine.Engine) error { return eng.CreateIndex("Y", "d") }
+	ixXb := func(eng *engine.Engine) error { return eng.CreateIndex("X", "b") }
+	ixYbd := func(eng *engine.Engine) error { return eng.CreateIndex("Y", "b", "d") }
+	serial := engine.Options{Parallelism: 1}
+	fixedHash := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 1}
+	fixedIdx := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplIndex, Parallelism: 1}
+	scanPin := engine.Options{Access: planner.AccessScan, Parallelism: 1}
+	idxPin := engine.Options{Access: planner.AccessIndex, Parallelism: 1}
+
+	const b1 = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
+	const b6 = `SELECT x.b FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b) AND x.b < 0`
+	const b8 = `SELECT x FROM X x WHERE x.b = 3`
+	const b8c = `SELECT y.a FROM Y y WHERE y.b = 3 AND y.d = 2`
+	return []RegressScenario{
+		{Name: "B1/semijoin-hash/n=400", Query: b1, run: xyz(400, 800, noIndex, fixedHash)},
+		{Name: "B1/semijoin-auto/n=400", Query: b1, run: xyz(400, 800, noIndex, serial)},
+		{Name: "B6/pushdown-auto/n=400", Query: b6, run: xyz(400, 1200, noIndex, serial)},
+		{Name: "B7/idxjoin/n=400", Query: b1, run: xyz(400, 2000, ixYd, fixedIdx)},
+		{Name: "B7/hash/n=400", Query: b1, run: xyz(400, 2000, ixYd, fixedHash)},
+		{Name: "B8/fullscan/n=2000", Query: b8, run: xyz(2000, 2000, ixXb, scanPin)},
+		{Name: "B8/idxscan/n=2000", Query: b8, run: xyz(2000, 2000, ixXb, idxPin)},
+		{Name: "B8/composite-idxscan/n=2000", Query: b8c, run: xyz(2000, 2000, ixYbd, idxPin)},
+	}
+}
+
+// calibrate measures the fixed pure-CPU workload (FNV-1a over a 64 KiB
+// buffer) that anchors cross-machine ns/op comparisons.
+func calibrate() int64 {
+	buf := make([]byte, 64<<10)
+	for i := range buf {
+		buf[i] = byte(i * 31)
+	}
+	best := int64(0)
+	for attempt := 0; attempt < 2; attempt++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := fnv.New64a()
+				h.Write(buf)
+				if h.Sum64() == 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+		if attempt == 0 || res.NsPerOp() < best {
+			best = res.NsPerOp()
+		}
+	}
+	return best
+}
+
+// measureScenarios runs every gated scenario, verifying index-path results
+// byte-identical to their scan/hash references before timing.
+func measureScenarios() (map[string]BaselineEntry, error) {
+	out := make(map[string]BaselineEntry)
+	for _, sc := range regressScenarios() {
+		eng, opts, err := sc.run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		ref, err := eng.Query(sc.Query, engine.Options{Strategy: core.StrategyNaive})
+		if err != nil {
+			return nil, fmt.Errorf("%s naive reference: %w", sc.Name, err)
+		}
+		got, err := eng.Query(sc.Query, opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		if value.Key(got.Value) != value.Key(ref.Value) {
+			return nil, fmt.Errorf("%s: result not byte-identical to the naive reference", sc.Name)
+		}
+		// ns/op is noisy on shared CI runners: measure each scenario twice
+		// and keep the faster run (the standard noise floor — slowdowns are
+		// noise, speedups are not), so a transient neighbor blip does not
+		// trip the gate. allocs/op is deterministic; either run serves.
+		var entry BaselineEntry
+		for attempt := 0; attempt < 2; attempt++ {
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := eng.Query(sc.Query, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			if attempt == 0 || res.NsPerOp() < entry.NsPerOp {
+				entry = BaselineEntry{NsPerOp: res.NsPerOp(), AllocsPerOp: res.AllocsPerOp()}
+			}
+		}
+		out[sc.Name] = entry
+	}
+	return out, nil
+}
+
+// WriteBaseline measures the scenario set and writes a fresh baseline.
+func WriteBaseline(w io.Writer) error {
+	benches, err := measureScenarios()
+	if err != nil {
+		return err
+	}
+	b := Baseline{
+		CalibrationNsPerOp: calibrate(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		Benches:            benches,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// RunRegressGate measures the scenario set and compares it against the
+// baseline: a benchmark regresses when its allocs/op exceed the baseline by
+// more than tolerance, or its ns/op exceed the calibration-scaled baseline
+// by more than tolerance. Missing baseline entries are reported as "new"
+// (not failures), so adding a scenario does not require a lockstep baseline
+// refresh.
+func RunRegressGate(base *Baseline, tolerance float64) (*RegressReport, error) {
+	benches, err := measureScenarios()
+	if err != nil {
+		return nil, err
+	}
+	calib := calibrate()
+	scale := 1.0
+	if base.CalibrationNsPerOp > 0 && calib > 0 {
+		scale = float64(calib) / float64(base.CalibrationNsPerOp)
+	}
+	report := &RegressReport{
+		Tolerance:          tolerance,
+		CalibrationNsPerOp: calib,
+		CalibrationScale:   scale,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+	}
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cur := benches[name]
+		r := RegressResult{Name: name, NsPerOp: cur.NsPerOp, AllocsPerOp: cur.AllocsPerOp}
+		b, ok := base.Benches[name]
+		if !ok {
+			r.Status = "new"
+			report.Results = append(report.Results, r)
+			continue
+		}
+		r.BaseNs, r.BaseAllocs = b.NsPerOp, b.AllocsPerOp
+		r.ScaledNs = float64(b.NsPerOp) * scale
+		if r.ScaledNs > 0 {
+			r.NsRatio = float64(cur.NsPerOp) / r.ScaledNs
+		}
+		if b.AllocsPerOp > 0 {
+			r.AllocsRatio = float64(cur.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+		r.Status = "ok"
+		if r.NsRatio > 1+tolerance || r.AllocsRatio > 1+tolerance {
+			r.Status = "regression"
+			report.Regressions++
+		}
+		report.Results = append(report.Results, r)
+	}
+	return report, nil
+}
+
+// ReadBaseline parses a committed baseline.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %w", err)
+	}
+	if b.Benches == nil {
+		return nil, fmt.Errorf("baseline has no benches")
+	}
+	return &b, nil
+}
+
+// WriteJSON emits the report as indented JSON.
+func (r *RegressReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Print renders the report as an aligned table.
+func (r *RegressReport) Print(w io.Writer) {
+	out := Table{
+		Title:   fmt.Sprintf("bench-regression gate (tolerance %.0f%%, calibration scale %.2fx)", r.Tolerance*100, r.CalibrationScale),
+		Headers: []string{"bench", "ns/op", "base(scaled)", "ns ratio", "allocs", "base", "ratio", "status"},
+	}
+	for _, res := range r.Results {
+		out.Add(res.Name, res.NsPerOp, fmt.Sprintf("%.0f", res.ScaledNs),
+			fmt.Sprintf("%.2f", res.NsRatio), res.AllocsPerOp, res.BaseAllocs,
+			fmt.Sprintf("%.2f", res.AllocsRatio), res.Status)
+	}
+	out.Note("ns/op compared against the baseline scaled by the calibration ratio; allocs/op compared directly")
+	if r.Regressions > 0 {
+		out.Note("%d benchmark(s) regressed beyond the tolerance — refresh the baseline only for intentional changes (go run ./cmd/benchdiff -update)", r.Regressions)
+	}
+	out.Print(w)
+}

@@ -127,6 +127,13 @@ type Options struct {
 	// conformance harness uses this to execute every alternative and assert
 	// identical results. Ignored on fixed-strategy paths.
 	PinAlt string
+	// Access selects the access path for leaf selections. The zero value
+	// (planner.AccessAuto) lets the cost-based planner weigh index scans
+	// against full scans wherever a selection's equality conjuncts cover a
+	// live index prefix (fixed-strategy paths stay on scans, keeping
+	// experiment numbers comparable); planner.AccessScan pins full scans;
+	// planner.AccessIndex pins index scans with per-selection scan fallback.
+	Access planner.AccessPath
 }
 
 // pin resolves the effective alternative pin: PinAlt wins, then the Rewrite
@@ -172,6 +179,9 @@ type Result struct {
 	// Joins is the join family actually used (resolved from Auto when the
 	// cost-based planner chose).
 	Joins planner.JoinImpl
+	// Access is the access path leaf selections read through
+	// (planner.AccessIndex when index scans served them).
+	Access planner.AccessPath
 	// Parallelism is the partitioned-execution degree the plan ran at
 	// (1 = serial).
 	Parallelism int
@@ -198,6 +208,7 @@ type planned struct {
 	strategy   core.Strategy
 	alt        string
 	joins      planner.JoinImpl
+	access     planner.AccessPath
 	par        int
 	cost       planner.Cost
 	auto       bool
@@ -225,7 +236,7 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 		return nil, err
 	}
 	ctx := exec.NewCtx(e.db)
-	it, err := planner.New(ctx, planner.Options{Joins: pl.joins, Parallelism: pl.par}).Compile(pl.plan)
+	it, err := planner.New(ctx, planner.Options{Joins: pl.joins, Parallelism: pl.par, Access: pl.access}).Compile(pl.plan)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +251,7 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 		Strategy:    pl.strategy,
 		Alt:         pl.alt,
 		Joins:       pl.joins,
+		Access:      pl.access,
 		Parallelism: pl.par,
 		Cost:        pl.cost,
 		Auto:        pl.auto,
@@ -303,7 +315,14 @@ func (e *Engine) planMiss(bound tmql.Expr, opts Options, par int) (*planned, err
 			}
 			alt = planner.AltRewrite
 		}
-		pl = &planned{plan: p, strategy: opts.Strategy, alt: alt, joins: opts.Joins, par: par}
+		// On fixed-strategy paths the physical choices are the caller's:
+		// AccessAuto stays on scans (an explicit AccessIndex opts in), so
+		// historical experiment numbers are unaffected by index creation.
+		access := opts.Access
+		if access == planner.AccessAuto {
+			access = planner.AccessScan
+		}
+		pl = &planned{plan: p, strategy: opts.Strategy, alt: alt, joins: opts.Joins, access: access, par: par}
 	}
 	// Result.Parallelism reports the degree the plan actually runs at: a
 	// degree > 1 on a (possibly rewritten) plan with nothing to partition
@@ -348,7 +367,7 @@ func (e *Engine) autoPlan(bound tmql.Expr, opts Options, par int) (*planned, err
 	if err != nil {
 		return nil, err
 	}
-	best, all, err := est.Choose(alts, opts.Joins, par)
+	best, all, err := est.ChooseAccess(alts, opts.Joins, par, opts.Access)
 	if err != nil {
 		return nil, err
 	}
@@ -357,6 +376,7 @@ func (e *Engine) autoPlan(bound tmql.Expr, opts Options, par int) (*planned, err
 		strategy:   strategies[best.Strategy],
 		alt:        best.Alt,
 		joins:      best.Joins,
+		access:     best.Access,
 		par:        best.Par,
 		cost:       best.Cost,
 		auto:       true,
@@ -395,8 +415,9 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if alt == "" {
 		alt = planner.AltBase
 	}
-	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s parallelism=%d (%s)\n", pl.strategy, alt, pl.joins, pl.par, mode)
-	b.WriteString(est.ExplainPhysicalPar(pl.plan, pl.joins, pl.par))
+	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s access=%s parallelism=%d (%s)\n",
+		pl.strategy, alt, pl.joins, pl.access, pl.par, mode)
+	b.WriteString(est.ExplainAccess(pl.plan, pl.joins, pl.par, pl.access))
 	if pl.auto && len(pl.candidates) > 1 {
 		b.WriteString("candidates considered:\n")
 		for _, c := range pl.candidates {

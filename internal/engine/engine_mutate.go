@@ -114,12 +114,14 @@ func (e *Engine) Delete(table, varName, predSrc string) (int, error) {
 	return n, err
 }
 
-// CreateIndex registers (and builds) a persistent equi-key hash index on
-// table.attr. The data is unchanged — statistics stay valid — but new
-// physical candidates (the idxjoin family) now exist, so cached plans
+// CreateIndex registers (and builds) a persistent hash index on the table's
+// ordered attribute list — one attribute for the classic equi-key index,
+// several for a composite index whose every prefix is probeable. The data is
+// unchanged — statistics stay valid — but new physical candidates (the
+// idxjoin family and the idxscan access path) now exist, so cached plans
 // reading the table are invalidated to let the optimizer reconsider.
-func (e *Engine) CreateIndex(table, attr string) error {
-	if err := e.db.CreateIndex(table, attr); err != nil {
+func (e *Engine) CreateIndex(table string, attrs ...string) error {
+	if err := e.db.CreateIndex(table, attrs...); err != nil {
 		return err
 	}
 	e.cache.invalidateTable(table)

@@ -137,6 +137,50 @@ var Goldens = []Golden{
 		DB:    "xyz",
 		Query: `SELECT (xb = x.b, zc = z.c) FROM X x, Y y, Z z WHERE x.b = y.d AND y.b = z.d`,
 	},
+	{
+		// Single-table equality selection: with an index on X.b registered
+		// (see AccessIndexes) the idxscan access path serves it; without one
+		// it is a plain filtered scan. Either way every combination must
+		// agree with the oracle.
+		Name:  "indexable-selection",
+		DB:    "xyz",
+		Query: `SELECT x FROM X x WHERE x.b = 3`,
+	},
+	{
+		// Multi-attribute equality conjunction: the composite index Y(b,d)
+		// covers both conjuncts, so the idxscan path probes one composite
+		// point with no residual.
+		Name:  "composite-indexable-selection",
+		DB:    "xyz",
+		Query: `SELECT y.a FROM Y y WHERE y.b = 3 AND y.d = 2`,
+	},
+}
+
+// AccessIndexSpec names one persistent index to register: a table and its
+// ordered attribute list (one attribute = equi-key index, several =
+// composite).
+type AccessIndexSpec struct {
+	Table string
+	Attrs []string
+}
+
+// AccessIndexes lists, per sample database, the persistent indexes the
+// access-path conformance tests register before pinning the idxscan path:
+// single-attribute and composite, covering the goldens' selection and join
+// attributes.
+var AccessIndexes = map[string][]AccessIndexSpec{
+	"xyz": {
+		{Table: "X", Attrs: []string{"b"}},
+		{Table: "Y", Attrs: []string{"b", "d"}},
+		{Table: "Y", Attrs: []string{"d"}},
+	},
+	"table1": {
+		{Table: "X", Attrs: []string{"d"}},
+		{Table: "Y", Attrs: []string{"b"}},
+	},
+	"rs": {
+		{Table: "S", Attrs: []string{"C"}},
+	},
 }
 
 // Strategies returns every strategy the harness exercises, including the

@@ -11,64 +11,85 @@ import (
 )
 
 // Index-backed join operators: the right operand is a stored table with a
-// persistent hash index on the join-key attribute (storage.Table.CreateIndex),
-// so there is no build phase at all — each left row evaluates its key and
-// probes the index's bucket directly. This is the physical family behind
-// planner.ImplIndex ("idxjoin"): it wins over the per-query hash build
-// whenever the index exists, because the right input is never drained.
+// persistent hash index covering a prefix of the equi-key attributes
+// (storage.Table.CreateIndex), so there is no build phase at all — each left
+// row evaluates its key expressions and probes the index's bucket directly.
+// This is the physical family behind planner.ImplIndex ("idxjoin"): it wins
+// over the per-query hash build whenever the index exists, because the right
+// input is never drained. Composite indexes serve multi-key equi-joins: the
+// probe covers as many leading index attributes as the predicate pairs, and
+// only the uncovered remainder is re-checked per candidate.
 //
 // Like the hash family, the probing side is the left operand — §6's
 // restriction for the nest join (output grouped by left elements) is
 // trivially preserved. Residual predicates (the non-indexed remainder of the
-// join condition, including extra equi-key pairs) are re-checked per bucket
-// candidate.
+// join condition, including uncovered equi-key pairs) are re-checked per
+// bucket candidate.
 
 // indexProbeSide resolves the table's live index at Open and evaluates the
-// left key per row; shared by IndexJoin and IndexNestJoin.
+// left key prefix per row (allocation-lean: encodings append onto a reused
+// scratch buffer); shared by IndexJoin, IndexNestJoin, and IndexScan.
 type indexProbeSide struct {
-	ctx         *Ctx
-	table, attr string
-	lvar        string
-	lkey        tmql.Expr
-	ix          *storage.HashIndex
+	ctx *Ctx
+	// table and index locate the persistent index: the scanned extension and
+	// the index's canonical registry name (storage.IndexName).
+	table, index string
+	lvar         string
+	// lkeys are the probe-key expressions over lvar, ordered by the index's
+	// attribute order; len(lkeys) is the probed prefix depth.
+	lkeys   []tmql.Expr
+	ix      *storage.HashIndex
+	scratch []byte
 }
 
 func (s *indexProbeSide) open() error {
+	if len(s.lkeys) == 0 {
+		return fmt.Errorf("exec: index probe on %s.%s needs at least one key", s.table, s.index)
+	}
 	t, ok := s.ctx.DB.Table(s.table)
 	if !ok {
 		return fmt.Errorf("exec: unknown table %s", s.table)
 	}
-	ix, ok := t.Index(s.attr)
+	ix, ok := t.Index(s.index)
 	if !ok {
-		return fmt.Errorf("exec: no live index on %s.%s (table unsealed or index dropped since planning)",
-			s.table, s.attr)
+		return fmt.Errorf("exec: no live index on %s(%s) (table unsealed or index dropped since planning)",
+			s.table, s.index)
+	}
+	if len(s.lkeys) > len(ix.Attrs()) {
+		return fmt.Errorf("exec: probe depth %d exceeds index %s(%s)", len(s.lkeys), s.table, s.index)
 	}
 	s.ix = ix
 	return nil
 }
 
-// bucket returns the index bucket matching the left row's key.
+// bucket returns the index bucket matching the left row's key prefix.
 func (s *indexProbeSide) bucket(l value.Value) ([]value.Value, error) {
-	k, err := s.ctx.evalIn(s.lkey, env1(s.lvar, l))
-	if err != nil {
-		return nil, err
+	env := env1(s.lvar, l)
+	buf := s.scratch[:0]
+	for _, k := range s.lkeys {
+		kv, err := s.ctx.evalIn(k, env)
+		if err != nil {
+			return nil, err
+		}
+		buf = value.AppendKey(buf, kv)
 	}
-	return s.ix.Lookup(k), nil
+	s.scratch = buf[:0]
+	return s.ix.LookupEncoded(string(buf), len(s.lkeys)), nil
 }
 
 // IndexJoin is the index-backed implementation of the flat join family
-// (inner, semi, anti, left-outer) on an equi-key with a persistent index.
+// (inner, semi, anti, left-outer) on equi-keys with a persistent index.
 type IndexJoin struct {
 	Ctx  *Ctx
 	Kind algebra.JoinKind
 	L    Iterator
-	// Table and Attr name the right side: the indexed stored table and its
-	// indexed attribute.
-	Table, Attr string
-	LVar, RVar  string
-	// LKey is the probe-key expression over LVar (the left half of the
-	// equi-key pair the index covers).
-	LKey tmql.Expr
+	// Table and Index name the right side: the indexed stored table and the
+	// index's canonical registry name (storage.IndexName of its attributes).
+	Table, Index string
+	LVar, RVar   string
+	// LKeys are the probe-key expressions over LVar (the left halves of the
+	// equi-key pairs the index prefix covers, in index attribute order).
+	LKeys []tmql.Expr
 	// Residual is the remaining predicate (may be nil).
 	Residual tmql.Expr
 	// RElem is required for the outer join's NULL padding.
@@ -86,7 +107,7 @@ type IndexJoin struct {
 // Open resolves the index and opens the left input. The right table is never
 // scanned.
 func (j *IndexJoin) Open() error {
-	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, attr: j.Attr, lvar: j.LVar, lkey: j.LKey}
+	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, index: j.Index, lvar: j.LVar, lkeys: j.LKeys}
 	if err := j.probe.open(); err != nil {
 		return err
 	}
@@ -171,21 +192,21 @@ func (j *IndexJoin) Close() error {
 // qualifying candidates, and emits one output tuple carrying the whole group
 // (§6's grouping restriction, trivially satisfied — no build table needed).
 type IndexNestJoin struct {
-	Ctx         *Ctx
-	L           Iterator
-	Table, Attr string
-	LVar, RVar  string
-	LKey        tmql.Expr
-	Residual    tmql.Expr
-	Fn          tmql.Expr
-	Label       string
+	Ctx          *Ctx
+	L            Iterator
+	Table, Index string
+	LVar, RVar   string
+	LKeys        []tmql.Expr
+	Residual     tmql.Expr
+	Fn           tmql.Expr
+	Label        string
 
 	probe indexProbeSide
 }
 
 // Open resolves the index and opens the left input.
 func (j *IndexNestJoin) Open() error {
-	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, attr: j.Attr, lvar: j.LVar, lkey: j.LKey}
+	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, index: j.Index, lvar: j.LVar, lkeys: j.LKeys}
 	if err := j.probe.open(); err != nil {
 		return err
 	}

@@ -1,0 +1,107 @@
+package exec
+
+import (
+	"fmt"
+
+	"tmdb/internal/tmql"
+	"tmdb/internal/value"
+)
+
+// IndexScan is the index-backed access path for single-table selections: a
+// selection whose equality conjuncts cover a prefix of a persistent index
+// (σ[x.a = c AND …](X)) reads exactly the matching bucket(s) instead of
+// scanning the table. The base scan is never materialized — Open resolves
+// the index and the point keys, Next streams the bucket rows through the
+// residual predicate. This is the physical family behind the planner's
+// AccessIndex ("idxscan") access path.
+//
+// Points holds one or more key points. Each point is a list of closed key
+// expressions (no free variables — the planner only matches conjuncts whose
+// non-attribute side is constant at plan time), one per covered index
+// attribute in index order. Distinct points address disjoint buckets (the
+// key encoding is injective per depth), so multi-point scans concatenate
+// buckets without deduplication.
+type IndexScan struct {
+	Ctx *Ctx
+	// Table and Index locate the persistent index: the scanned extension and
+	// the index's canonical registry name (storage.IndexName).
+	Table, Index string
+	// Depth is the number of leading index attributes each point covers.
+	Depth int
+	// Points are the key points, each a list of Depth closed expressions.
+	Points [][]tmql.Expr
+	// Var and Residual re-check the selection's uncovered conjuncts per
+	// bucket row (Residual may be nil when the index covers everything).
+	Var      string
+	Residual tmql.Expr
+
+	probe   indexProbeSide
+	buckets [][]value.Value
+	pi, ri  int
+}
+
+// Open resolves the index, evaluates every point's keys, and fetches the
+// matching buckets. The base table's rows are never touched beyond them.
+func (s *IndexScan) Open() error {
+	if s.Depth < 1 || len(s.Points) == 0 {
+		return fmt.Errorf("exec: IndexScan on %s(%s) needs a positive depth and at least one point", s.Table, s.Index)
+	}
+	// Reuse the probe side's index resolution; key evaluation differs (closed
+	// expressions, evaluated once here rather than per left row).
+	s.probe = indexProbeSide{ctx: s.Ctx, table: s.Table, index: s.Index, lvar: s.Var,
+		lkeys: make([]tmql.Expr, s.Depth)}
+	if err := s.probe.open(); err != nil {
+		return err
+	}
+	s.buckets = s.buckets[:0]
+	var buf []byte
+	for _, pt := range s.Points {
+		if len(pt) != s.Depth {
+			return fmt.Errorf("exec: IndexScan point has %d keys, want depth %d", len(pt), s.Depth)
+		}
+		buf = buf[:0]
+		for _, k := range pt {
+			kv, err := s.Ctx.evalIn(k, nil)
+			if err != nil {
+				return err
+			}
+			buf = value.AppendKey(buf, kv)
+		}
+		if b := s.probe.ix.LookupEncoded(string(buf), s.Depth); len(b) > 0 {
+			s.buckets = append(s.buckets, b)
+		}
+	}
+	s.pi, s.ri = 0, 0
+	return nil
+}
+
+// Next returns the next bucket row passing the residual predicate.
+func (s *IndexScan) Next() (value.Value, bool, error) {
+	for s.pi < len(s.buckets) {
+		b := s.buckets[s.pi]
+		for s.ri < len(b) {
+			v := b[s.ri]
+			s.ri++
+			if s.Residual != nil {
+				keep, err := s.Ctx.evalPred(s.Residual, env1(s.Var, v))
+				if err != nil {
+					return value.Value{}, false, err
+				}
+				if !keep {
+					continue
+				}
+			}
+			return v, true, nil
+		}
+		s.pi++
+		s.ri = 0
+	}
+	return value.Value{}, false, nil
+}
+
+// Close releases the buckets and the index reference.
+func (s *IndexScan) Close() error {
+	s.probe.ix = nil
+	s.buckets = nil
+	return nil
+}

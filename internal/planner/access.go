@@ -1,0 +1,248 @@
+package planner
+
+import (
+	"fmt"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/exec"
+	"tmdb/internal/storage"
+	"tmdb/internal/tmql"
+)
+
+// Access-path selection for single-table selections. A selection whose
+// input is a direct scan (possibly through further selections and the
+// single-field wrapper Maps the flat-join translation introduces) and whose
+// equality conjuncts compare stored attributes against plan-time constants
+// can be served by a persistent index: the longest index prefix covered by
+// those conjuncts is probed point-wise, uncovered conjuncts become a
+// residual filter, and the base scan is never materialized. The shape test
+// is shared between compilation (storage registry) and costing (statistics
+// catalog), exactly like the join-side FindIndexProbe.
+
+// AccessPath selects how leaf selections read their tables.
+type AccessPath uint8
+
+// Access-path choices.
+const (
+	// AccessAuto (the zero value) lets the cost-based enumeration decide:
+	// Choose costs both full-scan and index-scan variants when an index
+	// matches. At compile time it behaves like AccessScan.
+	AccessAuto AccessPath = iota
+	// AccessScan forces full scans (the pre-index behavior).
+	AccessScan
+	// AccessIndex compiles matching selections to exec.IndexScan, falling
+	// back to scans where no live index matches. Shown as "idxscan" in
+	// EXPLAIN.
+	AccessIndex
+)
+
+// String names the access-path choice.
+func (a AccessPath) String() string {
+	switch a {
+	case AccessAuto:
+		return "auto"
+	case AccessScan:
+		return "scan"
+	case AccessIndex:
+		return "idxscan"
+	}
+	return "access?"
+}
+
+// IndexScanMatch describes how a selection node can be answered from a
+// persistent index.
+type IndexScanMatch struct {
+	// Table is the scanned extension at the bottom of the selection's input
+	// chain.
+	Table string
+	// IndexAttrs is the full ordered attribute list of the chosen index.
+	IndexAttrs []string
+	// Depth is the covered prefix length.
+	Depth int
+	// Keys holds the constant key expressions, one per covered index
+	// attribute in index order — one point lookup.
+	Keys []tmql.Expr
+	// Residual is the conjunction of the selection's uncovered conjuncts
+	// (nil when the index covers the whole predicate).
+	Residual tmql.Expr
+}
+
+// Name returns the index's canonical registry name.
+func (m IndexScanMatch) Name() string { return storage.IndexName(m.IndexAttrs) }
+
+// AccessChain unwraps a selection input down to its scan leaf, accepting
+// only the shapes the index scan can reproduce above the bucket rows:
+// further selections and the single-field wrapper Maps resolveScanAttr
+// already sees through. It returns the intermediate nodes top-down (empty
+// for a direct σ-over-scan) and the scan.
+func AccessChain(p algebra.Plan) (chain []algebra.Plan, scan *algebra.Scan, ok bool) {
+	for {
+		switch n := p.(type) {
+		case *algebra.Scan:
+			return chain, n, true
+		case *algebra.Select:
+			chain = append(chain, n)
+			p = n.In
+		case *algebra.Map:
+			if wrapperLabel(n) == "" {
+				return nil, nil, false
+			}
+			chain = append(chain, n)
+			p = n.In
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+// wrapperLabel reports the label of a single-field wrapper Map ((w = var))
+// — the shape the flat-join translation builds for every FROM source — or
+// "" when the Map is anything else.
+func wrapperLabel(m *algebra.Map) string {
+	cons, ok := m.Out.(*tmql.TupleCons)
+	if !ok || len(cons.Fields) != 1 {
+		return ""
+	}
+	if v, ok := cons.Fields[0].E.(*tmql.Var); ok && v.Name == m.Var {
+		return cons.Fields[0].Label
+	}
+	return ""
+}
+
+// FindIndexScan reports how the selection n can be served by a persistent
+// index: its input must chain down to a scan, and its equality conjuncts of
+// the form attr = const (either orientation; the attribute resolving through
+// the chain to a stored attribute of the scanned table, the other side free
+// of variables) must cover a non-empty prefix of some live index. The
+// longest covered prefix wins, ties prefer the shorter index — the same
+// preference FindIndexProbe applies on the join side.
+func FindIndexScan(n *algebra.Select, indexesOf func(table string) [][]string) (IndexScanMatch, bool) {
+	_, scan, ok := AccessChain(n.In)
+	if !ok {
+		return IndexScanMatch{}, false
+	}
+	conjuncts := tmql.SplitAnd(n.Pred)
+	// Map each stored attribute with an attr = const conjunct to (constant
+	// expression, conjunct position); first conjunct per attribute wins.
+	type eqConst struct {
+		key tmql.Expr
+		pos int
+	}
+	eq := make(map[string]eqConst)
+	for i, c := range conjuncts {
+		b, ok := c.(*tmql.Binary)
+		if !ok || b.Op != tmql.OpEq {
+			continue
+		}
+		for _, side := range [2][2]tmql.Expr{{b.L, b.R}, {b.R, b.L}} {
+			attrE, constE := side[0], side[1]
+			if len(tmql.FreeVars(constE)) != 0 {
+				continue
+			}
+			tab, attr, ok := resolveScanAttr(n.In, n.Var, attrE)
+			if !ok || tab != scan.Table {
+				continue
+			}
+			if _, dup := eq[attr]; !dup {
+				eq[attr] = eqConst{key: constE, pos: i}
+			}
+			break
+		}
+	}
+	if len(eq) == 0 {
+		return IndexScanMatch{}, false
+	}
+	var best IndexScanMatch
+	var bestCovered []int
+	for _, attrs := range indexesOf(scan.Table) {
+		var keys []tmql.Expr
+		var covered []int
+		for _, attr := range attrs {
+			c, ok := eq[attr]
+			if !ok {
+				break
+			}
+			keys = append(keys, c.key)
+			covered = append(covered, c.pos)
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		if len(keys) > best.Depth || (len(keys) == best.Depth && len(attrs) < len(best.IndexAttrs)) {
+			best = IndexScanMatch{Table: scan.Table, IndexAttrs: attrs, Depth: len(keys), Keys: keys}
+			bestCovered = covered
+		}
+	}
+	if best.Depth == 0 {
+		return IndexScanMatch{}, false
+	}
+	isCovered := make(map[int]bool, len(bestCovered))
+	for _, p := range bestCovered {
+		isCovered[p] = true
+	}
+	var rest []tmql.Expr
+	for i, c := range conjuncts {
+		if !isCovered[i] {
+			rest = append(rest, c)
+		}
+	}
+	best.Residual = tmql.JoinAnd(rest)
+	return best, true
+}
+
+// findIndexScanStats is the costing-side matcher, against the statistics
+// catalog's index view.
+func (e *Estimator) findIndexScanStats(n *algebra.Select) (IndexScanMatch, bool) {
+	return FindIndexScan(n, e.statsIndexes)
+}
+
+// HasIndexScan reports whether any selection in the plan can be served by a
+// live persistent index — the condition under which Choose adds the idxscan
+// access path to the candidate enumeration.
+func (e *Estimator) HasIndexScan(p algebra.Plan) bool {
+	if sel, ok := p.(*algebra.Select); ok {
+		if _, ok := e.findIndexScanStats(sel); ok {
+			return true
+		}
+	}
+	for _, ch := range p.Children() {
+		if e.HasIndexScan(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// compileIndexScan compiles a matched selection to the index-backed access
+// path: an IndexScan at the leaf (probing the matched prefix, applying the
+// residual when the selection sits directly over the scan) with the
+// intermediate chain nodes — further selections and wrapper Maps — rebuilt
+// above the bucket rows.
+func (p *Planner) compileIndexScan(n *algebra.Select, m IndexScanMatch) (exec.Iterator, error) {
+	chain, _, ok := AccessChain(n.In)
+	if !ok {
+		return nil, fmt.Errorf("planner: index-scan match without an access chain on %s", n.Describe())
+	}
+	leaf := &exec.IndexScan{
+		Ctx: p.ctx, Table: m.Table, Index: m.Name(), Depth: m.Depth,
+		Points: [][]tmql.Expr{m.Keys},
+	}
+	var it exec.Iterator = leaf
+	if len(chain) == 0 {
+		// Direct σ-over-scan: the operator applies the residual itself.
+		leaf.Var, leaf.Residual = n.Var, m.Residual
+		return it, nil
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		switch c := chain[i].(type) {
+		case *algebra.Select:
+			it = &exec.Filter{Ctx: p.ctx, In: it, Var: c.Var, Pred: c.Pred}
+		case *algebra.Map:
+			it = &exec.Distinct{In: &exec.MapIter{Ctx: p.ctx, In: it, Var: c.Var, Out: c.Out}}
+		}
+	}
+	if m.Residual != nil {
+		it = &exec.Filter{Ctx: p.ctx, In: it, Var: n.Var, Pred: m.Residual}
+	}
+	return it, nil
+}

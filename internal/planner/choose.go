@@ -29,14 +29,17 @@ type StrategyPlan struct {
 	Plan algebra.Plan
 }
 
-// Candidate is one logical alternative × join-implementation × parallelism
-// combination considered by Choose.
+// Candidate is one logical alternative × join-implementation × access-path
+// × parallelism combination considered by Choose.
 type Candidate struct {
 	Strategy string
 	// Alt is the logical-alternative label (AltBase when the strategy's
 	// translation ran unmodified).
 	Alt   string
 	Joins JoinImpl
+	// Access is the access path leaf selections read through (AccessScan
+	// unless an index-scan variant was enumerated).
+	Access AccessPath
 	// Par is the partitioned-execution degree this candidate was costed at
 	// (1 = serial).
 	Par  int
@@ -52,11 +55,14 @@ type Candidate struct {
 
 // String renders the candidate as one row of EXPLAIN's candidate table:
 // strategy, logical alternative (the "rewrite" column), join family with
-// degree, and estimated cost.
+// degree and access path, and estimated cost.
 func (c Candidate) String() string {
 	joins := c.Joins.String()
 	if c.Par > 1 {
 		joins = fmt.Sprintf("%s×%d", joins, c.Par)
+	}
+	if c.Access == AccessIndex {
+		joins += "+idxscan"
 	}
 	alt := c.Alt
 	if alt == "" {
@@ -84,6 +90,16 @@ func (c Candidate) String() string {
 // slice reports every candidate considered (for EXPLAIN); the returned
 // pointer aliases its winning entry.
 func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Candidate, []Candidate, error) {
+	return e.ChooseAccess(plans, fixed, par, AccessAuto)
+}
+
+// ChooseAccess is Choose with an access-path pin: AccessAuto enumerates the
+// full-scan variant of every combination plus an index-scan variant for
+// plans where a live index can serve a selection; AccessScan and AccessIndex
+// restrict the enumeration to that path (AccessIndex still falls back to
+// scans per selection at compile time, exactly as ImplIndex falls back per
+// join operator).
+func (e *Estimator) ChooseAccess(plans []StrategyPlan, fixed JoinImpl, par int, access AccessPath) (*Candidate, []Candidate, error) {
 	if len(plans) == 0 {
 		return nil, nil, fmt.Errorf("planner: no candidate plans to choose from")
 	}
@@ -104,16 +120,26 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 			// falls back to the auto mapping elsewhere).
 			implsHere = append(append([]JoinImpl{}, implsHere...), ImplIndex)
 		}
+		accesses := []AccessPath{AccessScan}
+		switch access {
+		case AccessAuto:
+			if e.HasIndexScan(sp.Plan) {
+				accesses = append(accesses, AccessIndex)
+			}
+		case AccessIndex:
+			accesses = []AccessPath{AccessIndex}
+		}
 		alt := sp.Alt
 		if alt == "" {
 			alt = AltBase
 		}
 		for _, impl := range implsHere {
-			// Feasibility does not depend on degree: report an infeasible
-			// combination once, not per degree.
+			// Feasibility does not depend on degree or access path: report an
+			// infeasible combination once, not per degree.
 			if reason := ImplInfeasible(sp.Plan, impl); reason != "" {
 				all = append(all, Candidate{
-					Strategy: sp.Strategy, Alt: alt, Joins: impl, Par: 1, Plan: sp.Plan, Infeasible: reason,
+					Strategy: sp.Strategy, Alt: alt, Joins: impl, Access: AccessScan,
+					Par: 1, Plan: sp.Plan, Infeasible: reason,
 				})
 				continue
 			}
@@ -122,11 +148,13 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 				degrees = append(degrees, par)
 			}
 			for _, deg := range degrees {
-				c := Candidate{Strategy: sp.Strategy, Alt: alt, Joins: impl, Par: deg, Plan: sp.Plan}
-				c.Cost = e.EstimatePhysicalPar(sp.Plan, impl, deg)
-				all = append(all, c)
-				if best < 0 || c.Cost.Work < all[best].Cost.Work {
-					best = len(all) - 1
+				for _, acc := range accesses {
+					c := Candidate{Strategy: sp.Strategy, Alt: alt, Joins: impl, Access: acc, Par: deg, Plan: sp.Plan}
+					c.Cost = e.EstimateAccess(sp.Plan, impl, deg, acc)
+					all = append(all, c)
+					if best < 0 || c.Cost.Work < all[best].Cost.Work {
+						best = len(all) - 1
+					}
 				}
 			}
 		}
@@ -226,19 +254,27 @@ func hasJoinFamily(p algebra.Plan) bool {
 // implementation choice compiles to, annotated with per-node estimated rows
 // and cost — the body of the engine's EXPLAIN. The deprecated two-argument
 // form renders the serial mapping; ExplainPhysicalPar names the partitioned
-// operators ("ParHashJoin[4]") at degrees >= 2.
+// operators ("ParHashJoin[4]") at degrees >= 2, and ExplainAccess
+// additionally names index-served selections ("IndexScan(X) using X(b)")
+// under the idxscan access path.
 func (e *Estimator) ExplainPhysical(p algebra.Plan, impl JoinImpl) string {
-	return e.ExplainPhysicalPar(p, impl, 1)
+	return e.ExplainAccess(p, impl, 1, AccessScan)
 }
 
 // ExplainPhysicalPar is ExplainPhysical at a partitioned-execution degree.
 func (e *Estimator) ExplainPhysicalPar(p algebra.Plan, impl JoinImpl, par int) string {
+	return e.ExplainAccess(p, impl, par, AccessScan)
+}
+
+// ExplainAccess is the fully physical rendering: implementation choice,
+// partitioned-execution degree, and access path.
+func (e *Estimator) ExplainAccess(p algebra.Plan, impl JoinImpl, par int, access AccessPath) string {
 	var b strings.Builder
 	var walk func(n algebra.Plan, depth int)
 	walk = func(n algebra.Plan, depth int) {
-		c := e.EstimatePhysicalPar(n, impl, par)
+		c := e.EstimateAccess(n, impl, par, access)
 		b.WriteString(strings.Repeat("  ", depth))
-		fmt.Fprintf(&b, "%s  (%s)\n", e.physicalDescribePar(n, impl, par), c)
+		fmt.Fprintf(&b, "%s  (%s)\n", e.physicalDescribeAccess(n, impl, par, access), c)
 		for _, ch := range n.Children() {
 			walk(ch, depth+1)
 		}
@@ -247,22 +283,38 @@ func (e *Estimator) ExplainPhysicalPar(p algebra.Plan, impl JoinImpl, par int) s
 	return b.String()
 }
 
-// physicalDescribePar is the estimator-aware operator naming: under the
+// physicalDescribeAccess is the estimator-aware operator naming: under the
 // idxjoin family it consults the index registry to render index-served
-// operators as "Idx…" with the probed index, and names the auto fallback
-// for the rest; other families delegate to PhysicalDescribePar.
-func (e *Estimator) physicalDescribePar(n algebra.Plan, impl JoinImpl, par int) string {
+// operators as "Idx…" with the probed index (naming the auto fallback for
+// the rest), and under the idxscan access path it renders index-served
+// selections as "IndexScan" with the probed index and depth; everything else
+// delegates to PhysicalDescribePar.
+func (e *Estimator) physicalDescribeAccess(n algebra.Plan, impl JoinImpl, par int, access AccessPath) string {
+	if access == AccessIndex {
+		if sel, ok := n.(*algebra.Select); ok {
+			if m, ok := e.findIndexScanStats(sel); ok {
+				desc := fmt.Sprintf("IndexScan(%s) using %s(%s)", m.Table, m.Table, m.Name())
+				if m.Depth < len(m.IndexAttrs) {
+					desc += fmt.Sprintf(" prefix=%d", m.Depth)
+				}
+				if m.Residual != nil {
+					desc += fmt.Sprintf(" residual[%s]", tmql.Format(m.Residual))
+				}
+				return desc
+			}
+		}
+	}
 	if impl != ImplIndex {
 		return PhysicalDescribePar(n, impl, par)
 	}
 	switch j := n.(type) {
 	case *algebra.Join:
 		if pr, ok := e.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar); ok {
-			return fmt.Sprintf("Idx%s using %s(%s)", j.Describe(), pr.Table, pr.Attr)
+			return fmt.Sprintf("Idx%s using %s(%s)", j.Describe(), pr.Table, pr.Name())
 		}
 	case *algebra.NestJoin:
 		if pr, ok := e.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar); ok {
-			return fmt.Sprintf("Idx%s using %s(%s)", j.Describe(), pr.Table, pr.Attr)
+			return fmt.Sprintf("Idx%s using %s(%s)", j.Describe(), pr.Table, pr.Name())
 		}
 	}
 	return PhysicalDescribePar(n, ImplAuto, par)

@@ -89,14 +89,24 @@ func (e *Estimator) EstimatePhysical(p algebra.Plan, impl JoinImpl) Cost {
 
 // EstimatePhysicalPar computes the cost of a logical plan when its
 // join-family operators are compiled with the given implementation choice at
-// the given partitioned-execution degree — the quantity the auto planner
-// minimizes over strategy × implementation × degree candidates. par <= 1 is
-// serial; at higher degrees hash probe work divides by par while the
-// partition pass and per-worker startup are added, so parallelism only wins
-// where the §7-style cost arguments say it should. Infeasible choices (hash
-// without an equi-key) are costed as their nested-loop fallback; feasibility
-// is checked separately by ImplInfeasible.
+// the given partitioned-execution degree, with leaf selections reading
+// through full scans. EstimateAccess is the access-path-aware form the
+// candidate enumeration uses. par <= 1 is serial; at higher degrees hash
+// probe work divides by par while the partition pass and per-worker startup
+// are added, so parallelism only wins where the §7-style cost arguments say
+// it should. Infeasible choices (hash without an equi-key) are costed as
+// their nested-loop fallback; feasibility is checked separately by
+// ImplInfeasible.
 func (e *Estimator) EstimatePhysicalPar(p algebra.Plan, impl JoinImpl, par int) Cost {
+	return e.EstimateAccess(p, impl, par, AccessScan)
+}
+
+// EstimateAccess is EstimatePhysicalPar under an access-path choice: with
+// AccessIndex, selections served by a live persistent index are costed as
+// point probes (per-bucket depth statistics instead of a scan of the input).
+// The output cardinality of a selection is access-independent — only the
+// work term changes — mirroring how join implementations share cardinality.
+func (e *Estimator) EstimateAccess(p algebra.Plan, impl JoinImpl, par int, access AccessPath) Cost {
 	if par < 1 {
 		par = 1
 	}
@@ -110,31 +120,38 @@ func (e *Estimator) EstimatePhysicalPar(p algebra.Plan, impl JoinImpl, par int) 
 		return e.evalCost(n.Expr)
 
 	case *algebra.Select:
-		in := e.EstimatePhysicalPar(n.In, impl, par)
+		in := e.EstimateAccess(n.In, impl, par, access)
 		sel := e.predicateSelectivity(n.Pred, n.In, n.Var)
-		return Cost{Rows: in.Rows * sel, Work: in.Work + in.Rows}
+		rows := in.Rows * sel
+		if access == AccessIndex {
+			if m, ok := e.findIndexScanStats(n); ok {
+				return Cost{Rows: rows, Work: e.indexScanWork(m)}
+			}
+		}
+		return Cost{Rows: rows, Work: in.Work + in.Rows}
 
 	case *algebra.Map:
-		in := e.EstimatePhysicalPar(n.In, impl, par)
+		in := e.EstimateAccess(n.In, impl, par, access)
 		return Cost{Rows: in.Rows, Work: in.Work + in.Rows}
 
 	case *algebra.Join:
-		return e.estimateJoin(n, impl, par)
+		return e.estimateJoin(n, impl, par, access)
 
 	case *algebra.NestJoin:
-		return e.estimateNestJoin(n, impl, par)
+		return e.estimateNestJoin(n, impl, par, access)
 
 	case *algebra.Nest:
-		in := e.EstimatePhysicalPar(n.In, impl, par)
+		in := e.EstimateAccess(n.In, impl, par, access)
 		return Cost{Rows: in.Rows * 0.5, Work: in.Work + in.Rows}
 
 	case *algebra.Unnest:
-		in := e.EstimatePhysicalPar(n.In, impl, par)
+		in := e.EstimateAccess(n.In, impl, par, access)
 		fanout := e.unnestFanout(n)
 		return Cost{Rows: in.Rows * fanout, Work: in.Work + in.Rows*fanout}
 
 	case *algebra.SetOp:
-		l, r := e.EstimatePhysicalPar(n.L, impl, par), e.EstimatePhysicalPar(n.R, impl, par)
+		l := e.EstimateAccess(n.L, impl, par, access)
+		r := e.EstimateAccess(n.R, impl, par, access)
 		rows := l.Rows
 		switch n.Kind {
 		case algebra.SetUnion:
@@ -149,8 +166,25 @@ func (e *Estimator) EstimatePhysicalPar(p algebra.Plan, impl JoinImpl, par int) 
 	return Cost{Rows: 1, Work: 1}
 }
 
-func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int) Cost {
-	l, r := e.EstimatePhysicalPar(n.L, impl, par), e.EstimatePhysicalPar(n.R, impl, par)
+// indexScanWork is the probe-cost model for an index-served selection: one
+// hash lookup per point, the matched prefix level's expected bucket visited
+// once, and each bucket row re-checked against the residual and the chain
+// nodes above the leaf. The expected bucket depth comes from the index's
+// per-bucket depth statistics (stats.Catalog.IndexDepth); the base scan is
+// never paid.
+func (e *Estimator) indexScanWork(m IndexScanMatch) float64 {
+	avg := 1.0
+	if prof, ok := e.stats.IndexDepth(m.Table, m.IndexAttrs, m.Depth); ok && prof.AvgBucket > 0 {
+		avg = prof.AvgBucket
+	}
+	// One lookup + one visit per bucket row + one residual/chain re-check
+	// per bucket row.
+	return 1 + 2*avg
+}
+
+func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int, access AccessPath) Cost {
+	l := e.EstimateAccess(n.L, impl, par, access)
+	r := e.EstimateAccess(n.R, impl, par, access)
 	lk, rk, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	hashable := len(lk) > 0
 
@@ -178,7 +212,7 @@ func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int) Cost {
 	// index pre-exists, so neither the right subtree's work nor a build pass
 	// is paid — only the per-left-row probe and the emitted matches.
 	if impl == ImplIndex {
-		if _, ok := FindIndexProbe(n.R, n.RVar, rk, e.statsHasIndex); ok {
+		if _, ok := FindIndexProbe(n.R, n.RVar, rk, e.statsIndexes); ok {
 			return Cost{Rows: rows, Work: l.Work + l.Rows + matches}
 		}
 	}
@@ -194,8 +228,9 @@ func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int) Cost {
 	return Cost{Rows: rows, Work: l.Work + r.Work + probe}
 }
 
-func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl, par int) Cost {
-	l, r := e.EstimatePhysicalPar(n.L, impl, par), e.EstimatePhysicalPar(n.R, impl, par)
+func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl, par int, access AccessPath) Cost {
+	l := e.EstimateAccess(n.L, impl, par, access)
+	r := e.EstimateAccess(n.R, impl, par, access)
 	lk, rk, _ := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	hashable := len(lk) > 0
 
@@ -207,7 +242,7 @@ func (e *Estimator) estimateNestJoin(n *algebra.NestJoin, impl JoinImpl, par int
 	}
 	// One output tuple per left element, always (dangling survive with ∅).
 	if impl == ImplIndex {
-		if _, ok := FindIndexProbe(n.R, n.RVar, rk, e.statsHasIndex); ok {
+		if _, ok := FindIndexProbe(n.R, n.RVar, rk, e.statsIndexes); ok {
 			return Cost{Rows: l.Rows, Work: l.Work + l.Rows + matches}
 		}
 		impl = ImplAuto // no usable index: costed as Compile's fallback

@@ -2,40 +2,69 @@ package planner
 
 import (
 	"tmdb/internal/algebra"
+	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
 )
 
-// Index-aware planning support. A join-family operator can be served by a
-// persistent table index (storage.Table.CreateIndex) when its right operand
-// is a direct scan and one of its equi-key pairs addresses an indexed
-// top-level attribute of that scan: the operator then probes the index per
-// left row instead of draining the right input and building a hash table.
-// The shape test is shared between compilation (which asks the storage layer
-// whether the index is live) and costing (which asks the statistics catalog),
+// Index-aware planning support for joins. A join-family operator can be
+// served by a persistent table index (storage.Table.CreateIndex) when its
+// right operand is a direct scan and a prefix of some live index's attribute
+// list is covered by the operator's equi-key pairs: the operator then probes
+// the index per left row instead of draining the right input and building a
+// hash table. Composite indexes serve multi-key equi-joins — every covered
+// pair disappears from the residual, so a covering index removes the
+// per-probe residual evaluation single-attribute probes used to pay. The
+// shape test is shared between compilation (which asks the storage layer
+// which indexes are live) and costing (which asks the statistics catalog),
 // so the chooser, EXPLAIN, and the compiled operators cannot drift apart.
+//
+// (Selections get the analogous treatment in access.go: the same index
+// registry serves σ-over-scan shapes through the IndexScan access path.)
 
 // IndexProbe names the persistent index serving a join-family operator's
-// right operand, and which equi-key pair it covers.
+// right operand and which equi-key pairs its prefix covers.
 type IndexProbe struct {
-	// Table and Attr identify the index: the scanned extension and the
-	// indexed top-level attribute.
-	Table, Attr string
-	// Pair is the position of the covered equi-key pair in the
-	// ExtractEquiKeys lists; the remaining pairs are re-checked as
-	// residual predicates.
-	Pair int
+	// Table identifies the scanned extension.
+	Table string
+	// IndexAttrs is the full ordered attribute list of the chosen index (its
+	// canonical registry name is storage.IndexName(IndexAttrs)).
+	IndexAttrs []string
+	// Depth is the covered prefix length (1 ≤ Depth ≤ len(IndexAttrs)).
+	Depth int
+	// Pairs lists, for each covered index attribute in order, the position
+	// of the equi-key pair that addresses it (len(Pairs) == Depth). The
+	// remaining pairs are re-checked as residual predicates.
+	Pairs []int
+}
+
+// Name returns the index's canonical registry name.
+func (pr IndexProbe) Name() string { return storage.IndexName(pr.IndexAttrs) }
+
+// covers reports whether pair i is covered by the probe.
+func (pr IndexProbe) covers(i int) bool {
+	for _, p := range pr.Pairs {
+		if p == i {
+			return true
+		}
+	}
+	return false
 }
 
 // FindIndexProbe reports how the right operand r (iterated as rvar, with
 // right-side equi-key expressions rk) can be probed through a persistent
-// index. has answers whether an index is registered and live on a
-// (table, attribute) pair — the storage registry at compile time, the
-// statistics catalog at costing time.
-func FindIndexProbe(r algebra.Plan, rvar string, rk []tmql.Expr, has func(table, attr string) bool) (IndexProbe, bool) {
+// index. indexesOf enumerates the live indexes of a table as ordered
+// attribute lists — the storage registry at compile time, the statistics
+// catalog at costing time. Among the indexes whose leading attributes are
+// addressed by equi-key pairs, the longest covered prefix wins (deeper
+// probes hit smaller buckets); ties prefer the shorter index, then registry
+// order, so the choice is deterministic.
+func FindIndexProbe(r algebra.Plan, rvar string, rk []tmql.Expr, indexesOf func(table string) [][]string) (IndexProbe, bool) {
 	s, ok := r.(*algebra.Scan)
 	if !ok {
 		return IndexProbe{}, false
 	}
+	// Map each right-side attribute addressed as rvar.attr to its pair.
+	pairOf := make(map[string]int, len(rk))
 	for i, k := range rk {
 		fs, ok := k.(*tmql.FieldSel)
 		if !ok {
@@ -45,20 +74,53 @@ func FindIndexProbe(r algebra.Plan, rvar string, rk []tmql.Expr, has func(table,
 		if !ok || v.Name != rvar {
 			continue
 		}
-		if has(s.Table, fs.Label) {
-			return IndexProbe{Table: s.Table, Attr: fs.Label, Pair: i}, true
+		if _, dup := pairOf[fs.Label]; !dup {
+			pairOf[fs.Label] = i
 		}
 	}
-	return IndexProbe{}, false
+	if len(pairOf) == 0 {
+		return IndexProbe{}, false
+	}
+	var best IndexProbe
+	for _, attrs := range indexesOf(s.Table) {
+		var pairs []int
+		for _, attr := range attrs {
+			i, ok := pairOf[attr]
+			if !ok {
+				break
+			}
+			pairs = append(pairs, i)
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		if len(pairs) > best.Depth || (len(pairs) == best.Depth && len(attrs) < len(best.IndexAttrs)) {
+			best = IndexProbe{Table: s.Table, IndexAttrs: attrs, Depth: len(pairs), Pairs: pairs}
+		}
+	}
+	return best, best.Depth > 0
+}
+
+// probeLKeys returns the left-side probe-key expressions for the covered
+// pairs, in index attribute order — what the exec operators evaluate per
+// left row.
+func probeLKeys(lk []tmql.Expr, pr IndexProbe) []tmql.Expr {
+	out := make([]tmql.Expr, 0, pr.Depth)
+	for _, p := range pr.Pairs {
+		out = append(out, lk[p])
+	}
+	return out
 }
 
 // indexResidual folds the equi-key pairs not covered by the index probe back
 // into the residual predicate: the probe narrows candidates to one bucket,
-// and everything else is re-checked per candidate.
-func indexResidual(lk, rk []tmql.Expr, pair int, residual tmql.Expr) tmql.Expr {
+// and everything else is re-checked per candidate. With a covering composite
+// index every pair is consumed and only the original residual (if any)
+// survives.
+func indexResidual(lk, rk []tmql.Expr, pr IndexProbe, residual tmql.Expr) tmql.Expr {
 	var parts []tmql.Expr
 	for i := range lk {
-		if i != pair {
+		if !pr.covers(i) {
 			parts = append(parts, &tmql.Binary{Op: tmql.OpEq, L: lk[i], R: rk[i]})
 		}
 	}
@@ -68,32 +130,30 @@ func indexResidual(lk, rk []tmql.Expr, pair int, residual tmql.Expr) tmql.Expr {
 	return tmql.JoinAnd(parts)
 }
 
-// hasIndex reports whether a live persistent index exists on table.attr in
-// the planner's execution context.
-func (p *Planner) hasIndex(table, attr string) bool {
+// liveIndexes is the compile-time index oracle: the live indexes of a table
+// in the planner's execution context.
+func (p *Planner) liveIndexes(table string) [][]string {
 	if p.ctx == nil || p.ctx.DB == nil {
-		return false
+		return nil
 	}
 	t, ok := p.ctx.DB.Table(table)
 	if !ok {
-		return false
+		return nil
 	}
-	_, ok = t.Index(attr)
-	return ok
+	return t.Indexes()
 }
 
-// statsHasIndex is the costing-side index oracle, backed by the statistics
-// catalog (which consults the storage registry's O(1) counters).
-func (e *Estimator) statsHasIndex(table, attr string) bool {
-	_, ok := e.stats.IndexKeys(table, attr)
-	return ok
+// statsIndexes is the costing-side index oracle, backed by the statistics
+// catalog (which consults the storage registry).
+func (e *Estimator) statsIndexes(table string) [][]string {
+	return e.stats.Indexes(table)
 }
 
 // indexProbeFor resolves the index probe for a join-family node at costing
 // time: the node's equi-keys against the statistics catalog's index view.
 func (e *Estimator) indexProbeFor(r algebra.Plan, rvar string, pred tmql.Expr, lvar string) (IndexProbe, bool) {
 	_, rk, _ := ExtractEquiKeys(pred, lvar, rvar)
-	return FindIndexProbe(r, rvar, rk, e.statsHasIndex)
+	return FindIndexProbe(r, rvar, rk, e.statsIndexes)
 }
 
 // HasIndexProbe reports whether any join-family operator in the plan can be

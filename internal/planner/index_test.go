@@ -35,7 +35,7 @@ func TestFindIndexProbeShapes(t *testing.T) {
 	x, _ := b.Scan("X")
 	j, _ := b.Join(algebra.JoinSemi, x, z, "x", "z", tmql.MustParse("x.b = z.d"))
 	pr, ok := est.indexProbeFor(j.R, j.RVar, j.Pred, j.LVar)
-	if !ok || pr.Table != "Z" || pr.Attr != "d" || pr.Pair != 0 {
+	if !ok || pr.Table != "Z" || pr.Name() != "d" || pr.Depth != 1 || len(pr.Pairs) != 1 || pr.Pairs[0] != 0 {
 		t.Fatalf("probe = %+v, %v", pr, ok)
 	}
 	// Unindexed attribute: no probe.
@@ -47,7 +47,7 @@ func TestFindIndexProbeShapes(t *testing.T) {
 	// first, and HasIndexProbe sees through the tree.
 	j3, _ := b.Join(algebra.JoinInner, x, z, "x", "z", tmql.MustParse("x.b = z.c AND x.b = z.d"))
 	pr3, ok := est.indexProbeFor(j3.R, j3.RVar, j3.Pred, j3.LVar)
-	if !ok || pr3.Pair != 1 {
+	if !ok || len(pr3.Pairs) != 1 || pr3.Pairs[0] != 1 {
 		t.Errorf("multi-pair probe = %+v, %v (want pair 1)", pr3, ok)
 	}
 	if !est.HasIndexProbe(j3) || est.HasIndexProbe(j2) {

@@ -62,6 +62,12 @@ type Options struct {
 	// mean serial execution. Results are identical at any degree — final
 	// results are canonical sets — so the knob only trades latency.
 	Parallelism int
+	// Access picks the access path for leaf selections: AccessIndex compiles
+	// selections whose equality conjuncts cover a live index prefix to
+	// exec.IndexScan (per-selection fallback to scans elsewhere); AccessAuto
+	// and AccessScan compile full scans — under the cost-based engine path
+	// the chooser resolves AccessAuto before compilation.
+	Access AccessPath
 }
 
 // parallel reports whether planning targets the partitioned operators.
@@ -88,6 +94,12 @@ func (p *Planner) Compile(plan algebra.Plan) (exec.Iterator, error) {
 		return &exec.EvalScan{Ctx: p.ctx, Expr: n.Expr}, nil
 
 	case *algebra.Select:
+		if p.opts.Access == AccessIndex {
+			if m, ok := FindIndexScan(n, p.liveIndexes); ok {
+				return p.compileIndexScan(n, m)
+			}
+			// No usable index on this selection: scan fallback below.
+		}
 		in, err := p.Compile(n.In)
 		if err != nil {
 			return nil, err
@@ -144,13 +156,13 @@ func (p *Planner) compileJoin(n *algebra.Join) (exec.Iterator, error) {
 	}
 	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	if p.opts.Joins == ImplIndex {
-		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.hasIndex); ok {
+		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
 			return &exec.IndexJoin{
 				Ctx: p.ctx, Kind: n.Kind, L: l,
-				Table: pr.Table, Attr: pr.Attr,
+				Table: pr.Table, Index: pr.Name(),
 				LVar: n.LVar, RVar: n.RVar,
-				LKey:     lk[pr.Pair],
-				Residual: indexResidual(lk, rk, pr.Pair, residual),
+				LKeys:    probeLKeys(lk, pr),
+				Residual: indexResidual(lk, rk, pr, residual),
 				RElem:    n.R.Elem(),
 			}, nil
 		}
@@ -199,13 +211,13 @@ func (p *Planner) compileNestJoin(n *algebra.NestJoin) (exec.Iterator, error) {
 	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	impl := p.opts.Joins
 	if impl == ImplIndex {
-		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.hasIndex); ok {
+		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
 			return &exec.IndexNestJoin{
 				Ctx: p.ctx, L: l,
-				Table: pr.Table, Attr: pr.Attr,
+				Table: pr.Table, Index: pr.Name(),
 				LVar: n.LVar, RVar: n.RVar,
-				LKey:     lk[pr.Pair],
-				Residual: indexResidual(lk, rk, pr.Pair, residual),
+				LKeys:    probeLKeys(lk, pr),
+				Residual: indexResidual(lk, rk, pr, residual),
 				Fn:       n.Fn, Label: n.Label,
 			}, nil
 		}

@@ -90,9 +90,27 @@ type Catalog struct {
 	mu       sync.Mutex
 	tables   map[string]*TableStats
 	dangling map[danglingKey]float64
+	// indexDepth caches per-bucket depth profiles of index prefix levels,
+	// tagged with the owning table's epoch (computing one scans the level's
+	// bucket lengths; the cost model reads it per candidate plan).
+	indexDepth map[indexDepthKey]indexDepthEntry
 	// exactThreshold is the cardinality at or below which a table keeps exact
 	// statistics; above it the catalog stores histograms and sketches only.
 	exactThreshold int
+}
+
+// indexDepthKey identifies one cached depth profile: table, canonical index
+// name, and prefix depth.
+type indexDepthKey struct {
+	table, index string
+	depth        int
+}
+
+// indexDepthEntry tags a cached profile with the table epoch it was computed
+// at; a differing current epoch recomputes.
+type indexDepthEntry struct {
+	epoch   uint64
+	profile storage.DepthProfile
 }
 
 // danglingKey identifies one cached dangling fraction by its attribute pair;
@@ -113,6 +131,7 @@ func New(db *storage.DB) *Catalog {
 		db:             db,
 		tables:         make(map[string]*TableStats),
 		dangling:       make(map[danglingKey]float64),
+		indexDepth:     make(map[indexDepthKey]indexDepthEntry),
 		exactThreshold: DefaultExactThreshold,
 	}
 }
@@ -182,10 +201,11 @@ func (c *Catalog) evict(name string) {
 	}
 }
 
-// IndexKeys reports the distinct-key count of the persistent hash index on
-// table.attr, if one is registered and live — the figure the planner's index
-// joins use for lookup selectivity. Both counters are O(1) reads.
-func (c *Catalog) IndexKeys(table, attr string) (keys int, ok bool) {
+// IndexKeys reports the distinct-key count of the persistent hash index with
+// the given canonical name on table, if one is registered and live — the
+// figure the planner's index joins use for lookup selectivity. Both counters
+// are O(1) reads.
+func (c *Catalog) IndexKeys(table, name string) (keys int, ok bool) {
 	if c.db == nil {
 		return 0, false
 	}
@@ -193,11 +213,61 @@ func (c *Catalog) IndexKeys(table, attr string) (keys int, ok bool) {
 	if !ok {
 		return 0, false
 	}
-	ix, ok := tab.Index(attr)
+	ix, ok := tab.Index(name)
 	if !ok {
 		return 0, false
 	}
 	return ix.Keys(), true
+}
+
+// Indexes enumerates the live persistent indexes of a table as ordered
+// attribute lists — the costing-side oracle behind the planner's index-probe
+// and index-scan matchers. Nil without storage backing or while the table is
+// unsealed.
+func (c *Catalog) Indexes(table string) [][]string {
+	if c.db == nil {
+		return nil
+	}
+	tab, ok := c.db.Table(table)
+	if !ok {
+		return nil
+	}
+	return tab.Indexes()
+}
+
+// IndexDepth returns the per-bucket depth profile of the index's prefix
+// level — distinct prefixes, total rows, average and maximum bucket size —
+// the figures driving the planner's index-scan probe cost. Profiles are
+// cached per table epoch, so the O(distinct-prefixes) bucket scan is paid
+// once per mutation generation, not per query.
+func (c *Catalog) IndexDepth(table string, attrs []string, depth int) (storage.DepthProfile, bool) {
+	if c.db == nil {
+		return storage.DepthProfile{}, false
+	}
+	tab, ok := c.db.Table(table)
+	if !ok {
+		return storage.DepthProfile{}, false
+	}
+	ix, ok := tab.IndexOn(attrs)
+	if !ok {
+		return storage.DepthProfile{}, false
+	}
+	key := indexDepthKey{table: table, index: ix.Name(), depth: depth}
+	epoch := tab.Epoch()
+	c.mu.Lock()
+	if e, ok := c.indexDepth[key]; ok && e.epoch == epoch {
+		c.mu.Unlock()
+		return e.profile, true
+	}
+	c.mu.Unlock()
+	prof, ok := ix.Profile(depth)
+	if !ok {
+		return storage.DepthProfile{}, false
+	}
+	c.mu.Lock()
+	c.indexDepth[key] = indexDepthEntry{epoch: epoch, profile: prof}
+	c.mu.Unlock()
+	return prof, true
 }
 
 func (c *Catalog) table(name string) *TableStats {

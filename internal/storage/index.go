@@ -1,116 +1,192 @@
 package storage
 
 import (
+	"strings"
 	"sync"
 
 	"tmdb/internal/value"
 )
 
-// HashIndex is an exact-key hash index over a table, keyed by an arbitrary
-// extractor over the element tuples. Tables keep persistent ones per equi-key
-// attribute (see Table.CreateIndex); the planner's index joins probe them
-// instead of building a hash table per query.
+// HashIndex is an exact-key hash index over a table on an ordered list of
+// top-level attributes. Tables keep persistent ones per attribute list (see
+// Table.CreateIndex); the planner's index joins and index scans probe them
+// instead of building a hash table (or scanning the table) per query.
 //
-// Keys use the collision-free canonical encoding value.Key, so lookups never
-// need a re-check against the key itself (residual join predicates are still
-// re-checked by the operators that own them).
+// A composite index on (a, b, c) answers equality lookups on any non-empty
+// PREFIX of its attribute list: one bucket map is maintained per prefix
+// depth, so a probe covering only (a, b) is a single O(1) lookup at depth 2
+// rather than a scan over the full-key buckets. Keys use the collision-free
+// canonical encoding value.AppendKey concatenated in attribute order —
+// encodings are self-delimiting, so the concatenation is injective for a
+// fixed depth and lookups never re-check the key itself (residual predicates
+// are still re-checked by the operators that own them).
 //
 // The index is safe for concurrent use: lookups may run while a mutation
-// adds or removes rows. Removal rewrites the affected bucket (copy-on-write)
-// and Add only ever appends, so a bucket slice returned by Lookup stays
+// adds or removes rows. Removal rewrites the affected buckets (copy-on-write)
+// and Add only ever appends, so a bucket slice returned by a lookup stays
 // valid for the reader that obtained it.
 type HashIndex struct {
-	mu      sync.RWMutex
-	buckets map[string][]value.Value
-	keys    int
-	// rows counts indexed rows across all buckets, so Len is O(1) — the
-	// cost model reads it per candidate plan.
+	attrs []string // indexed attribute list, in key order; immutable
+
+	mu sync.RWMutex
+	// levels[d] maps the encoded key prefix attrs[:d+1] to its rows. The
+	// deepest level holds the full composite key.
+	levels []map[string][]value.Value
+	// rows counts indexed rows, so Len is O(1) — the cost model reads it per
+	// candidate plan. Distinct-key counts are O(1) via len(levels[d]).
 	rows int
 }
 
-// NewHashIndex returns an empty index.
-func NewHashIndex() *HashIndex {
-	return &HashIndex{buckets: make(map[string][]value.Value)}
-}
-
-// BuildHashIndex indexes every row of the table under extract(row).
-func BuildHashIndex(t *Table, extract func(value.Value) (value.Value, error)) (*HashIndex, error) {
-	ix := NewHashIndex()
-	for _, r := range t.Rows() {
-		k, err := extract(r)
-		if err != nil {
-			return nil, err
-		}
-		ix.Add(k, r)
+// NewHashIndex returns an empty index on the given attribute list (at least
+// one attribute).
+func NewHashIndex(attrs ...string) *HashIndex {
+	if len(attrs) == 0 {
+		panic("storage: hash index needs at least one attribute")
 	}
-	return ix, nil
+	levels := make([]map[string][]value.Value, len(attrs))
+	for i := range levels {
+		levels[i] = make(map[string][]value.Value)
+	}
+	return &HashIndex{attrs: append([]string(nil), attrs...), levels: levels}
 }
 
-// Add inserts a row under the given key value.
-func (ix *HashIndex) Add(key, row value.Value) {
-	k := value.Key(key)
+// IndexName is the canonical registry name of an index on the given ordered
+// attribute list: the attributes joined with commas ("b,d"). A single-attr
+// index's name is the attribute itself, so pre-composite callers that look
+// indexes up by attribute keep working.
+func IndexName(attrs []string) string { return strings.Join(attrs, ",") }
+
+// Attrs returns the indexed attribute list (do not modify).
+func (ix *HashIndex) Attrs() []string { return ix.attrs }
+
+// Name returns the canonical registry name (attributes comma-joined).
+func (ix *HashIndex) Name() string { return IndexName(ix.attrs) }
+
+// appendRowKey appends the encodings of the row's first depth index
+// attributes onto buf. ok is false when the row lacks one of them (rows are
+// typechecked on insert, so a miss indicates corruption; callers surface it).
+func (ix *HashIndex) appendRowKey(buf []byte, row value.Value, depth int) ([]byte, bool) {
+	if row.Kind() != value.KindTuple {
+		return buf, false
+	}
+	for _, attr := range ix.attrs[:depth] {
+		f, ok := row.Get(attr)
+		if !ok {
+			return buf, false
+		}
+		buf = value.AppendKey(buf, f)
+	}
+	return buf, true
+}
+
+// Add inserts a row under its composite key, reporting whether every index
+// attribute was present on the row.
+func (ix *HashIndex) Add(row value.Value) bool {
+	var buf []byte
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	b, existed := ix.buckets[k]
-	ix.buckets[k] = append(b, row)
-	if !existed {
-		ix.keys++
+	for d := range ix.levels {
+		var ok bool
+		buf, ok = ix.appendRowKey(buf[:0], row, d+1)
+		if !ok {
+			return false
+		}
+		ix.levels[d][string(buf)] = append(ix.levels[d][string(buf)], row)
 	}
 	ix.rows++
+	return true
 }
 
-// Remove deletes one row (by value equality) stored under the key, reporting
-// whether it was present. The bucket is rewritten rather than edited so
-// concurrent readers holding the old bucket stay consistent.
-func (ix *HashIndex) Remove(key, row value.Value) bool {
-	k := value.Key(key)
+// Remove deletes one row (by value equality) from every level, reporting
+// whether it was present. Buckets are rewritten rather than edited so
+// concurrent readers holding an old bucket stay consistent.
+func (ix *HashIndex) Remove(row value.Value) bool {
+	var buf []byte
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	b, ok := ix.buckets[k]
-	if !ok {
-		return false
-	}
-	for i, r := range b {
-		if value.Equal(r, row) {
-			if len(b) == 1 {
-				delete(ix.buckets, k)
-				ix.keys--
-			} else {
-				nb := make([]value.Value, 0, len(b)-1)
-				nb = append(nb, b[:i]...)
-				nb = append(nb, b[i+1:]...)
-				ix.buckets[k] = nb
+	removed := false
+	for d := range ix.levels {
+		var ok bool
+		buf, ok = ix.appendRowKey(buf[:0], row, d+1)
+		if !ok {
+			continue
+		}
+		k := string(buf)
+		b := ix.levels[d][k]
+		for i, r := range b {
+			if value.Equal(r, row) {
+				if len(b) == 1 {
+					delete(ix.levels[d], k)
+				} else {
+					nb := make([]value.Value, 0, len(b)-1)
+					nb = append(nb, b[:i]...)
+					nb = append(nb, b[i+1:]...)
+					ix.levels[d][k] = nb
+				}
+				removed = true
+				break
 			}
-			ix.rows--
-			return true
 		}
 	}
-	return false
+	if removed {
+		ix.rows--
+	}
+	return removed
 }
 
-// Lookup returns the rows stored under the key (nil if none). The returned
-// slice must not be modified.
+// Lookup returns the rows whose first attribute equals key (nil if none) —
+// the single-attribute convenience form of LookupPrefix. The returned slice
+// must not be modified.
 func (ix *HashIndex) Lookup(key value.Value) []value.Value {
-	k := value.Key(key)
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.buckets[k]
+	return ix.LookupPrefix([]value.Value{key})
 }
 
-// Contains reports whether any row is stored under the key.
-func (ix *HashIndex) Contains(key value.Value) bool {
-	k := value.Key(key)
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	_, ok := ix.buckets[k]
-	return ok
+// LookupPrefix returns the rows whose first len(keys) index attributes equal
+// the given values (nil if none, error-free: a too-long prefix yields nil).
+// The returned slice must not be modified.
+func (ix *HashIndex) LookupPrefix(keys []value.Value) []value.Value {
+	if len(keys) == 0 || len(keys) > len(ix.attrs) {
+		return nil
+	}
+	var buf []byte
+	for _, k := range keys {
+		buf = value.AppendKey(buf, k)
+	}
+	return ix.LookupEncoded(string(buf), len(keys))
 }
 
-// Keys returns the number of distinct keys.
-func (ix *HashIndex) Keys() int {
+// LookupEncoded returns the bucket for an already-encoded key prefix at the
+// given depth (number of leading attributes the encoding covers). This is
+// the allocation-lean probe path: callers encode with value.AppendKey onto a
+// scratch buffer and pass string(buf), which Go compiles without allocating
+// for the map lookup.
+func (ix *HashIndex) LookupEncoded(key string, depth int) []value.Value {
+	if depth < 1 || depth > len(ix.attrs) {
+		return nil
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return ix.keys
+	return ix.levels[depth-1][key]
+}
+
+// Contains reports whether any row is stored under the full composite key
+// prefix given.
+func (ix *HashIndex) Contains(keys ...value.Value) bool {
+	return ix.LookupPrefix(keys) != nil
+}
+
+// Keys returns the number of distinct full composite keys in O(1).
+func (ix *HashIndex) Keys() int { return ix.KeysAt(len(ix.attrs)) }
+
+// KeysAt returns the number of distinct key prefixes at the given depth in
+// O(1) (0 when the depth is out of range).
+func (ix *HashIndex) KeysAt(depth int) int {
+	if depth < 1 || depth > len(ix.attrs) {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.levels[depth-1])
 }
 
 // Len returns the total number of indexed rows in O(1) — maintained by
@@ -119,4 +195,52 @@ func (ix *HashIndex) Len() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	return ix.rows
+}
+
+// DepthProfile summarizes the bucket-depth distribution of one prefix level:
+// the probe-cost figures the planner's access-path costing reads (through
+// the statistics catalog, which caches one profile per table epoch).
+type DepthProfile struct {
+	// Depth is the prefix length the profile describes.
+	Depth int
+	// Keys is the number of distinct key prefixes (= buckets).
+	Keys int
+	// Rows is the total number of indexed rows.
+	Rows int
+	// AvgBucket is Rows/Keys — the expected candidates per point lookup.
+	AvgBucket float64
+	// MaxBucket is the largest bucket — the worst-case lookup.
+	MaxBucket int
+}
+
+// Profile computes the depth profile of one prefix level by scanning the
+// level's bucket lengths (O(distinct prefixes)). Consumers cache it per
+// table epoch; see stats.Catalog.IndexDepth.
+func (ix *HashIndex) Profile(depth int) (DepthProfile, bool) {
+	if depth < 1 || depth > len(ix.attrs) {
+		return DepthProfile{}, false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	p := DepthProfile{Depth: depth, Keys: len(ix.levels[depth-1]), Rows: ix.rows}
+	for _, b := range ix.levels[depth-1] {
+		if len(b) > p.MaxBucket {
+			p.MaxBucket = len(b)
+		}
+	}
+	if p.Keys > 0 {
+		p.AvgBucket = float64(p.Rows) / float64(p.Keys)
+	}
+	return p, true
+}
+
+// BuildHashIndex indexes every row of the table on the given attribute list.
+func BuildHashIndex(t *Table, attrs ...string) (*HashIndex, error) {
+	ix := NewHashIndex(attrs...)
+	for _, r := range t.Rows() {
+		if !ix.Add(r) {
+			return nil, errMissingAttr(t.name, r, attrs)
+		}
+	}
+	return ix, nil
 }

@@ -77,9 +77,7 @@ func TestHashIndex(t *testing.T) {
 	tab.MustInsert(row(2, "x"))
 	tab.MustInsert(row(3, "y"))
 	tab.Seal()
-	ix, err := BuildHashIndex(tab, func(v value.Value) (value.Value, error) {
-		return v.MustGet("b"), nil
-	})
+	ix, err := BuildHashIndex(tab, "b")
 	if err != nil {
 		t.Fatal(err)
 	}

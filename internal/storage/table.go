@@ -38,8 +38,10 @@ type Table struct {
 	asSet  *value.Value // cached set view, valid while sealed
 	// epoch counts mutations (inserts, deletes, seal/unseal transitions).
 	epoch uint64
-	// indexes maps an equi-key attribute to its persistent hash index,
-	// rebuilt on Seal and maintained incrementally by sealed mutations.
+	// indexes maps a canonical index name (IndexName of the ordered attribute
+	// list; a bare attribute for single-attribute indexes) to its persistent
+	// hash index, rebuilt on Seal and maintained incrementally by sealed
+	// mutations.
 	indexes map[string]*HashIndex
 }
 
@@ -125,8 +127,8 @@ func (t *Table) Seal() {
 	s := value.SetOf(t.rows...)
 	t.asSet = &s
 	t.epoch++
-	for attr := range t.indexes {
-		t.indexes[attr] = t.buildIndexLocked(attr)
+	for name, ix := range t.indexes {
+		t.indexes[name] = t.buildIndexLocked(ix.Attrs())
 	}
 }
 
@@ -171,14 +173,12 @@ func (t *Table) InsertSealed(v value.Value) (bool, error) {
 	s := value.SetOf(rows...)
 	t.asSet = &s
 	t.epoch++
-	for attr, ix := range t.indexes {
-		k, err := indexKeyOf(v, attr)
-		if err != nil {
+	for _, ix := range t.indexes {
+		if !ix.Add(v) {
 			// The value typechecked, so a registered attribute must exist;
 			// treat a miss as corruption rather than silently skipping.
-			return true, fmt.Errorf("storage: maintaining index %s(%s): %w", t.name, attr, err)
+			return true, errMissingAttr(t.name, v, ix.Attrs())
 		}
-		ix.Add(k, v)
 	}
 	return true, nil
 }
@@ -256,10 +256,8 @@ func (t *Table) removeRowsLocked(victims map[int]bool) {
 	rows := make([]value.Value, 0, len(t.rows)-len(victims))
 	for i, r := range t.rows {
 		if victims[i] {
-			for attr, ix := range t.indexes {
-				if k, err := indexKeyOf(r, attr); err == nil {
-					ix.Remove(k, r)
-				}
+			for _, ix := range t.indexes {
+				ix.Remove(r)
 			}
 			continue
 		}
@@ -303,70 +301,85 @@ func (t *Table) AsSet() value.Value {
 // --- Per-table index registry ---
 
 // CreateIndex registers (and, if the table is sealed, builds) a persistent
-// hash index on the given top-level attribute. The index is rebuilt on every
-// Seal and maintained incrementally by InsertSealed/Delete/DeleteWhere.
-// Creating an index that already exists is a no-op.
-func (t *Table) CreateIndex(attr string) error {
+// hash index on the given ordered list of top-level attributes. A single
+// attribute gives the classic equi-key index; multiple attributes give a
+// composite index whose every non-empty prefix is probeable (see HashIndex).
+// The index is rebuilt on every Seal and maintained incrementally by
+// InsertSealed/Delete/DeleteWhere. Creating an index that already exists is
+// a no-op.
+func (t *Table) CreateIndex(attrs ...string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if len(attrs) == 0 {
+		return fmt.Errorf("storage: cannot index %s: no attributes given", t.name)
+	}
 	if t.elem.Kind != types.KTuple {
 		return fmt.Errorf("storage: cannot index %s: element type %s is not a tuple", t.name, t.elem)
 	}
-	if _, ok := t.elem.Field(attr); !ok {
-		return fmt.Errorf("storage: cannot index %s: no attribute %s in element type %s", t.name, attr, t.elem)
+	seen := make(map[string]bool, len(attrs))
+	for _, attr := range attrs {
+		if _, ok := t.elem.Field(attr); !ok {
+			return fmt.Errorf("storage: cannot index %s: no attribute %s in element type %s", t.name, attr, t.elem)
+		}
+		if seen[attr] {
+			return fmt.Errorf("storage: cannot index %s: duplicate attribute %s", t.name, attr)
+		}
+		seen[attr] = true
 	}
 	if t.indexes == nil {
 		t.indexes = make(map[string]*HashIndex)
 	}
-	if _, dup := t.indexes[attr]; dup {
+	name := IndexName(attrs)
+	if _, dup := t.indexes[name]; dup {
 		return nil
 	}
 	if t.sealed {
-		t.indexes[attr] = t.buildIndexLocked(attr)
+		t.indexes[name] = t.buildIndexLocked(attrs)
 	} else {
-		t.indexes[attr] = NewHashIndex() // built by the next Seal
+		t.indexes[name] = NewHashIndex(attrs...) // built by the next Seal
 	}
 	return nil
 }
 
 // buildIndexLocked builds a fresh index over the current rows. Caller holds
-// the write lock; attr existence was validated by CreateIndex.
-func (t *Table) buildIndexLocked(attr string) *HashIndex {
-	ix := NewHashIndex()
+// the write lock; attribute existence was validated by CreateIndex.
+func (t *Table) buildIndexLocked(attrs []string) *HashIndex {
+	ix := NewHashIndex(attrs...)
 	for _, r := range t.rows {
-		if k, err := indexKeyOf(r, attr); err == nil {
-			ix.Add(k, r)
-		}
+		ix.Add(r)
 	}
 	return ix
 }
 
-// indexKeyOf extracts the index key attribute from a row.
-func indexKeyOf(row value.Value, attr string) (value.Value, error) {
-	if row.Kind() != value.KindTuple {
-		return value.Value{}, fmt.Errorf("row %s is not a tuple", row)
-	}
-	k, ok := row.Get(attr)
-	if !ok {
-		return value.Value{}, fmt.Errorf("row %s has no attribute %s", row, attr)
-	}
-	return k, nil
+// errMissingAttr reports an index-maintenance failure: a typechecked row
+// missing a registered index attribute indicates corruption.
+func errMissingAttr(table string, row value.Value, attrs []string) error {
+	return fmt.Errorf("storage: maintaining index %s(%s): row %s lacks an indexed attribute",
+		table, IndexName(attrs), row)
 }
 
-// Index returns the live index on attr. It reports ok only while the table
-// is sealed: between Unseal and the next Seal the registered indexes are
-// stale, and consumers (the planner's index joins) must not probe them.
-func (t *Table) Index(attr string) (*HashIndex, bool) {
+// Index returns the live index with the given canonical name (a bare
+// attribute for single-attribute indexes, IndexName(attrs) for composite
+// ones). It reports ok only while the table is sealed: between Unseal and
+// the next Seal the registered indexes are stale, and consumers (the
+// planner's index joins and scans) must not probe them.
+func (t *Table) Index(name string) (*HashIndex, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	if !t.sealed {
 		return nil, false
 	}
-	ix, ok := t.indexes[attr]
+	ix, ok := t.indexes[name]
 	return ix, ok
 }
 
-// IndexAttrs returns the attributes with registered indexes, sorted.
+// IndexOn returns the live index on exactly the given ordered attribute list.
+func (t *Table) IndexOn(attrs []string) (*HashIndex, bool) {
+	return t.Index(IndexName(attrs))
+}
+
+// IndexAttrs returns the canonical names of the registered indexes, sorted
+// ("b" for a single-attribute index, "b,d" for a composite one).
 func (t *Table) IndexAttrs() []string {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -375,6 +388,27 @@ func (t *Table) IndexAttrs() []string {
 		out = append(out, a)
 	}
 	sort.Strings(out)
+	return out
+}
+
+// Indexes returns the attribute lists of the live indexes (nil while the
+// table is unsealed), sorted by canonical name — the planner's index
+// enumeration oracle.
+func (t *Table) Indexes() [][]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if !t.sealed {
+		return nil
+	}
+	names := make([]string, 0, len(t.indexes))
+	for n := range t.indexes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([][]string, len(names))
+	for i, n := range names {
+		out[i] = t.indexes[n].Attrs()
+	}
 	return out
 }
 
@@ -415,14 +449,14 @@ func (db *DB) Table(name string) (*Table, bool) {
 	return t, ok
 }
 
-// CreateIndex registers a persistent hash index on table.attr (see
-// Table.CreateIndex).
-func (db *DB) CreateIndex(table, attr string) error {
+// CreateIndex registers a persistent hash index on the table's ordered
+// attribute list (see Table.CreateIndex).
+func (db *DB) CreateIndex(table string, attrs ...string) error {
 	t, ok := db.tables[table]
 	if !ok {
 		return fmt.Errorf("storage: unknown table %s", table)
 	}
-	return t.CreateIndex(attr)
+	return t.CreateIndex(attrs...)
 }
 
 // SealAll seals every table.

@@ -45,12 +45,18 @@
 //     exactly the mutated table, and cached plans carry the epoch vector of
 //     the tables they read, so a mutation invalidates the plans and
 //     statistics of that table — and only that table;
-//   - persistent secondary indexes: Engine.CreateIndex registers an
-//     equi-key hash index (rebuilt on Seal, maintained incrementally by
-//     mutations) and the optimizer costs an idxjoin family (IndexJoins)
-//     that probes the index per outer row instead of draining and hashing
-//     the inner table — EXPLAIN lists the idxjoin candidates and the
-//     cost-based path picks them when statistics favor it;
+//   - persistent secondary indexes: Engine.CreateIndex registers a hash
+//     index on an ordered attribute list — one attribute for the classic
+//     equi-key index, several for a composite index whose every prefix is
+//     probeable (rebuilt on Seal, maintained incrementally by mutations).
+//     The optimizer costs an idxjoin family (IndexJoins) that probes the
+//     index per outer row instead of draining and hashing the inner table
+//     (composite indexes serve multi-key equi-joins with no residual), and
+//     an idxscan access path (Options.Access) that answers single-table
+//     equality selections σ[x.a = c](X) from the matching bucket without
+//     scanning — probe costs come from per-bucket depth statistics, EXPLAIN
+//     lists both candidate kinds, and the cost-based path picks them when
+//     statistics favor it;
 //   - a bounded per-engine plan cache memoizing (bound query, options,
 //     table epochs) → physical plan with LRU eviction (default capacity
 //     256, see Engine.SetPlanCacheCapacity), so repeated queries skip
@@ -136,9 +142,26 @@ const (
 	// MergeJoins uses sort-merge for nest joins (hash elsewhere).
 	MergeJoins = planner.ImplMerge
 	// IndexJoins probes persistent per-table hash indexes (see
-	// Engine.CreateIndex) where one covers the join key, falling back to
-	// the auto mapping elsewhere. Shown as "idxjoin" in EXPLAIN.
+	// Engine.CreateIndex) where one covers a prefix of the join keys,
+	// falling back to the auto mapping elsewhere. Shown as "idxjoin" in
+	// EXPLAIN.
 	IndexJoins = planner.ImplIndex
+)
+
+// AccessPath selects how leaf selections read their tables.
+type AccessPath = planner.AccessPath
+
+// Access paths for Options.Access and Result.Access.
+const (
+	// AutoAccess (the zero value) lets the cost-based planner weigh index
+	// scans against full scans wherever a selection's equality conjuncts
+	// cover a live index prefix.
+	AutoAccess = planner.AccessAuto
+	// ScanAccess pins full scans (the pre-index behavior).
+	ScanAccess = planner.AccessScan
+	// IndexAccess pins index scans where a live index matches, with
+	// per-selection fallback to scans. Shown as "idxscan" in EXPLAIN.
+	IndexAccess = planner.AccessIndex
 )
 
 // Catalog is a TM schema: classes with extensions and sorts.
