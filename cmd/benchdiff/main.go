@@ -17,6 +17,14 @@
 //	benchdiff -tolerance 0.4       # loosen the gate
 //	benchdiff -update              # refresh the baseline (after an
 //	                               # intentional perf change; commit it)
+//	benchdiff -parallel BENCH_parallel.json
+//	                               # also gate parallel speedups against the
+//	                               # committed artifact; explicitly SKIPPED
+//	                               # (never silently passed) when the
+//	                               # artifact or this host is single-CPU —
+//	                               # regenerate the artifact on a multi-core
+//	                               # host with:
+//	                               #   go run ./cmd/repro -parbench BENCH_parallel.json
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"tmdb/internal/benchkit"
 )
@@ -34,6 +43,8 @@ func main() {
 		out       = flag.String("out", "", "write the comparison report to this JSON file")
 		update    = flag.Bool("update", false, "re-measure and overwrite the baseline instead of gating")
 		tolerance = flag.Float64("tolerance", 0.25, "allowed regression fraction for ns/op and allocs/op")
+		parallel  = flag.String("parallel", "", "also gate the parallel-speedup artifact (e.g. BENCH_parallel.json)")
+		minSpeed  = flag.Float64("min-speedup", 1.1, "minimum acceptable parallel speedup (with -parallel)")
 	)
 	flag.Parse()
 
@@ -77,9 +88,38 @@ func main() {
 		f.Close()
 		fmt.Printf("\nwrote %s\n", *out)
 	}
+	failed := false
 	if report.Regressions > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed beyond %.0f%%\n",
 			report.Regressions, *tolerance*100)
+		failed = true
+	}
+
+	// Parallel-speedup gate: compares the committed BENCH_parallel.json
+	// speedups against the floor, or reports an explicit skip when either
+	// the artifact or this host lacks the cores to make speedup meaningful
+	// (see benchkit.GateParallel for the regeneration recipe).
+	if *parallel != "" {
+		pf, err := os.Open(*parallel)
+		if err != nil {
+			fatal(err)
+		}
+		prep, err := benchkit.ReadParallelReport(pf)
+		pf.Close()
+		if err != nil {
+			fatal(err)
+		}
+		gate := benchkit.GateParallel(prep, *minSpeed, runtime.GOMAXPROCS(0))
+		fmt.Println()
+		gate.Print(os.Stdout)
+		if gate.Status == "failed" {
+			fmt.Fprintf(os.Stderr, "benchdiff: %d parallel configuration(s) below the %.2fx speedup floor\n",
+				gate.Failures, *minSpeed)
+			failed = true
+		}
+	}
+
+	if failed {
 		os.Exit(1)
 	}
 }

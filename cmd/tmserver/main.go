@@ -1,0 +1,104 @@
+// Command tmserver serves a sample database over the HTTP/JSON query API
+// (internal/server): sessions, one-shot queries, prepared statements,
+// explain, and stats, with bounded concurrency and graceful shutdown on
+// SIGINT/SIGTERM.
+//
+// Quickstart:
+//
+//	tmserver -db company -addr :8080 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/query \
+//	    -d '{"query":"SELECT e.name FROM EMP e WHERE e.sal > 50"}'
+//	curl -s -X POST localhost:8080/prepare \
+//	    -d '{"name":"q1","query":"SELECT e.name FROM EMP e WHERE e.sal > 50"}'
+//	curl -s -X POST localhost:8080/execute -d '{"name":"q1"}'
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		dbName   = flag.String("db", "company", "sample database: company | xyz | table1 | rs")
+		maxConc  = flag.Int("max-concurrency", 0, "max queries executing at once (0 = 4 x GOMAXPROCS)")
+		queueTO  = flag.Duration("queue-timeout", 2*time.Second, "how long a request waits for an execution slot")
+		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
+		cacheCap = flag.Int("plancache", 0, "plan-cache LRU capacity (0 = default 256)")
+	)
+	flag.Parse()
+
+	eng, err := openDB(*dbName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	eng.SetPlanCacheCapacity(*cacheCap)
+
+	srv := server.New(eng, server.Config{
+		MaxConcurrency: *maxConc,
+		QueueTimeout:   *queueTO,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("tmserver: draining (timeout %s)", *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		// Drain the query layer first (new requests get structured
+		// "draining" errors while in-flight queries finish), then close the
+		// listener.
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("tmserver: drain incomplete: %v", err)
+		}
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("tmserver: http shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("tmserver: serving %s database on %s", *dbName, *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("tmserver: %v", err)
+	}
+	<-done
+	log.Printf("tmserver: drained, bye")
+}
+
+func openDB(name string) (*engine.Engine, error) {
+	switch name {
+	case "company":
+		cat, db := datagen.Company(8, 60, 1)
+		return engine.New(cat, db), nil
+	case "xyz":
+		cat, db := datagen.XYZ(datagen.Spec{
+			NX: 100, NY: 300, NZ: 200, Keys: 20, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 1,
+		})
+		return engine.New(cat, db), nil
+	case "table1":
+		cat, db := datagen.Table1()
+		return engine.New(cat, db), nil
+	case "rs":
+		cat, db := datagen.RS(100, 300, 20, 0.3, 1)
+		return engine.New(cat, db), nil
+	}
+	return nil, fmt.Errorf("unknown database %q (company | xyz | table1 | rs)", name)
+}

@@ -1,0 +1,125 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Parallel-speedup gating (cmd/benchdiff -parallel): the committed
+// BENCH_parallel.json records serial-vs-partitioned speedups, but those
+// numbers only mean anything when both the artifact and the current host had
+// real cores — on one usable CPU the partitioned operators cannot convert
+// into wall-clock and speedup ≈ 1× (or worse) by construction. Rather than
+// silently passing in that situation, the gate reports an explicit "skipped"
+// status with the reason, so CI logs show the comparison did not run.
+//
+// Regenerating the artifact on a multi-core host:
+//
+//	go run ./cmd/repro -parbench BENCH_parallel.json
+//
+// (commit it; the report embeds GOMAXPROCS/NumCPU so the gate can tell
+// whether its speedup column is trustworthy).
+
+// ParallelGateResult is one checked parallel-mode measurement.
+type ParallelGateResult struct {
+	ID          string  `json:"id"`
+	Parallelism int     `json:"parallelism"`
+	Speedup     float64 `json:"speedup_vs_serial"`
+	OK          bool    `json:"ok"`
+}
+
+// ParallelGate is the outcome of gating a parallel bench report.
+type ParallelGate struct {
+	// Status is "ok", "failed", or "skipped". Skipped is an explicit
+	// outcome, not a pass: the speedup comparison did not run, and Reason
+	// says why.
+	Status     string               `json:"status"`
+	Reason     string               `json:"reason,omitempty"`
+	MinSpeedup float64              `json:"min_speedup"`
+	Checked    []ParallelGateResult `json:"checked,omitempty"`
+	Failures   int                  `json:"failures"`
+}
+
+// GateParallel checks every parallel-mode result of report against
+// minSpeedup. curProcs is the current host's GOMAXPROCS. The comparison is
+// skipped — with an explicit reason, never a silent pass — when:
+//
+//   - the artifact carries the single-CPU warning;
+//   - the artifact was measured with GOMAXPROCS or NumCPU < 2 (committed
+//     reports may predate the warning field, so the recorded processor
+//     counts are checked independently);
+//   - the current host has fewer than 2 usable CPUs (a regression observed
+//     here could not be reproduced, and regenerating the artifact locally
+//     would itself be skipped).
+func GateParallel(report *ParallelBenchReport, minSpeedup float64, curProcs int) *ParallelGate {
+	g := &ParallelGate{MinSpeedup: minSpeedup}
+	switch {
+	case report.Warning != "":
+		g.Status = "skipped"
+		g.Reason = "artifact warning: " + report.Warning
+	case report.GOMAXPROCS < 2 || report.NumCPU < 2:
+		g.Status = "skipped"
+		g.Reason = fmt.Sprintf("artifact measured on a single-CPU host (gomaxprocs=%d, num_cpu=%d): speedup column is not meaningful",
+			report.GOMAXPROCS, report.NumCPU)
+	case curProcs < 2:
+		g.Status = "skipped"
+		g.Reason = fmt.Sprintf("current host has GOMAXPROCS=%d: cannot reproduce parallel speedups here", curProcs)
+	}
+	if g.Status == "skipped" {
+		g.Reason += " — regenerate on a multi-core host with: go run ./cmd/repro -parbench BENCH_parallel.json"
+		return g
+	}
+	g.Status = "ok"
+	for _, r := range report.Results {
+		if r.Mode != "parallel" {
+			continue
+		}
+		ok := r.SpeedupVsSerial >= minSpeedup
+		if !ok {
+			g.Failures++
+		}
+		g.Checked = append(g.Checked, ParallelGateResult{
+			ID: r.ID, Parallelism: r.Parallelism, Speedup: r.SpeedupVsSerial, OK: ok,
+		})
+	}
+	if g.Failures > 0 {
+		g.Status = "failed"
+	}
+	return g
+}
+
+// ReadParallelReport parses a BENCH_parallel.json artifact.
+func ReadParallelReport(r io.Reader) (*ParallelBenchReport, error) {
+	var rep ParallelBenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("parsing parallel bench report: %w", err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("parallel bench report has no results")
+	}
+	return &rep, nil
+}
+
+// Print renders the gate outcome.
+func (g *ParallelGate) Print(w io.Writer) {
+	if g.Status == "skipped" {
+		fmt.Fprintf(w, "parallel-speedup gate: SKIPPED — %s\n", g.Reason)
+		return
+	}
+	out := Table{
+		Title:   fmt.Sprintf("parallel-speedup gate (min %.2fx)", g.MinSpeedup),
+		Headers: []string{"exp", "par", "speedup", "status"},
+	}
+	for _, r := range g.Checked {
+		status := "ok"
+		if !r.OK {
+			status = "below floor"
+		}
+		out.Add(r.ID, r.Parallelism, fmt.Sprintf("%.2fx", r.Speedup), status)
+	}
+	if g.Failures > 0 {
+		out.Note("%d parallel configuration(s) below the %.2fx speedup floor", g.Failures, g.MinSpeedup)
+	}
+	out.Print(w)
+}

@@ -1,0 +1,94 @@
+package benchkit
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func multiCoreReport() *ParallelBenchReport {
+	return &ParallelBenchReport{
+		GOMAXPROCS: 8, NumCPU: 8,
+		Results: []ParallelBenchResult{
+			{ID: "B1", Mode: "serial", Parallelism: 1, SpeedupVsSerial: 1.0},
+			{ID: "B1", Mode: "parallel", Parallelism: 4, SpeedupVsSerial: 2.4},
+			{ID: "B2", Mode: "serial", Parallelism: 1, SpeedupVsSerial: 1.0},
+			{ID: "B2", Mode: "parallel", Parallelism: 4, SpeedupVsSerial: 1.7},
+		},
+	}
+}
+
+func TestGateParallelOKAndFailed(t *testing.T) {
+	g := GateParallel(multiCoreReport(), 1.5, 8)
+	if g.Status != "ok" || g.Failures != 0 || len(g.Checked) != 2 {
+		t.Fatalf("gate = %+v, want ok over 2 parallel rows", g)
+	}
+	g = GateParallel(multiCoreReport(), 2.0, 8)
+	if g.Status != "failed" || g.Failures != 1 {
+		t.Fatalf("gate = %+v, want failed with 1 failure (B2 at 1.7x < 2.0x)", g)
+	}
+}
+
+// TestGateParallelSkipsExplicitly locks in the skip semantics: a warning in
+// the artifact, a single-CPU artifact (even without the warning field — older
+// committed reports predate it), or a single-CPU current host each produce an
+// explicit skipped status carrying the regeneration recipe, never a silent
+// pass.
+func TestGateParallelSkipsExplicitly(t *testing.T) {
+	cases := []struct {
+		name   string
+		report *ParallelBenchReport
+		procs  int
+		why    string
+	}{
+		{"artifact-warning", &ParallelBenchReport{GOMAXPROCS: 8, NumCPU: 8, Warning: singleCPUWarning,
+			Results: multiCoreReport().Results}, 8, "artifact warning"},
+		{"artifact-single-cpu-no-warning", &ParallelBenchReport{GOMAXPROCS: 1, NumCPU: 1,
+			Results: multiCoreReport().Results}, 8, "single-CPU host"},
+		{"current-host-single-cpu", multiCoreReport(), 1, "GOMAXPROCS=1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := GateParallel(tc.report, 1.5, tc.procs)
+			if g.Status != "skipped" {
+				t.Fatalf("status = %q, want skipped", g.Status)
+			}
+			if !strings.Contains(g.Reason, tc.why) {
+				t.Fatalf("reason %q does not name the cause %q", g.Reason, tc.why)
+			}
+			if !strings.Contains(g.Reason, "go run ./cmd/repro -parbench") {
+				t.Fatalf("reason %q lost the regeneration recipe", g.Reason)
+			}
+			if g.Failures != 0 || len(g.Checked) != 0 {
+				t.Fatalf("skipped gate still checked rows: %+v", g)
+			}
+			var sb strings.Builder
+			g.Print(&sb)
+			if !strings.Contains(sb.String(), "SKIPPED") {
+				t.Fatalf("printed gate does not say SKIPPED:\n%s", sb.String())
+			}
+		})
+	}
+}
+
+// TestGateParallelCommittedArtifact runs the gate over the repo's committed
+// BENCH_parallel.json: measured on a single-CPU host, it must skip, not pass.
+func TestGateParallelCommittedArtifact(t *testing.T) {
+	f, err := os.Open("../../BENCH_parallel.json")
+	if err != nil {
+		t.Skipf("no committed artifact: %v", err)
+	}
+	defer f.Close()
+	rep, err := ReadParallelReport(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := GateParallel(rep, 1.5, 8)
+	if rep.GOMAXPROCS < 2 || rep.NumCPU < 2 || rep.Warning != "" {
+		if g.Status != "skipped" {
+			t.Fatalf("single-CPU committed artifact gated as %q, want skipped", g.Status)
+		}
+	} else if g.Status == "skipped" {
+		t.Fatalf("multi-core committed artifact skipped: %s", g.Reason)
+	}
+}

@@ -230,6 +230,13 @@ func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.execBound(bound, opts)
+}
+
+// execBound plans and executes an already bound expression — the shared tail
+// of QueryExpr and Prepared.Query. bound must be fully typed and is never
+// mutated, so prepared statements may execute it from many goroutines.
+func (e *Engine) execBound(bound tmql.Expr, opts Options) (*Result, error) {
 	start := time.Now()
 	pl, hit, err := e.plan(bound, opts)
 	if err != nil {
@@ -284,6 +291,12 @@ func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, bool, error) {
 	pl, err := e.planMiss(bound, opts, par)
 	if err != nil {
 		return nil, false, err
+	}
+	// Validate a pinned join family before caching or executing, so Query and
+	// Explain fail identically at plan time (the auto path only ever chooses
+	// feasible families). An infeasible decision is never cached.
+	if reason := planner.ImplInfeasible(pl.plan, pl.joins); reason != "" {
+		return nil, false, fmt.Errorf("engine: %s join requested but %s", pl.joins, reason)
 	}
 	e.cache.put(key, tables, pl)
 	return pl, false, nil
@@ -398,12 +411,16 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return e.explainBound(bound, opts)
+}
+
+// explainBound renders the physical plan for an already bound expression —
+// the shared tail of Explain and Prepared.Explain. Infeasible pinned join
+// families are rejected inside plan, identically to execution.
+func (e *Engine) explainBound(bound tmql.Expr, opts Options) (string, error) {
 	pl, _, err := e.plan(bound, opts)
 	if err != nil {
 		return "", err
-	}
-	if reason := planner.ImplInfeasible(pl.plan, pl.joins); reason != "" {
-		return "", fmt.Errorf("engine: %s join requested but %s", pl.joins, reason)
 	}
 	est := planner.NewEstimatorStats(e.Stats())
 	var b strings.Builder

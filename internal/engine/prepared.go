@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"tmdb/internal/planner"
+	"tmdb/internal/tmql"
+)
+
+// Prepared is a parse-once/bind-once statement: Prepare pays parsing and
+// binding a single time, and every execution goes straight to planning —
+// where the plan cache takes over, keyed on the bound query, the options, and
+// the mutation-epoch vector of the referenced tables. Re-executing after one
+// of those tables mutates therefore replans automatically (the epoch in the
+// key changes); until then repeated executions hit the cached decision.
+//
+// A Prepared is immutable after construction: the bound tree is never
+// mutated by planning or execution, so one statement may be executed from
+// many goroutines concurrently, with per-execution Options.
+type Prepared struct {
+	e      *Engine
+	src    string
+	bound  tmql.Expr
+	tables []string
+}
+
+// Prepare parses and binds src once, returning a reusable statement.
+func (e *Engine) Prepare(src string) (*Prepared, error) {
+	expr, err := tmql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := tmql.NewBinder(e.cat).Bind(expr)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{e: e, src: src, bound: bound, tables: tmql.Tables(bound)}, nil
+}
+
+// Source returns the statement text as prepared.
+func (p *Prepared) Source() string { return p.src }
+
+// Tables returns the extension tables the statement references (sorted) —
+// the set whose mutation epochs key its cached plans.
+func (p *Prepared) Tables() []string { return append([]string(nil), p.tables...) }
+
+// Query plans (through the engine's plan cache) and executes the statement.
+func (p *Prepared) Query(opts Options) (*Result, error) {
+	return p.e.execBound(p.bound, opts)
+}
+
+// Explain renders the physical plan the statement would execute with, using
+// the same plan-cache lookup as Query.
+func (p *Prepared) Explain(opts Options) (string, error) {
+	return p.e.explainBound(p.bound, opts)
+}
+
+// Candidates plans the statement and returns the optimizer's candidate table
+// (empty on fixed-strategy paths), like Engine.PlanCandidates.
+func (p *Prepared) Candidates(opts Options) ([]planner.Candidate, error) {
+	pl, _, err := p.e.plan(p.bound, opts)
+	if err != nil {
+		return nil, err
+	}
+	return pl.candidates, nil
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client is a thin typed wrapper over the server's HTTP/JSON API, used by the
+// conformance tests and handy for tooling. A Client is safe for concurrent
+// use (the underlying http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+	// SessionID, when set, is attached to every request that supports one.
+	SessionID string
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). hc may be nil for http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// ServerError is a structured error response from the server.
+type ServerError struct {
+	Code      string
+	Message   string
+	RequestID string
+	// HTTPStatus is the response's status code.
+	HTTPStatus int
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server: %s (%s, http %d)", e.Message, e.Code, e.HTTPStatus)
+}
+
+func (c *Client) do(method, path string, body, into any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(raw, &er) == nil && er.Error.Code != "" {
+			return &ServerError{
+				Code: er.Error.Code, Message: er.Error.Message,
+				RequestID: er.RequestID, HTTPStatus: resp.StatusCode,
+			}
+		}
+		return fmt.Errorf("server: http %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	if into == nil {
+		return nil
+	}
+	return json.Unmarshal(raw, into)
+}
+
+// NewSession registers a session with the given options and stores its ID on
+// the client for subsequent calls.
+func (c *Client) NewSession(opts WireOptions) (string, error) {
+	var resp sessionResponse
+	if err := c.do("POST", "/session", sessionRequest{Options: opts}, &resp); err != nil {
+		return "", err
+	}
+	c.SessionID = resp.SessionID
+	return resp.SessionID, nil
+}
+
+// CloseSession closes the client's session (a no-op if none was created).
+func (c *Client) CloseSession() error {
+	if c.SessionID == "" {
+		return nil
+	}
+	err := c.do("DELETE", "/session/"+c.SessionID, nil, nil)
+	if err == nil {
+		c.SessionID = ""
+	}
+	return err
+}
+
+// Query runs a one-shot query. opts may be nil to use the session's options.
+func (c *Client) Query(query string, opts *WireOptions) (*QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do("POST", "/query", queryRequest{SessionID: c.SessionID, Query: query, Options: opts}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Prepare registers a named prepared statement in the client's session.
+func (c *Client) Prepare(name, query string) ([]string, error) {
+	var resp prepareResponse
+	err := c.do("POST", "/prepare", prepareRequest{SessionID: c.SessionID, Name: name, Query: query}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Tables, nil
+}
+
+// Execute runs a prepared statement by name. opts may be nil to use the
+// session's options.
+func (c *Client) Execute(name string, opts *WireOptions) (*QueryResponse, error) {
+	var resp QueryResponse
+	err := c.do("POST", "/execute", queryRequest{SessionID: c.SessionID, Name: name, Options: opts}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Explain returns the plan description of a query (or, with name != "", of a
+// prepared statement).
+func (c *Client) Explain(query, name string, opts *WireOptions) (string, error) {
+	var resp explainResponse
+	err := c.do("POST", "/explain", queryRequest{SessionID: c.SessionID, Query: query, Name: name, Options: opts}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp.Explain, nil
+}
+
+// Stats fetches the server's counters.
+func (c *Client) Stats() (*StatsResponse, error) {
+	var resp StatsResponse
+	if err := c.do("GET", "/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health reports whether the server is accepting requests.
+func (c *Client) Health() error {
+	return c.do("GET", "/healthz", nil, nil)
+}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"fmt"
+
+	"tmdb/internal/core"
+	"tmdb/internal/engine"
+	"tmdb/internal/planner"
+)
+
+// WireOptions is the JSON form of engine.Options used by the HTTP API: every
+// field is a human-readable name (the same vocabulary as cmd/tmql's flags),
+// and the zero value maps to the engine's cost-based defaults. Sessions carry
+// one resolved engine.Options; a request may also attach WireOptions of its
+// own, which replace the session's for that request only.
+type WireOptions struct {
+	// Strategy: auto | naive | nestjoin | kim | outerjoin.
+	Strategy string `json:"strategy,omitempty"`
+	// Joins: auto | nl | hash | merge | index.
+	Joins string `json:"joins,omitempty"`
+	// Access: auto | scan | index.
+	Access string `json:"access,omitempty"`
+	// Parallelism: 0 = planner default, 1 = serial, n >= 2 = degree.
+	Parallelism int `json:"parallelism,omitempty"`
+	// Rewrite pins the §6-rewritten logical alternative.
+	Rewrite bool `json:"rewrite,omitempty"`
+	// PinAlt pins a logical alternative by its candidate-table label.
+	PinAlt string `json:"pin_alt,omitempty"`
+}
+
+// Engine resolves the wire form into engine.Options, rejecting unknown names.
+func (w WireOptions) Engine() (engine.Options, error) {
+	var opts engine.Options
+	if w.Strategy != "" {
+		s, err := core.ParseStrategy(w.Strategy)
+		if err != nil {
+			return opts, fmt.Errorf("unknown strategy %q (auto | naive | nestjoin | kim | outerjoin)", w.Strategy)
+		}
+		opts.Strategy = s
+	}
+	switch w.Joins {
+	case "", "auto":
+		opts.Joins = planner.ImplAuto
+	case "nl":
+		opts.Joins = planner.ImplNestedLoop
+	case "hash":
+		opts.Joins = planner.ImplHash
+	case "merge":
+		opts.Joins = planner.ImplMerge
+	case "index", "idx":
+		opts.Joins = planner.ImplIndex
+	default:
+		return opts, fmt.Errorf("unknown join impl %q (auto | nl | hash | merge | index)", w.Joins)
+	}
+	switch w.Access {
+	case "", "auto":
+		opts.Access = planner.AccessAuto
+	case "scan":
+		opts.Access = planner.AccessScan
+	case "index", "idx", "idxscan":
+		opts.Access = planner.AccessIndex
+	default:
+		return opts, fmt.Errorf("unknown access path %q (auto | scan | index)", w.Access)
+	}
+	if w.Parallelism < 0 {
+		return opts, fmt.Errorf("parallelism must be >= 0, got %d", w.Parallelism)
+	}
+	opts.Parallelism = w.Parallelism
+	opts.Rewrite = w.Rewrite
+	opts.PinAlt = w.PinAlt
+	return opts, nil
+}

@@ -1,0 +1,680 @@
+// Package server is the network-facing query server over one engine: a
+// multi-goroutine single-node HTTP/JSON service in the shape of the N1QL
+// query engine, whose parse → prepare → execute split maps onto the engine's
+// bind → plan → exec pipeline.
+//
+// The pieces:
+//
+//   - Sessions: POST /session registers per-session engine.Options (strategy,
+//     join family, access path, parallelism, pins); subsequent requests name
+//     the session and inherit them. Requests without a session run under the
+//     server's default options. Sessions also namespace prepared statements.
+//   - Prepared statements: POST /prepare parses and binds once
+//     (engine.Prepare); POST /execute re-executes the bound tree, going
+//     straight to the engine's plan cache — whose keys carry the
+//     mutation-epoch vector of the referenced tables, so re-execution after a
+//     mutation replans instead of serving a stale plan.
+//   - Admission control: at most Config.MaxConcurrency queries execute at
+//     once; excess requests queue up to Config.QueueTimeout and then fail
+//     with a structured queue_timeout error rather than piling onto the
+//     engine.
+//   - Graceful shutdown: Shutdown stops admitting (requests fail fast with a
+//     draining error, /healthz turns 503) and blocks until every in-flight
+//     query has drained.
+//
+// Every response carries a request ID (X-Request-ID header and request_id
+// field); errors are structured {"error": {"code", "message"}} documents.
+// The engine itself is safe for concurrent use (see ARCHITECTURE.md
+// "Thread-safety contract"), so the server adds no query-path locking beyond
+// the admission semaphore.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tmdb/internal/engine"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxConcurrency bounds the number of queries executing at once
+	// (admission control). 0 means 4 × GOMAXPROCS.
+	MaxConcurrency int
+	// QueueTimeout is how long an admitted-over-capacity request waits for an
+	// execution slot before failing with code "queue_timeout". 0 means 2s.
+	QueueTimeout time.Duration
+	// DefaultOptions are the engine options of requests that name no session.
+	DefaultOptions engine.Options
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrency <= 0 {
+		c.MaxConcurrency = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// Server serves one engine over HTTP/JSON. Construct with New; it implements
+// http.Handler. All methods are safe for concurrent use.
+type Server struct {
+	eng *engine.Engine
+	cfg Config
+	mux *http.ServeMux
+
+	// sem is the admission semaphore: one token per concurrently executing
+	// query.
+	sem chan struct{}
+
+	// reqSeq numbers requests for the X-Request-ID header.
+	reqSeq atomic.Uint64
+
+	// sessions registry. The default session (key "") is created eagerly and
+	// cannot be closed.
+	mu       sync.RWMutex
+	sessions map[string]*session
+	sessSeq  uint64
+
+	// drain gate: tracks in-flight requests and rejects new ones while
+	// draining.
+	drain drainGate
+
+	// counters for /stats.
+	admitted      atomic.Uint64
+	queueTimeouts atomic.Uint64
+	drainRejects  atomic.Uint64
+}
+
+// New returns a server over eng.
+func New(eng *engine.Engine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		eng:      eng,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxConcurrency),
+		sessions: map[string]*session{"": newSession("", cfg.DefaultOptions)},
+	}
+	s.drain.idle = make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /session", s.handleSessionNew)
+	mux.HandleFunc("DELETE /session/{id}", s.handleSessionClose)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("POST /execute", s.handleExecute)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// Engine returns the engine the server fronts.
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown drains the server: new requests are rejected with code "draining"
+// (and /healthz turns 503) while every in-flight request runs to completion.
+// It returns nil once drained, or the context's error if it expires first —
+// in-flight queries are never cancelled mid-execution either way. Shutdown is
+// idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.drain.wait(ctx)
+}
+
+// Draining reports whether Shutdown has been called.
+func (s *Server) Draining() bool { return s.drain.draining() }
+
+// InFlight returns the number of requests currently being served.
+func (s *Server) InFlight() int { return s.drain.inFlight() }
+
+// drainGate tracks in-flight requests and coordinates graceful shutdown
+// without sync.WaitGroup's Add-after-Wait restriction: enter refuses once
+// draining, and wait closes idle exactly when the count reaches zero.
+type drainGate struct {
+	mu   sync.Mutex
+	n    int
+	down bool
+	idle chan struct{}
+}
+
+func (g *drainGate) enter() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.down {
+		return false
+	}
+	g.n++
+	return true
+}
+
+func (g *drainGate) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	if g.down && g.n == 0 {
+		select {
+		case <-g.idle:
+		default:
+			close(g.idle)
+		}
+	}
+}
+
+func (g *drainGate) wait(ctx context.Context) error {
+	g.mu.Lock()
+	if !g.down {
+		g.down = true
+	}
+	if g.n == 0 {
+		select {
+		case <-g.idle:
+		default:
+			close(g.idle)
+		}
+	}
+	g.mu.Unlock()
+	select {
+	case <-g.idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *drainGate) draining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.down
+}
+
+func (g *drainGate) inFlight() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// session is one registered client context: resolved engine options plus a
+// namespace of prepared statements.
+type session struct {
+	id      string
+	opts    engine.Options
+	created time.Time
+
+	mu       sync.RWMutex
+	prepared map[string]*engine.Prepared
+}
+
+func newSession(id string, opts engine.Options) *session {
+	return &session{id: id, opts: opts, created: time.Now(), prepared: make(map[string]*engine.Prepared)}
+}
+
+func (ss *session) stmt(name string) (*engine.Prepared, bool) {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	p, ok := ss.prepared[name]
+	return p, ok
+}
+
+func (ss *session) setStmt(name string, p *engine.Prepared) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if _, dup := ss.prepared[name]; dup {
+		return fmt.Errorf("statement %q already prepared in this session", name)
+	}
+	ss.prepared[name] = p
+	return nil
+}
+
+func (ss *session) stmtCount() int {
+	ss.mu.RLock()
+	defer ss.mu.RUnlock()
+	return len(ss.prepared)
+}
+
+// lookupSession resolves a session ID ("" = the default session).
+func (s *Server) lookupSession(id string) (*session, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ss, ok := s.sessions[id]
+	return ss, ok
+}
+
+// --- wire types ---
+
+// wireError is the structured error document body.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+type errorResponse struct {
+	RequestID string    `json:"request_id"`
+	Error     wireError `json:"error"`
+}
+
+// sessionRequest is the POST /session body.
+type sessionRequest struct {
+	Options WireOptions `json:"options"`
+}
+
+type sessionResponse struct {
+	RequestID string `json:"request_id"`
+	SessionID string `json:"session_id"`
+}
+
+// queryRequest is the POST /query, /execute, and /explain body: /query takes
+// Query, /execute takes Name, /explain takes either (Name wins). Options, if
+// present, replace the session's options for this request.
+type queryRequest struct {
+	SessionID string       `json:"session_id,omitempty"`
+	Query     string       `json:"query,omitempty"`
+	Name      string       `json:"name,omitempty"`
+	Options   *WireOptions `json:"options,omitempty"`
+}
+
+// prepareRequest is the POST /prepare body.
+type prepareRequest struct {
+	SessionID string `json:"session_id,omitempty"`
+	Name      string `json:"name"`
+	Query     string `json:"query"`
+}
+
+type prepareResponse struct {
+	RequestID string   `json:"request_id"`
+	SessionID string   `json:"session_id,omitempty"`
+	Name      string   `json:"name"`
+	Tables    []string `json:"tables"`
+}
+
+// QueryResponse is the /query and /execute response body. Result is the
+// value's canonical JSON (sets in canonical element order), so two responses
+// are byte-comparable.
+type QueryResponse struct {
+	RequestID   string          `json:"request_id"`
+	Result      json.RawMessage `json:"result"`
+	Rows        int             `json:"rows"`
+	Strategy    string          `json:"strategy"`
+	Alt         string          `json:"alt,omitempty"`
+	Joins       string          `json:"joins"`
+	Access      string          `json:"access"`
+	Parallelism int             `json:"parallelism"`
+	Auto        bool            `json:"auto"`
+	CacheHit    bool            `json:"cache_hit"`
+	DurationNs  int64           `json:"duration_ns"`
+	EvalSteps   int64           `json:"eval_steps"`
+}
+
+type explainResponse struct {
+	RequestID string `json:"request_id"`
+	Explain   string `json:"explain"`
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	RequestID      string            `json:"request_id"`
+	Sessions       int               `json:"sessions"`
+	Prepared       int               `json:"prepared"`
+	InFlight       int               `json:"in_flight"`
+	MaxConcurrency int               `json:"max_concurrency"`
+	QueueTimeoutMs int64             `json:"queue_timeout_ms"`
+	Admitted       uint64            `json:"admitted"`
+	QueueTimeouts  uint64            `json:"queue_timeouts"`
+	DrainRejects   uint64            `json:"drain_rejects"`
+	Draining       bool              `json:"draining"`
+	PlanCache      engine.CacheStats `json:"plan_cache"`
+}
+
+// --- plumbing ---
+
+func (s *Server) nextRequestID() string {
+	return fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+}
+
+func writeJSON(w http.ResponseWriter, status int, reqID string, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Request-ID", reqID)
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(body)
+}
+
+func writeError(w http.ResponseWriter, status int, reqID, code string, format string, args ...any) {
+	writeJSON(w, status, reqID, errorResponse{
+		RequestID: reqID,
+		Error:     wireError{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// decode parses a JSON request body, returning false (response written) on
+// malformed input.
+func decode(w http.ResponseWriter, r *http.Request, reqID string, into any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "malformed request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// begin gates one request through the drain gate, returning false (response
+// written) while the server is shutting down.
+func (s *Server) begin(w http.ResponseWriter, reqID string) bool {
+	if !s.drain.enter() {
+		s.drainRejects.Add(1)
+		writeError(w, http.StatusServiceUnavailable, reqID, "draining", "server is shutting down")
+		return false
+	}
+	return true
+}
+
+// admit acquires an execution slot, queueing up to the configured timeout.
+// Returns false (response written) on queue timeout or client disconnect.
+// Callers must release() on true.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, reqID string) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.admitted.Add(1)
+		return true
+	default:
+	}
+	t := time.NewTimer(s.cfg.QueueTimeout)
+	defer t.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.admitted.Add(1)
+		return true
+	case <-t.C:
+		s.queueTimeouts.Add(1)
+		writeError(w, http.StatusTooManyRequests, reqID, "queue_timeout",
+			"no execution slot within %s (max_concurrency %d)", s.cfg.QueueTimeout, s.cfg.MaxConcurrency)
+		return false
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, reqID, "canceled", "client went away while queued")
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// requestOptions resolves the effective engine options of a request: the
+// named session's, unless the request carries options of its own.
+func (s *Server) requestOptions(w http.ResponseWriter, reqID string, sessID string, override *WireOptions) (engine.Options, *session, bool) {
+	ss, ok := s.lookupSession(sessID)
+	if !ok {
+		writeError(w, http.StatusNotFound, reqID, "unknown_session", "no session %q (create one with POST /session)", sessID)
+		return engine.Options{}, nil, false
+	}
+	opts := ss.opts
+	if override != nil {
+		var err error
+		opts, err = override.Engine()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, reqID, "bad_options", "%v", err)
+			return engine.Options{}, nil, false
+		}
+	}
+	return opts, ss, true
+}
+
+// --- handlers ---
+
+func (s *Server) handleSessionNew(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req sessionRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	opts, err := req.Options.Engine()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, reqID, "bad_options", "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.sessSeq++
+	id := fmt.Sprintf("s-%d", s.sessSeq)
+	s.sessions[id] = newSession(id, opts)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, reqID, sessionResponse{RequestID: reqID, SessionID: id})
+}
+
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	id := r.PathValue("id")
+	if id == "" {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "missing session id")
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, reqID, "unknown_session", "no session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, reqID, sessionResponse{RequestID: reqID, SessionID: id})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req queryRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "missing query")
+		return
+	}
+	opts, _, ok := s.requestOptions(w, reqID, req.SessionID, req.Options)
+	if !ok {
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	res, err := s.eng.Query(req.Query, opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		return
+	}
+	s.writeResult(w, reqID, res)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req prepareRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Name == "" || req.Query == "" {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "prepare needs both name and query")
+		return
+	}
+	ss, ok := s.lookupSession(req.SessionID)
+	if !ok {
+		writeError(w, http.StatusNotFound, reqID, "unknown_session", "no session %q (create one with POST /session)", req.SessionID)
+		return
+	}
+	stmt, err := s.eng.Prepare(req.Query)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		return
+	}
+	if err := ss.setStmt(req.Name, stmt); err != nil {
+		writeError(w, http.StatusConflict, reqID, "duplicate_statement", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reqID, prepareResponse{
+		RequestID: reqID, SessionID: req.SessionID, Name: req.Name, Tables: stmt.Tables(),
+	})
+}
+
+func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req queryRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Name == "" {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "missing prepared-statement name")
+		return
+	}
+	opts, ss, ok := s.requestOptions(w, reqID, req.SessionID, req.Options)
+	if !ok {
+		return
+	}
+	stmt, ok := ss.stmt(req.Name)
+	if !ok {
+		writeError(w, http.StatusNotFound, reqID, "unknown_statement", "no prepared statement %q in session %q", req.Name, req.SessionID)
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	res, err := stmt.Query(opts)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		return
+	}
+	s.writeResult(w, reqID, res)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req queryRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	opts, ss, ok := s.requestOptions(w, reqID, req.SessionID, req.Options)
+	if !ok {
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	var text string
+	var err error
+	switch {
+	case req.Name != "":
+		stmt, ok := ss.stmt(req.Name)
+		if !ok {
+			writeError(w, http.StatusNotFound, reqID, "unknown_statement", "no prepared statement %q in session %q", req.Name, req.SessionID)
+			return
+		}
+		text, err = stmt.Explain(opts)
+	case req.Query != "":
+		text, err = s.eng.Explain(req.Query, opts)
+	default:
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "explain needs a query or a prepared-statement name")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, reqID, explainResponse{RequestID: reqID, Explain: text})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	s.mu.RLock()
+	sessions := len(s.sessions)
+	prepared := 0
+	for _, ss := range s.sessions {
+		prepared += ss.stmtCount()
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, reqID, StatsResponse{
+		RequestID:      reqID,
+		Sessions:       sessions,
+		Prepared:       prepared,
+		InFlight:       s.InFlight(),
+		MaxConcurrency: s.cfg.MaxConcurrency,
+		QueueTimeoutMs: s.cfg.QueueTimeout.Milliseconds(),
+		Admitted:       s.admitted.Load(),
+		QueueTimeouts:  s.queueTimeouts.Load(),
+		DrainRejects:   s.drainRejects.Load(),
+		Draining:       s.Draining(),
+		PlanCache:      s.eng.PlanCacheStats(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, reqID, map[string]string{"status": "draining", "request_id": reqID})
+		return
+	}
+	writeJSON(w, http.StatusOK, reqID, map[string]string{"status": "ok", "request_id": reqID})
+}
+
+// writeResult renders an engine result as a QueryResponse.
+func (s *Server) writeResult(w http.ResponseWriter, reqID string, res *engine.Result) {
+	raw, err := json.Marshal(res.Value)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, reqID, "internal", "encoding result: %v", err)
+		return
+	}
+	alt := res.Alt
+	if alt == "base" {
+		alt = ""
+	}
+	writeJSON(w, http.StatusOK, reqID, QueryResponse{
+		RequestID:   reqID,
+		Result:      raw,
+		Rows:        res.Value.Len(),
+		Strategy:    res.Strategy.String(),
+		Alt:         alt,
+		Joins:       res.Joins.String(),
+		Access:      res.Access.String(),
+		Parallelism: res.Parallelism,
+		Auto:        res.Auto,
+		CacheHit:    res.CacheHit,
+		DurationNs:  res.Duration.Nanoseconds(),
+		EvalSteps:   res.EvalSteps,
+	})
+}

@@ -109,15 +109,21 @@ func (t *Table) MustInsert(v value.Value) {
 // registered index. The set view is materialized here rather than lazily in
 // AsSet so that sealed snapshots are immutable — parallel join workers may
 // evaluate table references concurrently, and a lazy cache fill would race.
+//
+// Sorting and deduplication work on a fresh copy of the row slice: a snapshot
+// handed out by Rows before this Seal (e.g. to a query running concurrently
+// with an Unseal → bulk-load → Seal cycle) shares the old backing array, and
+// reordering it in place would tear that reader's view.
 func (t *Table) Seal() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.sealed {
 		return
 	}
-	sort.Slice(t.rows, func(i, j int) bool { return value.Less(t.rows[i], t.rows[j]) })
-	out := t.rows[:0]
-	for i, r := range t.rows {
+	rows := append(make([]value.Value, 0, len(t.rows)), t.rows...)
+	sort.Slice(rows, func(i, j int) bool { return value.Less(rows[i], rows[j]) })
+	out := rows[:0]
+	for i, r := range rows {
 		if i == 0 || !value.Equal(r, out[len(out)-1]) {
 			out = append(out, r)
 		}
@@ -412,8 +418,12 @@ func (t *Table) Indexes() [][]string {
 	return out
 }
 
-// DB is a collection of extension tables addressed by extension name.
+// DB is a collection of extension tables addressed by extension name. It is
+// safe for concurrent use: the table registry is lock-protected, so creating
+// a table races neither lookups nor other creations (each Table guards its
+// own contents separately).
 type DB struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -426,6 +436,8 @@ func (db *DB) Create(name string, elem *types.Type) (*Table, error) {
 	if elem == nil {
 		return nil, fmt.Errorf("storage: table %s needs an element type (nil would skip typechecking)", name)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.tables[name]; dup {
 		return nil, fmt.Errorf("storage: table %s already exists", name)
 	}
@@ -445,6 +457,8 @@ func (db *DB) MustCreate(name string, elem *types.Type) *Table {
 
 // Table returns the table with the given extension name.
 func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[name]
 	return t, ok
 }
@@ -452,7 +466,7 @@ func (db *DB) Table(name string) (*Table, bool) {
 // CreateIndex registers a persistent hash index on the table's ordered
 // attribute list (see Table.CreateIndex).
 func (db *DB) CreateIndex(table string, attrs ...string) error {
-	t, ok := db.tables[table]
+	t, ok := db.Table(table)
 	if !ok {
 		return fmt.Errorf("storage: unknown table %s", table)
 	}
@@ -461,13 +475,21 @@ func (db *DB) CreateIndex(table string, attrs ...string) error {
 
 // SealAll seals every table.
 func (db *DB) SealAll() {
+	db.mu.RLock()
+	tables := make([]*Table, 0, len(db.tables))
 	for _, t := range db.tables {
+		tables = append(tables, t)
+	}
+	db.mu.RUnlock()
+	for _, t := range tables {
 		t.Seal()
 	}
 }
 
 // Names returns all table names, sorted.
 func (db *DB) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)

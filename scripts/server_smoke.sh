@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Server integration smoke: build tmserver, serve the company database, fire
+# concurrent scripted requests at every endpoint, then SIGTERM and assert a
+# clean drain. Run by the CI server-smoke job; works locally too:
+#
+#   ./scripts/server_smoke.sh
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+Q='SELECT e.name FROM EMP e WHERE e.sal > 50'
+
+go build -o /tmp/tmserver ./cmd/tmserver
+/tmp/tmserver -db company -addr "$ADDR" -max-concurrency 8 &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
+# Wait for the listener.
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+  if [ "$i" = 50 ]; then echo "server never became healthy" >&2; exit 1; fi
+done
+
+# Serial oracle for the byte-identity check.
+ORACLE=$(curl -fsS -X POST "$BASE/query" -d "{\"query\":\"$Q\"}" | python3 -c 'import json,sys; print(json.dumps(json.load(sys.stdin)["result"], sort_keys=True))')
+
+# Concurrent scripted clients: each makes a session, prepares, executes
+# twice, explains, queries, and closes.
+run_client() {
+  local sid
+  sid=$(curl -fsS -X POST "$BASE/session" -d '{"options":{}}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["session_id"])')
+  curl -fsS -X POST "$BASE/prepare" -d "{\"session_id\":\"$sid\",\"name\":\"q\",\"query\":\"$Q\"}" >/dev/null
+  curl -fsS -X POST "$BASE/execute" -d "{\"session_id\":\"$sid\",\"name\":\"q\"}" >/dev/null
+  local got
+  got=$(curl -fsS -X POST "$BASE/execute" -d "{\"session_id\":\"$sid\",\"name\":\"q\"}" | python3 -c 'import json,sys; print(json.dumps(json.load(sys.stdin)["result"], sort_keys=True))')
+  if [ "$got" != "$ORACLE" ]; then
+    echo "client $1: result diverged from oracle" >&2
+    return 1
+  fi
+  curl -fsS -X POST "$BASE/explain" -d "{\"session_id\":\"$sid\",\"query\":\"$Q\"}" >/dev/null
+  curl -fsS -X POST "$BASE/query" -d "{\"session_id\":\"$sid\",\"query\":\"$Q\",\"options\":{\"strategy\":\"naive\"}}" >/dev/null
+  curl -fsS -X DELETE "$BASE/session/$sid" >/dev/null
+}
+
+PIDS=()
+for i in $(seq 1 8); do
+  run_client "$i" &
+  PIDS+=($!)
+done
+for p in "${PIDS[@]}"; do wait "$p"; done
+
+# Structured errors: an unknown session must come back as JSON with a code.
+CODE=$(curl -sS -X POST "$BASE/query" -d '{"session_id":"s-999","query":"SELECT e FROM EMP e"}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["error"]["code"])')
+if [ "$CODE" != "unknown_session" ]; then
+  echo "unknown session produced code $CODE" >&2; exit 1
+fi
+
+# Stats must show the traffic and zero in-flight requests.
+curl -fsS "$BASE/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["admitted"] > 0, s
+assert s["in_flight"] == 0, s
+assert not s["draining"], s
+'
+
+# Graceful shutdown: SIGTERM drains and the process exits cleanly.
+kill -TERM "$SRV"
+for i in $(seq 1 100); do
+  if ! kill -0 "$SRV" 2>/dev/null; then break; fi
+  sleep 0.1
+  if [ "$i" = 100 ]; then echo "server did not drain within 10s of SIGTERM" >&2; exit 1; fi
+done
+trap - EXIT
+wait "$SRV"
+echo "server smoke: ok"

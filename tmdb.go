@@ -81,6 +81,7 @@ import (
 	"tmdb/internal/engine"
 	"tmdb/internal/planner"
 	"tmdb/internal/schema"
+	"tmdb/internal/server"
 	"tmdb/internal/stats"
 	"tmdb/internal/storage"
 	"tmdb/internal/types"
@@ -182,6 +183,31 @@ type Type = types.Type
 // CacheStats reports the engine's plan-cache entry and hit/miss counts
 // (see Engine.PlanCacheStats).
 type CacheStats = engine.CacheStats
+
+// Prepared is a parsed-and-bound statement that executes without re-parsing
+// and shares the engine's plan cache (see Engine.Prepare). Safe for
+// concurrent use.
+type Prepared = engine.Prepared
+
+// Server serves one engine over an HTTP/JSON API with sessions, prepared
+// statements, admission control, and graceful shutdown (see cmd/tmserver).
+type Server = server.Server
+
+// ServerConfig parameterizes a Server.
+type ServerConfig = server.Config
+
+// WireOptions is the JSON form of Options used by the server API.
+type WireOptions = server.WireOptions
+
+// Client is a typed client for the server's HTTP/JSON API.
+type Client = server.Client
+
+// NewServer returns an HTTP query server over eng.
+func NewServer(eng *Engine, cfg ServerConfig) *Server { return server.New(eng, cfg) }
+
+// NewServerClient returns a client for the server at base
+// (e.g. "http://127.0.0.1:8080").
+func NewServerClient(base string) *Client { return server.NewClient(base, nil) }
 
 // Stats is a per-table statistics catalog (cardinality, distinct counts,
 // set-attribute fan-out, dangling fractions) backing the cost-based planner.
