@@ -33,6 +33,15 @@
 //	\access auto|scan|index       (access path for selections: auto lets the
 //	                               optimizer weigh index scans, index pins
 //	                               them, scan pins full scans)
+//	\timeout <dur>|off            (per-query wall-clock deadline, e.g.
+//	                               \timeout 500ms — queries that outlive it
+//	                               fail with deadline exceeded; bare \timeout
+//	                               shows the current setting)
+//	\budget rows <n>|bytes <n>|off (per-query resource budgets: result rows
+//	                               produced, approximate hash/sort build
+//	                               bytes; breaches fail the query with budget
+//	                               exceeded; bare \budget shows the current
+//	                               settings)
 //	\cache                        (plan-cache statistics incl. evictions and
 //	                               per-table invalidations; \cache clear
 //	                               drops it, \cache cap <n> bounds the LRU)
@@ -61,6 +70,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"tmdb/internal/core"
 	"tmdb/internal/datagen"
@@ -80,6 +90,9 @@ func main() {
 		pin      = flag.String("pin", "", "pin a logical alternative by candidate-table label (base | rewrite | order:…)")
 		cacheCap = flag.Int("plancache", 0, "plan-cache LRU capacity (0 = default 256)")
 		explain  = flag.Bool("explain", false, "print the physical plan with cost estimates instead of executing")
+		timeout  = flag.Duration("timeout", 0, "per-query wall-clock deadline (0 = none)")
+		maxRows  = flag.Int64("max-rows", 0, "per-query result-row budget (0 = unlimited)")
+		maxBuild = flag.Int64("max-build-bytes", 0, "per-query hash/sort build-byte budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -102,6 +115,7 @@ func main() {
 	opts.Parallelism = *par
 	opts.Rewrite = *rewrite
 	opts.PinAlt = *pin
+	opts.Limits = engine.Limits{Timeout: *timeout, MaxRows: *maxRows, MaxBuildBytes: *maxBuild}
 
 	if *query != "" {
 		if err := runOne(eng, *query, opts, *explain); err != nil {
@@ -206,6 +220,14 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 	return nil
 }
 
+// budgetStr renders a budget value, 0 meaning unlimited.
+func budgetStr(n int64) string {
+	if n == 0 {
+		return "off"
+	}
+	return strconv.FormatInt(n, 10)
+}
+
 // analyze collects statistics for every table and prints them.
 func analyze(eng *engine.Engine) {
 	sc := eng.Analyze()
@@ -229,7 +251,7 @@ func analyze(eng *engine.Engine) {
 
 func repl(eng *engine.Engine, opts engine.Options) {
 	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
-	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\rewrite, \\pin, \\cache, \\analyze, \\insert, \\delete, \\index, \\tables, \\quit\n", opts.Strategy)
+	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\rewrite, \\pin, \\timeout, \\budget, \\cache, \\analyze, \\insert, \\delete, \\index, \\tables, \\quit\n", opts.Strategy)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -295,6 +317,51 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			}
 			opts.Access = a
 			fmt.Printf("access path = %s\n", a)
+		case line == "\\timeout":
+			if opts.Limits.Timeout == 0 {
+				fmt.Println("timeout = off (\\timeout <dur>|off to change, e.g. \\timeout 500ms)")
+			} else {
+				fmt.Printf("timeout = %s\n", opts.Limits.Timeout)
+			}
+		case strings.HasPrefix(line, "\\timeout "):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "\\timeout "))
+			if arg == "off" {
+				opts.Limits.Timeout = 0
+				fmt.Println("timeout removed")
+				continue
+			}
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				fmt.Println("usage: \\timeout <dur>|off   e.g. \\timeout 500ms")
+				continue
+			}
+			opts.Limits.Timeout = d
+			fmt.Printf("timeout = %s\n", d)
+		case line == "\\budget":
+			fmt.Printf("budget: rows = %s, build bytes = %s (\\budget rows <n>|bytes <n>|off)\n",
+				budgetStr(opts.Limits.MaxRows), budgetStr(opts.Limits.MaxBuildBytes))
+		case strings.HasPrefix(line, "\\budget "):
+			args := strings.Fields(strings.TrimPrefix(line, "\\budget "))
+			switch {
+			case len(args) == 1 && args[0] == "off":
+				opts.Limits.MaxRows, opts.Limits.MaxBuildBytes = 0, 0
+				fmt.Println("budgets removed")
+			case len(args) == 2 && (args[0] == "rows" || args[0] == "bytes"):
+				n, err := strconv.ParseInt(args[1], 10, 64)
+				if err != nil || n < 0 {
+					fmt.Println("usage: \\budget rows <n> | bytes <n> | off  (0 = unlimited)")
+					continue
+				}
+				if args[0] == "rows" {
+					opts.Limits.MaxRows = n
+				} else {
+					opts.Limits.MaxBuildBytes = n
+				}
+				fmt.Printf("budget: rows = %s, build bytes = %s\n",
+					budgetStr(opts.Limits.MaxRows), budgetStr(opts.Limits.MaxBuildBytes))
+			default:
+				fmt.Println("usage: \\budget rows <n> | bytes <n> | off  (0 = unlimited)")
+			}
 		case strings.HasPrefix(line, "\\pin "):
 			label := strings.TrimSpace(strings.TrimPrefix(line, "\\pin "))
 			if label == "off" {

@@ -39,6 +39,9 @@ func main() {
 		queueTO  = flag.Duration("queue-timeout", 2*time.Second, "how long a request waits for an execution slot")
 		drainTO  = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight queries")
 		cacheCap = flag.Int("plancache", 0, "plan-cache LRU capacity (0 = default 256)")
+		queryTO  = flag.Duration("timeout", 0, "default per-query wall-clock deadline (0 = none; 408 deadline_exceeded on expiry)")
+		maxRows  = flag.Int64("max-rows", 0, "default per-query result-row budget (0 = unlimited; 413 budget_exceeded on breach)")
+		maxBuild = flag.Int64("max-build-bytes", 0, "default per-query hash/sort build-byte budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,9 @@ func main() {
 	srv := server.New(eng, server.Config{
 		MaxConcurrency: *maxConc,
 		QueueTimeout:   *queueTO,
+		DefaultOptions: engine.Options{
+			Limits: engine.Limits{Timeout: *queryTO, MaxRows: *maxRows, MaxBuildBytes: *maxBuild},
+		},
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

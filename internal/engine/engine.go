@@ -16,6 +16,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -134,6 +135,12 @@ type Options struct {
 	// experiment numbers comparable); planner.AccessScan pins full scans;
 	// planner.AccessIndex pins index scans with per-selection scan fallback.
 	Access planner.AccessPath
+	// Limits are the query's resource budgets (wall-clock timeout, max
+	// result rows, max build bytes). The zero value is unlimited. Limits
+	// never affect planning — only execution — so they are excluded from the
+	// plan-cache key and identical queries share cached plans across
+	// different budgets.
+	Limits Limits
 }
 
 // pin resolves the effective alternative pin: PinAlt wins, then the Rewrite
@@ -215,41 +222,85 @@ type planned struct {
 	candidates []planner.Candidate
 }
 
-// Query parses, binds, translates, and executes a TM query string.
+// Query parses, binds, translates, and executes a TM query string. It is
+// QueryContext under context.Background() — uncancellable, ungoverned
+// unless Options.Limits set budgets.
 func (e *Engine) Query(src string, opts Options) (*Result, error) {
+	return e.QueryContext(context.Background(), src, opts)
+}
+
+// QueryContext is Query observing ctx: cancellation and deadline reach every
+// operator's Next()/build loop (including parallel workers, which drain and
+// exit leak-free), surfacing as exec.ErrCanceled / exec.ErrDeadlineExceeded
+// wrapped in an *AbortError carrying partial-work accounting.
+func (e *Engine) QueryContext(ctx context.Context, src string, opts Options) (*Result, error) {
 	expr, err := tmql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	return e.QueryExpr(expr, opts)
+	return e.QueryExprContext(ctx, expr, opts)
 }
 
 // QueryExpr executes an already parsed (possibly already bound) expression.
 func (e *Engine) QueryExpr(expr tmql.Expr, opts Options) (*Result, error) {
+	return e.QueryExprContext(context.Background(), expr, opts)
+}
+
+// QueryExprContext is QueryExpr observing ctx.
+func (e *Engine) QueryExprContext(ctx context.Context, expr tmql.Expr, opts Options) (*Result, error) {
 	bound, err := tmql.NewBinder(e.cat).Bind(expr)
 	if err != nil {
 		return nil, err
 	}
-	return e.execBound(bound, opts)
+	return e.execBound(ctx, bound, opts)
 }
 
 // execBound plans and executes an already bound expression — the shared tail
-// of QueryExpr and Prepared.Query. bound must be fully typed and is never
-// mutated, so prepared statements may execute it from many goroutines.
-func (e *Engine) execBound(bound tmql.Expr, opts Options) (*Result, error) {
+// of QueryExprContext and Prepared.QueryContext. bound must be fully typed
+// and is never mutated, so prepared statements may execute it from many
+// goroutines. Governance wraps the whole execution: Options.Limits.Timeout
+// tightens the context's deadline, a Governor (created only when the context
+// is cancellable or budgets are set — otherwise nil, the free path) is
+// polled by every operator, and a recovered panic becomes a typed
+// *PanicError rather than taking the process down.
+func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (res *Result, err error) {
 	start := time.Now()
+	if err := e.checkTablesLive(tmql.Tables(bound)); err != nil {
+		return nil, err
+	}
 	pl, hit, err := e.plan(bound, opts)
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewCtx(e.db)
-	it, err := planner.New(ctx, planner.Options{Joins: pl.joins, Parallelism: pl.par, Access: pl.access}).Compile(pl.plan)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Limits.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Limits.Timeout)
+		defer cancel()
+	}
+	gov := exec.NewGovernor(ctx, opts.Limits.exec())
+	ectx := exec.NewCtxGoverned(e.db, gov)
+	defer recoverAbort(gov, &res, &err)
+	it, err := planner.New(ectx, planner.Options{Joins: pl.joins, Parallelism: pl.par, Access: pl.access}).Compile(pl.plan)
 	if err != nil {
+		if terr := e.checkTablesLive(tmql.Tables(bound)); terr != nil {
+			return nil, terr
+		}
 		return nil, err
 	}
-	v, err := exec.Collect(it)
+	v, err := exec.CollectGoverned(gov, it)
 	if err != nil {
-		return nil, fmt.Errorf("engine: executing %s: %w", pl.plan.Describe(), err)
+		// A table dropped between the liveness pre-check and execution fails
+		// deep in the executor with an untyped unknown-table error; reclassify
+		// it (governance aborts keep their own taxonomy).
+		if !abortCause(err) {
+			if terr := e.checkTablesLive(tmql.Tables(bound)); terr != nil {
+				return nil, terr
+			}
+		}
+		return nil, wrapAbort(fmt.Errorf("engine: executing %s: %w", pl.plan.Describe(), err), gov)
 	}
 	return &Result{
 		Value:       v,
@@ -264,7 +315,7 @@ func (e *Engine) execBound(bound tmql.Expr, opts Options) (*Result, error) {
 		Auto:        pl.auto,
 		CacheHit:    hit,
 		Duration:    time.Since(start),
-		EvalSteps:   ctx.Ev.Steps,
+		EvalSteps:   ectx.Ev.Steps,
 	}, nil
 }
 
@@ -403,6 +454,17 @@ func (e *Engine) autoPlan(bound tmql.Expr, opts Options, par int) (*planned, err
 // candidate considered — without executing it. Planning is served from the
 // plan cache when possible, exactly as execution would be.
 func (e *Engine) Explain(src string, opts Options) (string, error) {
+	return e.ExplainContext(context.Background(), src, opts)
+}
+
+// ExplainContext is Explain observing ctx: planning is not interruptible
+// mid-enumeration (it is fast and allocation-bound), but an
+// already-expired context fails up front with the same taxonomy as
+// execution, so clients can treat /explain uniformly with /query.
+func (e *Engine) ExplainContext(ctx context.Context, src string, opts Options) (string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
 	expr, err := tmql.Parse(src)
 	if err != nil {
 		return "", err
@@ -414,10 +476,29 @@ func (e *Engine) Explain(src string, opts Options) (string, error) {
 	return e.explainBound(bound, opts)
 }
 
+// ctxErr maps a context's state into the exec error taxonomy.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		if ctx.Err() == context.DeadlineExceeded {
+			return exec.ErrDeadlineExceeded
+		}
+		return exec.ErrCanceled
+	default:
+		return nil
+	}
+}
+
 // explainBound renders the physical plan for an already bound expression —
 // the shared tail of Explain and Prepared.Explain. Infeasible pinned join
 // families are rejected inside plan, identically to execution.
 func (e *Engine) explainBound(bound tmql.Expr, opts Options) (string, error) {
+	if err := e.checkTablesLive(tmql.Tables(bound)); err != nil {
+		return "", err
+	}
 	pl, _, err := e.plan(bound, opts)
 	if err != nil {
 		return "", err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tmdb/internal/eval"
+	"tmdb/internal/faultinject"
 	"tmdb/internal/tmql"
 	"tmdb/internal/types"
 	"tmdb/internal/value"
@@ -27,6 +28,9 @@ func (e *Engine) InsertValue(table string, v value.Value) (bool, error) {
 	tab, ok := e.db.Table(table)
 	if !ok {
 		return false, fmt.Errorf("engine: unknown table %s", table)
+	}
+	if err := faultinject.Hit(faultinject.PointMutationEpoch); err != nil {
+		return false, err
 	}
 	added, err := tab.InsertSealed(v)
 	if added {
@@ -59,6 +63,9 @@ func (e *Engine) DeleteValue(table string, v value.Value) (bool, error) {
 	tab, ok := e.db.Table(table)
 	if !ok {
 		return false, fmt.Errorf("engine: unknown table %s", table)
+	}
+	if err := faultinject.Hit(faultinject.PointMutationEpoch); err != nil {
+		return false, err
 	}
 	removed, err := tab.Delete(v)
 	if removed {
@@ -107,11 +114,32 @@ func (e *Engine) Delete(table, varName, predSrc string) (int, error) {
 			victims = append(victims, row)
 		}
 	}
+	if err := faultinject.Hit(faultinject.PointMutationEpoch); err != nil {
+		return 0, err
+	}
 	n, err := tab.DeleteRows(victims)
 	if n > 0 {
 		e.cache.invalidateTable(table)
 	}
 	return n, err
+}
+
+// DropTable unregisters the table from the engine's database, invalidating
+// its cached plans and marking its statistics stale. In-flight queries
+// holding row snapshots finish unaffected; subsequent executions (including
+// prepared-statement re-executions bound before the drop) fail with a typed
+// *TableDroppedError — matched with errors.Is(err, ErrTableDropped) — rather
+// than a panic or an untyped message.
+func (e *Engine) DropTable(table string) error {
+	if err := faultinject.Hit(faultinject.PointMutationEpoch); err != nil {
+		return err
+	}
+	if !e.db.Drop(table) {
+		return fmt.Errorf("engine: unknown table %s", table)
+	}
+	e.cache.invalidateTable(table)
+	e.statsCat.MarkStale(table)
+	return nil
 }
 
 // CreateIndex registers (and builds) a persistent hash index on the table's
@@ -121,6 +149,9 @@ func (e *Engine) Delete(table, varName, predSrc string) (int, error) {
 // idxjoin family and the idxscan access path) now exist, so cached plans
 // reading the table are invalidated to let the optimizer reconsider.
 func (e *Engine) CreateIndex(table string, attrs ...string) error {
+	if err := faultinject.Hit(faultinject.PointMutationEpoch); err != nil {
+		return err
+	}
 	if err := e.db.CreateIndex(table, attrs...); err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"context"
+
 	"tmdb/internal/planner"
 	"tmdb/internal/tmql"
 )
@@ -44,12 +46,28 @@ func (p *Prepared) Tables() []string { return append([]string(nil), p.tables...)
 
 // Query plans (through the engine's plan cache) and executes the statement.
 func (p *Prepared) Query(opts Options) (*Result, error) {
-	return p.e.execBound(p.bound, opts)
+	return p.QueryContext(context.Background(), opts)
+}
+
+// QueryContext is Query observing ctx (cancellation, deadline, budgets —
+// see Engine.QueryContext). Re-execution after a referenced table has been
+// dropped returns a typed *TableDroppedError instead of failing deep in the
+// executor.
+func (p *Prepared) QueryContext(ctx context.Context, opts Options) (*Result, error) {
+	return p.e.execBound(ctx, p.bound, opts)
 }
 
 // Explain renders the physical plan the statement would execute with, using
 // the same plan-cache lookup as Query.
 func (p *Prepared) Explain(opts Options) (string, error) {
+	return p.e.explainBound(p.bound, opts)
+}
+
+// ExplainContext is Explain observing ctx, mirroring Engine.ExplainContext.
+func (p *Prepared) ExplainContext(ctx context.Context, opts Options) (string, error) {
+	if err := ctxErr(ctx); err != nil {
+		return "", err
+	}
 	return p.e.explainBound(p.bound, opts)
 }
 

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -130,6 +131,74 @@ func TestEngineConcurrentStress(t *testing.T) {
 		if !value.Equal(got.Value, want.Value) {
 			t.Fatalf("post-stress divergence on %q:\n  auto:  %s\n  naive: %s", q, got.Value, want.Value)
 		}
+	}
+}
+
+// TestPreparedReexecutionAfterDrop pins the typed-error contract for
+// prepared statements outliving their tables: re-executing after DropTable —
+// including from many goroutines racing the drop itself — must return a
+// *TableDroppedError (errors.Is ErrTableDropped), never a panic or a nil-map
+// failure, and the engine must keep serving queries over surviving tables.
+func TestPreparedReexecutionAfterDrop(t *testing.T) {
+	cat, db := datagen.XYZ(datagen.Spec{
+		NX: 30, NY: 90, NZ: 60, Keys: 8, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 2,
+	})
+	eng := New(cat, db)
+	stmt, err := eng.Prepare(`SELECT y.a FROM Y y WHERE y.d = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(Options{}); err != nil {
+		t.Fatalf("pre-drop execution: %v", err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	bad := make(chan error, workers)
+	start := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				_, err := stmt.Query(Options{})
+				if err != nil && !errors.Is(err, ErrTableDropped) {
+					bad <- fmt.Errorf("re-execution returned untyped error: %w", err)
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	if err := eng.DropTable("Y"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(bad)
+	for err := range bad {
+		t.Error(err)
+	}
+
+	// Settled post-drop re-execution is deterministic: always the typed error.
+	_, err = stmt.Query(Options{})
+	var td *TableDroppedError
+	if !errors.As(err, &td) || td.Table != "Y" {
+		t.Fatalf("want *TableDroppedError{Y}, got %v", err)
+	}
+	if !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("typed drop error must match ErrTableDropped: %v", err)
+	}
+	if _, err := stmt.Explain(Options{}); !errors.Is(err, ErrTableDropped) {
+		t.Fatalf("explain after drop: want ErrTableDropped, got %v", err)
+	}
+
+	// Surviving tables keep working.
+	if _, err := eng.Query(`SELECT x.b FROM X x WHERE x.b = 3`, Options{}); err != nil {
+		t.Fatalf("query over surviving table after drop: %v", err)
+	}
+	if err := eng.DropTable("Y"); err == nil {
+		t.Fatal("double drop must error")
 	}
 }
 

@@ -41,7 +41,17 @@ type Evaluator struct {
 	// Steps counts elementary evaluation steps (node visits); benchmarks use
 	// it to report work done by nested-loop processing.
 	Steps int64
+	// Check, when set, is polled once per checkEverySteps node visits and
+	// aborts evaluation with its error — the cancellation hook governed
+	// queries install (exec.Governor.Err), reaching arbitrarily deep naive
+	// evaluation without per-operator cooperation. Nil costs one compare per
+	// visit.
+	Check func() error
 }
+
+// checkEverySteps spaces out the Check polls; a power of two so the test is
+// a mask.
+const checkEverySteps = 256
 
 // New returns an evaluator over db (nil db is allowed for closed
 // expressions that reference no extensions).
@@ -57,6 +67,11 @@ func (ev *Evaluator) Eval(e tmql.Expr) (value.Value, error) {
 // EvalEnv evaluates e under env.
 func (ev *Evaluator) EvalEnv(e tmql.Expr, env *Env) (value.Value, error) {
 	ev.Steps++
+	if ev.Check != nil && ev.Steps&(checkEverySteps-1) == 0 {
+		if err := ev.Check(); err != nil {
+			return value.Value{}, err
+		}
+	}
 	switch n := e.(type) {
 	case *tmql.Lit:
 		return n.V, nil

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"tmdb/internal/eval"
+	"tmdb/internal/faultinject"
 	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
 	"tmdb/internal/value"
@@ -29,17 +30,36 @@ type Iterator interface {
 	Close() error
 }
 
-// Ctx carries what operators need to evaluate embedded TM expressions:
+// Ctx carries what operators need to evaluate embedded TM expressions —
 // the database (for table references inside predicates) and a shared
-// evaluator (whose step counter aggregates expression-evaluation work).
+// evaluator (whose step counter aggregates expression-evaluation work) —
+// plus the query's Governor, when it is governed at all (see govern.go).
 type Ctx struct {
 	DB *storage.DB
 	Ev *eval.Evaluator
+	// Gov enforces cancellation, deadline, and budgets; nil for ungoverned
+	// queries (the free fast path). Shared — never forked — across parallel
+	// workers, so accounting is query-global.
+	Gov *Governor
+	// ticks spaces out the governor polls of check(); worker-local.
+	ticks uint32
 }
 
-// NewCtx returns a context over db with a fresh evaluator.
+// NewCtx returns an ungoverned context over db with a fresh evaluator.
 func NewCtx(db *storage.DB) *Ctx {
 	return &Ctx{DB: db, Ev: eval.New(db)}
+}
+
+// NewCtxGoverned returns a context whose operators and naive evaluation
+// observe gov (nil gov degrades to NewCtx). The evaluator's Check hook
+// covers every eval-driven loop — naive plans, predicate re-checks, key
+// evaluation — so deeply nested evaluation cancels without operator help.
+func NewCtxGoverned(db *storage.DB, gov *Governor) *Ctx {
+	c := &Ctx{DB: db, Ev: eval.New(db), Gov: gov}
+	if gov != nil {
+		c.Ev.Check = gov.Err
+	}
+	return c
 }
 
 // evalIn evaluates e under the given variable bindings.
@@ -64,11 +84,21 @@ func (c *Ctx) evalPred(e tmql.Expr, env *eval.Env) (bool, error) {
 
 // Collect drains an iterator into a canonical set value.
 func Collect(it Iterator) (value.Value, error) {
+	return CollectGoverned(nil, it)
+}
+
+// CollectGoverned is Collect under a governor: every row added to the result
+// set is accounted against the row budget (pre-deduplication — the budget
+// bounds produced work, not distinct output), and the cancel state is polled
+// between rows so plans of cheap streaming operators still cancel promptly.
+// A nil governor makes it plain Collect.
+func CollectGoverned(gov *Governor, it Iterator) (value.Value, error) {
 	if err := it.Open(); err != nil {
 		return value.Value{}, err
 	}
 	defer it.Close()
 	b := value.NewSetBuilder(0)
+	var ticks uint32
 	for {
 		v, ok, err := it.Next()
 		if err != nil {
@@ -76,6 +106,17 @@ func Collect(it Iterator) (value.Value, error) {
 		}
 		if !ok {
 			break
+		}
+		if gov != nil {
+			if err := gov.AddRows(1); err != nil {
+				return value.Value{}, err
+			}
+			ticks++
+			if ticks&(checkEvery-1) == 0 {
+				if err := gov.Err(); err != nil {
+					return value.Value{}, err
+				}
+			}
 		}
 		b.Add(v)
 	}
@@ -127,6 +168,12 @@ func (s *TableScan) Open() error {
 func (s *TableScan) Next() (value.Value, bool, error) {
 	if s.i >= len(s.rows) {
 		return value.Value{}, false, nil
+	}
+	if err := s.Ctx.check(); err != nil {
+		return value.Value{}, false, err
+	}
+	if err := faultinject.Hit(faultinject.PointScan); err != nil {
+		return value.Value{}, false, err
 	}
 	v := s.rows[s.i]
 	s.i++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tmdb/internal/algebra"
+	"tmdb/internal/faultinject"
 	"tmdb/internal/tmql"
 	"tmdb/internal/types"
 	"tmdb/internal/value"
@@ -56,8 +57,14 @@ func (j *HashJoin) Open() error {
 	}
 	j.table = newHashTable(len(rows))
 	for _, r := range rows {
+		if err := buildCheck(j.Ctx); err != nil {
+			return err
+		}
 		buf, err := appendRowKey(j.Ctx, j.RKeys, j.RVar, r, j.scratch[:0])
 		if err != nil {
+			return err
+		}
+		if err := j.Ctx.addBuild(len(buf)); err != nil {
 			return err
 		}
 		j.scratch = buf[:0]
@@ -87,6 +94,9 @@ func (j *HashJoin) Next() (value.Value, bool, error) {
 			if !ok {
 				j.state = nlDone
 				return value.Value{}, false, nil
+			}
+			if err := probeCheck(j.Ctx); err != nil {
+				return value.Value{}, false, err
 			}
 			j.cur = l
 			buf, err := appendRowKey(j.Ctx, j.LKeys, j.LVar, l, j.scratch[:0])
@@ -178,8 +188,14 @@ func (j *HashNestJoin) Open() error {
 	}
 	j.table = newHashTable(len(rows))
 	for _, r := range rows {
+		if err := buildCheck(j.Ctx); err != nil {
+			return err
+		}
 		buf, err := appendRowKey(j.Ctx, j.RKeys, j.RVar, r, j.scratch[:0])
 		if err != nil {
+			return err
+		}
+		if err := j.Ctx.addBuild(len(buf)); err != nil {
 			return err
 		}
 		j.scratch = buf[:0]
@@ -188,10 +204,29 @@ func (j *HashNestJoin) Open() error {
 	return j.L.Open()
 }
 
+// buildCheck is the per-row governance + fault-injection gate of every hash
+// build loop; probeCheck the same for probe loops.
+func buildCheck(c *Ctx) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return faultinject.Hit(faultinject.PointHashBuild)
+}
+
+func probeCheck(c *Ctx) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return faultinject.Hit(faultinject.PointHashProbe)
+}
+
 // Next emits the next left element extended with its group.
 func (j *HashNestJoin) Next() (value.Value, bool, error) {
 	l, ok, err := j.L.Next()
 	if err != nil || !ok {
+		return value.Value{}, false, err
+	}
+	if err := probeCheck(j.Ctx); err != nil {
 		return value.Value{}, false, err
 	}
 	buf, err := appendRowKey(j.Ctx, j.LKeys, j.LVar, l, j.scratch[:0])

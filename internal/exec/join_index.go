@@ -136,6 +136,9 @@ func (j *IndexJoin) Next() (value.Value, bool, error) {
 				j.state = nlDone
 				return value.Value{}, false, nil
 			}
+			if err := probeCheck(j.Ctx); err != nil {
+				return value.Value{}, false, err
+			}
 			j.cur = l
 			j.bucket, err = j.probe.bucket(l)
 			if err != nil {
@@ -217,6 +220,9 @@ func (j *IndexNestJoin) Open() error {
 func (j *IndexNestJoin) Next() (value.Value, bool, error) {
 	l, ok, err := j.L.Next()
 	if err != nil || !ok {
+		return value.Value{}, false, err
+	}
+	if err := probeCheck(j.Ctx); err != nil {
 		return value.Value{}, false, err
 	}
 	bucket, err := j.probe.bucket(l)

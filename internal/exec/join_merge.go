@@ -57,6 +57,9 @@ func drainSorted(c *Ctx, in Iterator, varName string, keys []tmql.Expr) ([]sorte
 	}
 	out := make([]sortedRow, len(rows))
 	for i, v := range rows {
+		if err := sortBuildCheck(c); err != nil {
+			return nil, err
+		}
 		k, err := evalKey(c, keys, varName, v)
 		if err != nil {
 			return nil, err
@@ -76,6 +79,9 @@ func drainSorted(c *Ctx, in Iterator, varName string, keys []tmql.Expr) ([]sorte
 func (j *MergeNestJoin) Next() (value.Value, bool, error) {
 	if j.li >= len(j.left) {
 		return value.Value{}, false, nil
+	}
+	if err := j.Ctx.check(); err != nil {
+		return value.Value{}, false, err
 	}
 	l := j.left[j.li]
 	j.li++

@@ -82,6 +82,9 @@ func (j *NLJoin) Next() (value.Value, bool, error) {
 				j.state = nlDone
 				return value.Value{}, false, nil
 			}
+			if err := j.Ctx.check(); err != nil {
+				return value.Value{}, false, err
+			}
 			j.cur = l
 			switch j.Kind {
 			case algebra.JoinSemi, algebra.JoinAnti:
@@ -173,6 +176,9 @@ func (j *NLNestJoin) Open() error {
 func (j *NLNestJoin) Next() (value.Value, bool, error) {
 	l, ok, err := j.L.Next()
 	if err != nil || !ok {
+		return value.Value{}, false, err
+	}
+	if err := j.Ctx.check(); err != nil {
 		return value.Value{}, false, err
 	}
 	group := value.NewSetBuilder(0)

@@ -14,6 +14,9 @@ import (
 // rows nest to ∅ — the identity X △ Y = ν*[a](X ⟗ Y) depends on exactly
 // this.
 type NestIter struct {
+	// Ctx may be nil (tests); the planner wires it so the grouping loop
+	// observes cancellation.
+	Ctx       *Ctx
 	In        Iterator
 	Attrs     []string
 	Label     string
@@ -40,6 +43,11 @@ func (n *NestIter) Open() error {
 	order := make([]string, 0)
 	groups := make(map[string]*group)
 	for _, r := range rows {
+		if n.Ctx != nil {
+			if err := n.Ctx.check(); err != nil {
+				return err
+			}
+		}
 		if r.Kind() != value.KindTuple {
 			return fmt.Errorf("exec: nest over non-tuple %s", r)
 		}
@@ -96,6 +104,9 @@ func (n *NestIter) Close() error { n.out = nil; return nil }
 // concatenated into the remainder of t; scalar elements are re-attached under
 // the attribute's own label.
 type UnnestIter struct {
+	// Ctx may be nil (tests); the planner wires it so the flattening loop
+	// observes cancellation.
+	Ctx  *Ctx
 	In   Iterator
 	Attr string
 	// Scalar selects the scalar-element behavior (set by the planner from
@@ -119,6 +130,11 @@ func (u *UnnestIter) Open() error {
 // Next returns the next flattened tuple.
 func (u *UnnestIter) Next() (value.Value, bool, error) {
 	for {
+		if u.Ctx != nil {
+			if err := u.Ctx.check(); err != nil {
+				return value.Value{}, false, err
+			}
+		}
 		if u.ei < len(u.elems) {
 			e := u.elems[u.ei]
 			u.ei++
@@ -161,6 +177,9 @@ func (u *UnnestIter) Close() error { return u.In.Close() }
 // the right input into a key set and streaming the left. Union additionally
 // emits right elements unseen on the left.
 type SetOpIter struct {
+	// Ctx may be nil (tests); the planner wires it so the streaming loop
+	// observes cancellation.
+	Ctx *Ctx
 	// Kind: 0 = union, 1 = intersect, 2 = diff (mirrors algebra.SetOpKind).
 	Kind int
 	L, R Iterator
@@ -199,6 +218,11 @@ func (s *SetOpIter) Next() (value.Value, bool, error) {
 		v, ok, err := s.L.Next()
 		if err != nil {
 			return value.Value{}, false, err
+		}
+		if s.Ctx != nil {
+			if cerr := s.Ctx.check(); cerr != nil {
+				return value.Value{}, false, cerr
+			}
 		}
 		if !ok {
 			if s.Kind == 0 {

@@ -6,6 +6,7 @@ import (
 
 	"tmdb/internal/algebra"
 	"tmdb/internal/eval"
+	"tmdb/internal/faultinject"
 	"tmdb/internal/tmql"
 	"tmdb/internal/types"
 	"tmdb/internal/value"
@@ -84,10 +85,22 @@ func (ps *partitionSet) each(p int, fn func(v value.Value, key []byte) error) er
 
 // fork returns a context over the same database with a fresh evaluator, so
 // parallel workers never share a step counter; callers fold the forked
-// counters back into the parent once the workers are done.
-func (c *Ctx) fork() *Ctx { return &Ctx{DB: c.DB, Ev: eval.New(c.DB)} }
+// counters back into the parent once the workers are done. The Governor is
+// shared, not forked: cancellation and budget accounting are query-global,
+// and its methods are atomic precisely so workers need no coordination.
+func (c *Ctx) fork() *Ctx {
+	f := &Ctx{DB: c.DB, Ev: eval.New(c.DB), Gov: c.Gov}
+	if c.Gov != nil {
+		f.Ev.Check = c.Gov.Err
+	}
+	return f
+}
 
 // runWorkers invokes fn(0..n-1), on goroutines when n > 1, inline otherwise.
+// It always waits for every worker before returning — cancellation makes
+// workers return early, never leak — and a worker panic is re-raised on the
+// calling goroutine after the others drain, so serial and parallel plans
+// surface panics identically (and the engine's recovery isolates both).
 func runWorkers(n int, fn func(w int)) {
 	if n <= 1 {
 		if n == 1 {
@@ -95,15 +108,26 @@ func runWorkers(n int, fn func(w int)) {
 		}
 		return
 	}
+	panics := make([]any, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for w := 0; w < n; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[w] = p
+				}
+			}()
 			fn(w)
 		}(w)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }
 
 // firstError returns the lowest-indexed non-nil error, keeping error
@@ -140,6 +164,12 @@ func partitionInput(c *Ctx, it Iterator, keys []tmql.Expr, varName string, npart
 		var scratch []byte
 		lo, hi := len(rows)*w/producers, len(rows)*(w+1)/producers
 		for _, r := range rows[lo:hi] {
+			if errs[w] = ctx.check(); errs[w] != nil {
+				break
+			}
+			if errs[w] = faultinject.Hit(faultinject.PointPartitionSend); errs[w] != nil {
+				break
+			}
 			buf, err := appendRowKey(ctx, keys, varName, r, scratch[:0])
 			if err != nil {
 				errs[w] = err
@@ -255,14 +285,28 @@ func runPartitioned(c *Ctx, degree int, l, r Iterator,
 }
 
 // buildPartition builds a hash table over one partition's rows, reusing the
-// keys encoded during partitioning.
-func buildPartition(ps *partitionSet, p int) *hashTable {
+// keys encoded during partitioning. Build rows are accounted against the
+// build-byte budget and pass the hash.build fault point, like the serial
+// build.
+func buildPartition(c *Ctx, ps *partitionSet, p int) (*hashTable, error) {
 	table := newHashTable(ps.rowCount(p))
-	ps.each(p, func(v value.Value, key []byte) error {
+	err := ps.each(p, func(v value.Value, key []byte) error {
+		if err := c.check(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit(faultinject.PointHashBuild); err != nil {
+			return err
+		}
+		if err := c.addBuild(len(key)); err != nil {
+			return err
+		}
 		table.add(key, v)
 		return nil
 	})
-	return table
+	if err != nil {
+		return nil, err
+	}
+	return table, nil
 }
 
 // ParHashJoin is the parallel partitioned form of HashJoin: inner, semi,
@@ -299,9 +343,18 @@ func (j *ParHashJoin) Open() error {
 // joinPartition runs the serial hash-join algorithm over one partition,
 // appending outputs to j.out[part].
 func (j *ParHashJoin) joinPartition(ctx *Ctx, rp, lp *partitionSet, part int) error {
-	table := buildPartition(rp, part)
+	table, err := buildPartition(ctx, rp, part)
+	if err != nil {
+		return err
+	}
 	var out []value.Value
-	err := lp.each(part, func(l value.Value, key []byte) error {
+	err = lp.each(part, func(l value.Value, key []byte) error {
+		if err := ctx.check(); err != nil {
+			return err
+		}
+		if err := faultinject.Hit(faultinject.PointHashProbe); err != nil {
+			return err
+		}
 		bucket := table.bucket(key)
 		switch j.Kind {
 		case algebra.JoinSemi, algebra.JoinAnti:
@@ -381,9 +434,18 @@ func (j *ParHashNestJoin) Open() error {
 	j.reset(j.Degree)
 	return runPartitioned(j.Ctx, j.Degree, j.L, j.R, j.LKeys, j.RKeys, j.LVar, j.RVar,
 		func(ctx *Ctx, rp, lp *partitionSet, part int) error {
-			table := buildPartition(rp, part)
+			table, err := buildPartition(ctx, rp, part)
+			if err != nil {
+				return err
+			}
 			var out []value.Value
-			err := lp.each(part, func(l value.Value, key []byte) error {
+			err = lp.each(part, func(l value.Value, key []byte) error {
+				if err := ctx.check(); err != nil {
+					return err
+				}
+				if err := faultinject.Hit(faultinject.PointHashProbe); err != nil {
+					return err
+				}
 				group, err := nestGroup(ctx, l, table.bucket(key), j.LVar, j.RVar, j.Residual, j.Fn)
 				if err != nil {
 					return err

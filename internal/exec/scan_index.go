@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"tmdb/internal/faultinject"
 	"tmdb/internal/tmql"
 	"tmdb/internal/value"
 )
@@ -80,6 +81,12 @@ func (s *IndexScan) Next() (value.Value, bool, error) {
 	for s.pi < len(s.buckets) {
 		b := s.buckets[s.pi]
 		for s.ri < len(b) {
+			if err := s.Ctx.check(); err != nil {
+				return value.Value{}, false, err
+			}
+			if err := faultinject.Hit(faultinject.PointScan); err != nil {
+				return value.Value{}, false, err
+			}
 			v := b[s.ri]
 			s.ri++
 			if s.Residual != nil {

@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"tmdb/internal/faultinject"
 	"tmdb/internal/tmql"
 	"tmdb/internal/value"
 )
@@ -68,6 +69,9 @@ func (m *MapIter) Close() error { return m.In.Close() }
 // Distinct removes duplicates (TM collections are sets; operators such as Map
 // may introduce duplicates that must not reach set-valued results).
 type Distinct struct {
+	// Ctx may be nil (tests); the planner always wires it so the dedup loop
+	// observes cancellation.
+	Ctx  *Ctx
 	In   Iterator
 	seen map[string]bool
 }
@@ -84,6 +88,11 @@ func (d *Distinct) Next() (value.Value, bool, error) {
 		v, ok, err := d.In.Next()
 		if err != nil || !ok {
 			return value.Value{}, false, err
+		}
+		if d.Ctx != nil {
+			if err := d.Ctx.check(); err != nil {
+				return value.Value{}, false, err
+			}
 		}
 		k := value.Key(v)
 		if !d.seen[k] {
@@ -128,6 +137,9 @@ func (s *Sort) Open() error {
 		if !ok {
 			break
 		}
+		if err := sortBuildCheck(s.Ctx); err != nil {
+			return err
+		}
 		k, err := evalKey(s.Ctx, s.Keys, s.Var, v)
 		if err != nil {
 			return err
@@ -156,6 +168,20 @@ func (s *Sort) Next() (value.Value, bool, error) {
 
 // Close releases the sorted rows.
 func (s *Sort) Close() error { s.rows = nil; return nil }
+
+// sortBuildCheck is the per-row governance + fault-injection + budget gate
+// of every sort-run build loop (Sort and the merge joins' sorted drains).
+// Sort rows carry no pre-encoded key, so the build budget charges the flat
+// per-row overhead only.
+func sortBuildCheck(c *Ctx) error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit(faultinject.PointSortBuild); err != nil {
+		return err
+	}
+	return c.addBuild(0)
+}
 
 // evalKey evaluates the key expressions for element v bound to varName and
 // packs them into one list value (lists compare lexicographically, which is

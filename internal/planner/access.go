@@ -238,7 +238,7 @@ func (p *Planner) compileIndexScan(n *algebra.Select, m IndexScanMatch) (exec.It
 		case *algebra.Select:
 			it = &exec.Filter{Ctx: p.ctx, In: it, Var: c.Var, Pred: c.Pred}
 		case *algebra.Map:
-			it = &exec.Distinct{In: &exec.MapIter{Ctx: p.ctx, In: it, Var: c.Var, Out: c.Out}}
+			it = &exec.Distinct{Ctx: p.ctx, In: &exec.MapIter{Ctx: p.ctx, In: it, Var: c.Var, Out: c.Out}}
 		}
 	}
 	if m.Residual != nil {

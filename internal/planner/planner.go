@@ -113,7 +113,7 @@ func (p *Planner) Compile(plan algebra.Plan) (exec.Iterator, error) {
 		}
 		// Map may collapse distinct inputs onto one value; a Distinct keeps
 		// set semantics downstream.
-		return &exec.Distinct{In: &exec.MapIter{Ctx: p.ctx, In: in, Var: n.Var, Out: n.Out}}, nil
+		return &exec.Distinct{Ctx: p.ctx, In: &exec.MapIter{Ctx: p.ctx, In: in, Var: n.Var, Out: n.Out}}, nil
 
 	case *algebra.Join:
 		return p.compileJoin(n)
@@ -126,14 +126,14 @@ func (p *Planner) Compile(plan algebra.Plan) (exec.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &exec.NestIter{In: in, Attrs: n.Attrs, Label: n.Label, NullAware: n.NullAware}, nil
+		return &exec.NestIter{Ctx: p.ctx, In: in, Attrs: n.Attrs, Label: n.Label, NullAware: n.NullAware}, nil
 
 	case *algebra.Unnest:
 		in, err := p.Compile(n.In)
 		if err != nil {
 			return nil, err
 		}
-		return &exec.UnnestIter{In: in, Attr: n.Attr, Scalar: n.Scalar()}, nil
+		return &exec.UnnestIter{Ctx: p.ctx, In: in, Attr: n.Attr, Scalar: n.Scalar()}, nil
 
 	case *algebra.SetOp:
 		l, err := p.Compile(n.L)
@@ -144,7 +144,7 @@ func (p *Planner) Compile(plan algebra.Plan) (exec.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &exec.SetOpIter{Kind: int(n.Kind), L: l, R: r}, nil
+		return &exec.SetOpIter{Ctx: p.ctx, Kind: int(n.Kind), L: l, R: r}, nil
 	}
 	return nil, fmt.Errorf("planner: unhandled plan node %T", plan)
 }

@@ -3,9 +3,12 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"time"
 )
 
 // Client is a thin typed wrapper over the server's HTTP/JSON API, used by the
@@ -16,6 +19,67 @@ type Client struct {
 	hc   *http.Client
 	// SessionID, when set, is attached to every request that supports one.
 	SessionID string
+	// Retry, when enabled, re-sends transient rejections (429 queue_timeout,
+	// 503 draining) of idempotent requests with bounded exponential backoff.
+	// The zero value disables retry. Set before first use; not synchronized.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds the client's automatic retry of transient server
+// rejections. Only idempotent requests are ever retried — POST /query,
+// POST /explain, GET /stats, GET /healthz — and only on the transient codes
+// queue_timeout and draining; mutating endpoints (/session, /prepare) and
+// prepared-statement execution are never re-sent, and non-transient errors
+// (query errors, deadline/budget breaches, cancellations) fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, first included (1 = no
+	// retry). 0 disables retry entirely.
+	MaxAttempts int
+	// BaseDelay is the first backoff step, doubling each retry; each sleep is
+	// equal-jittered (half fixed, half random). 0 means 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step. 0 means 1s.
+	MaxDelay time.Duration
+}
+
+// retryable reports whether a (method, path) pair is safe to re-send: it must
+// not create, mutate, or consume server-side state when repeated.
+func retryable(method, path string) bool {
+	switch {
+	case method == "POST" && (path == "/query" || path == "/explain"):
+		return true
+	case method == "GET" && (path == "/stats" || path == "/healthz"):
+		return true
+	}
+	return false
+}
+
+// transient reports whether err is a server rejection worth retrying.
+func transient(err error) bool {
+	var se *ServerError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == "queue_timeout" || se.Code == "draining"
+}
+
+// backoff returns the sleep before retry number attempt (0-based): an
+// exponentially growing step, capped, with equal jitter so synchronized
+// clients fan out.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = time.Second
+	}
+	step := base << uint(attempt)
+	if step <= 0 || step > max {
+		step = max
+	}
+	return step/2 + rand.N(step/2+1)
 }
 
 // NewClient returns a client for the server at base (e.g.
@@ -41,13 +105,37 @@ func (e *ServerError) Error() string {
 }
 
 func (c *Client) do(method, path string, body, into any) error {
-	var rd io.Reader
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
+		b, err := json.Marshal(body)
 		if err != nil {
 			return err
 		}
-		rd = bytes.NewReader(buf)
+		buf = b
+	}
+	attempts := 1
+	if c.Retry.MaxAttempts > 1 && retryable(method, path) {
+		attempts = c.Retry.MaxAttempts
+	}
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.Retry.backoff(attempt - 1))
+		}
+		err = c.doOnce(method, path, buf, into)
+		if err == nil || !transient(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// doOnce sends one request (body pre-marshaled so retries re-send identical
+// bytes) and decodes the response.
+func (c *Client) doOnce(method, path string, body []byte, into any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {

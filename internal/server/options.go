@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"time"
 
 	"tmdb/internal/core"
 	"tmdb/internal/engine"
@@ -26,6 +27,15 @@ type WireOptions struct {
 	Rewrite bool `json:"rewrite,omitempty"`
 	// PinAlt pins a logical alternative by its candidate-table label.
 	PinAlt string `json:"pin_alt,omitempty"`
+	// TimeoutMs is the per-query wall-clock deadline in milliseconds
+	// (0 = none). On expiry the request fails with 408 deadline_exceeded.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// MaxRows bounds result rows produced (pre-deduplication; 0 = unlimited).
+	// On breach the request fails with 413 budget_exceeded.
+	MaxRows int64 `json:"max_rows,omitempty"`
+	// MaxBuildBytes bounds the approximate bytes materialized in hash/sort
+	// build sides (0 = unlimited). On breach: 413 budget_exceeded.
+	MaxBuildBytes int64 `json:"max_build_bytes,omitempty"`
 }
 
 // Engine resolves the wire form into engine.Options, rejecting unknown names.
@@ -68,5 +78,19 @@ func (w WireOptions) Engine() (engine.Options, error) {
 	opts.Parallelism = w.Parallelism
 	opts.Rewrite = w.Rewrite
 	opts.PinAlt = w.PinAlt
+	if w.TimeoutMs < 0 {
+		return opts, fmt.Errorf("timeout_ms must be >= 0, got %d", w.TimeoutMs)
+	}
+	if w.MaxRows < 0 {
+		return opts, fmt.Errorf("max_rows must be >= 0, got %d", w.MaxRows)
+	}
+	if w.MaxBuildBytes < 0 {
+		return opts, fmt.Errorf("max_build_bytes must be >= 0, got %d", w.MaxBuildBytes)
+	}
+	opts.Limits = engine.Limits{
+		Timeout:       time.Duration(w.TimeoutMs) * time.Millisecond,
+		MaxRows:       w.MaxRows,
+		MaxBuildBytes: w.MaxBuildBytes,
+	}
 	return opts, nil
 }

@@ -21,6 +21,17 @@
 //   - Graceful shutdown: Shutdown stops admitting (requests fail fast with a
 //     draining error, /healthz turns 503) and blocks until every in-flight
 //     query has drained.
+//   - Cancellation and budgets: the request's context is threaded through
+//     admission and execution, so a client that disconnects mid-queue frees
+//     its slot (counted as client_gone in /stats) and one that disconnects
+//     mid-query aborts the executor. Per-session or per-request timeout_ms /
+//     max_rows / max_build_bytes map onto engine.Limits; breaches come back
+//     as structured 408 deadline_exceeded / 413 budget_exceeded documents,
+//     with the discarded partial work accounted in /stats.
+//   - Panic isolation: a panic anywhere in a request becomes a 500 internal
+//     error document carrying the request ID; the server stays up. (The
+//     engine already isolates execution panics into *engine.PanicError; the
+//     ServeHTTP recover is defense in depth for the handler layer itself.)
 //
 // Every response carries a request ID (X-Request-ID header and request_id
 // field); errors are structured {"error": {"code", "message"}} documents.
@@ -32,6 +43,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -40,6 +52,7 @@ import (
 	"time"
 
 	"tmdb/internal/engine"
+	"tmdb/internal/exec"
 )
 
 // Config parameterizes a Server.
@@ -93,6 +106,16 @@ type Server struct {
 	admitted      atomic.Uint64
 	queueTimeouts atomic.Uint64
 	drainRejects  atomic.Uint64
+
+	// governance counters for /stats: aborted-query taxonomy plus the partial
+	// work those aborts discarded.
+	clientGone       atomic.Uint64
+	deadlineExceeded atomic.Uint64
+	budgetExceeded   atomic.Uint64
+	canceled         atomic.Uint64
+	panics           atomic.Uint64
+	discardedRows    atomic.Int64
+	discardedBytes   atomic.Int64
 }
 
 // New returns a server over eng.
@@ -121,8 +144,29 @@ func New(eng *engine.Engine, cfg Config) *Server {
 // Engine returns the engine the server fronts.
 func (s *Server) Engine() *engine.Engine { return s.eng }
 
-// ServeHTTP implements http.Handler.
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client went away, so no one will read the body, but the
+// status still distinguishes the case in logs and tests.
+const statusClientClosedRequest = 499
+
+// ServeHTTP implements http.Handler. It wraps every request in panic
+// isolation: a panic escaping a handler becomes a 500 internal error document
+// and the server keeps serving. (http.ErrAbortHandler is re-raised — that is
+// net/http's sanctioned way to abort a response.)
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		if p == http.ErrAbortHandler {
+			panic(p)
+		}
+		s.panics.Add(1)
+		reqID := s.nextRequestID()
+		writeError(w, http.StatusInternalServerError, reqID, "internal",
+			"internal error (request %s): %v", reqID, p)
+	}()
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -336,6 +380,16 @@ type StatsResponse struct {
 	DrainRejects   uint64            `json:"drain_rejects"`
 	Draining       bool              `json:"draining"`
 	PlanCache      engine.CacheStats `json:"plan_cache"`
+
+	// Governance: aborted-query taxonomy counters and the partial work those
+	// aborts had already materialized (all of it discarded).
+	ClientGone          uint64 `json:"client_gone"`
+	DeadlineExceeded    uint64 `json:"deadline_exceeded"`
+	BudgetExceeded      uint64 `json:"budget_exceeded"`
+	Canceled            uint64 `json:"canceled"`
+	Panics              uint64 `json:"panics"`
+	DiscardedRows       int64  `json:"discarded_rows"`
+	DiscardedBuildBytes int64  `json:"discarded_build_bytes"`
 }
 
 // --- plumbing ---
@@ -357,6 +411,46 @@ func writeError(w http.ResponseWriter, status int, reqID, code string, format st
 		RequestID: reqID,
 		Error:     wireError{Code: code, Message: fmt.Sprintf(format, args...)},
 	})
+}
+
+// writeEngineError maps an engine execution error onto the wire taxonomy:
+//
+//	408 deadline_exceeded — per-query timeout_ms (or the request deadline) hit
+//	413 budget_exceeded   — max_rows / max_build_bytes breached
+//	499 canceled          — client went away mid-execution
+//	410 table_dropped     — referenced table dropped since binding
+//	500 internal          — panic isolated by the engine
+//	422 query_error       — everything else (parse, bind, type errors)
+//
+// Aborted queries carry partial-work accounting (*engine.AbortError); the
+// rows and build bytes they had already materialized are added to the
+// discarded counters surfaced in /stats.
+func (s *Server) writeEngineError(w http.ResponseWriter, reqID string, err error) {
+	var ab *engine.AbortError
+	if errors.As(err, &ab) {
+		s.discardedRows.Add(ab.PartialRows)
+		s.discardedBytes.Add(ab.PartialBuildBytes)
+	}
+	var pe *engine.PanicError
+	switch {
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		s.deadlineExceeded.Add(1)
+		writeError(w, http.StatusRequestTimeout, reqID, "deadline_exceeded", "%v", err)
+	case errors.Is(err, exec.ErrBudgetExceeded):
+		s.budgetExceeded.Add(1)
+		writeError(w, http.StatusRequestEntityTooLarge, reqID, "budget_exceeded", "%v", err)
+	case errors.Is(err, exec.ErrCanceled):
+		s.canceled.Add(1)
+		writeError(w, statusClientClosedRequest, reqID, "canceled", "%v", err)
+	case errors.Is(err, engine.ErrTableDropped):
+		writeError(w, http.StatusGone, reqID, "table_dropped", "%v", err)
+	case errors.As(err, &pe):
+		s.panics.Add(1)
+		writeError(w, http.StatusInternalServerError, reqID, "internal",
+			"internal error (request %s): %v", reqID, pe.Val)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+	}
 }
 
 // decode parses a JSON request body, returning false (response written) on
@@ -404,7 +498,8 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, reqID string) boo
 			"no execution slot within %s (max_concurrency %d)", s.cfg.QueueTimeout, s.cfg.MaxConcurrency)
 		return false
 	case <-r.Context().Done():
-		writeError(w, http.StatusServiceUnavailable, reqID, "canceled", "client went away while queued")
+		s.clientGone.Add(1)
+		writeError(w, statusClientClosedRequest, reqID, "client_gone", "client went away while queued")
 		return false
 	}
 }
@@ -502,9 +597,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	res, err := s.eng.Query(req.Query, opts)
+	res, err := s.eng.QueryContext(r.Context(), req.Query, opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		s.writeEngineError(w, reqID, err)
 		return
 	}
 	s.writeResult(w, reqID, res)
@@ -570,9 +665,9 @@ func (s *Server) handleExecute(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
-	res, err := stmt.Query(opts)
+	res, err := stmt.QueryContext(r.Context(), opts)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		s.writeEngineError(w, reqID, err)
 		return
 	}
 	s.writeResult(w, reqID, res)
@@ -605,15 +700,15 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, reqID, "unknown_statement", "no prepared statement %q in session %q", req.Name, req.SessionID)
 			return
 		}
-		text, err = stmt.Explain(opts)
+		text, err = stmt.ExplainContext(r.Context(), opts)
 	case req.Query != "":
-		text, err = s.eng.Explain(req.Query, opts)
+		text, err = s.eng.ExplainContext(r.Context(), req.Query, opts)
 	default:
 		writeError(w, http.StatusBadRequest, reqID, "bad_request", "explain needs a query or a prepared-statement name")
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, reqID, "query_error", "%v", err)
+		s.writeEngineError(w, reqID, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, reqID, explainResponse{RequestID: reqID, Explain: text})
@@ -640,6 +735,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DrainRejects:   s.drainRejects.Load(),
 		Draining:       s.Draining(),
 		PlanCache:      s.eng.PlanCacheStats(),
+
+		ClientGone:          s.clientGone.Load(),
+		DeadlineExceeded:    s.deadlineExceeded.Load(),
+		BudgetExceeded:      s.budgetExceeded.Load(),
+		Canceled:            s.canceled.Load(),
+		Panics:              s.panics.Load(),
+		DiscardedRows:       s.discardedRows.Load(),
+		DiscardedBuildBytes: s.discardedBytes.Load(),
 	})
 }
 

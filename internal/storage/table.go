@@ -455,6 +455,20 @@ func (db *DB) MustCreate(name string, elem *types.Type) *Table {
 	return t
 }
 
+// Drop unregisters the table, reporting whether it existed. In-flight
+// readers holding row snapshots (or the *Table itself) are unaffected —
+// snapshots are immutable — but subsequent lookups miss, which the engine
+// surfaces as a typed dropped-table error.
+func (db *DB) Drop(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[name]; !ok {
+		return false
+	}
+	delete(db.tables, name)
+	return true
+}
+
 // Table returns the table with the given extension name.
 func (db *DB) Table(name string) (*Table, bool) {
 	db.mu.RLock()

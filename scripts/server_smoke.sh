@@ -65,6 +65,76 @@ assert s["in_flight"] == 0, s
 assert not s["draining"], s
 '
 
+# --- Governance phase: deadlines and kill-the-client-mid-query ---
+# A second instance serves the xyz database, where a deeply nested query
+# under the naive strategy runs for many seconds — long enough to abort.
+ADDR2="127.0.0.1:18081"
+BASE2="http://$ADDR2"
+SLOWQ='SELECT x FROM X x WHERE x.a SUBSETEQ SELECT y.a FROM Y y WHERE x.b = y.b AND y.c SUBSETEQ SELECT z.c FROM Z z WHERE y.d = z.d AND z.d IN SELECT y2.d FROM Y y2 WHERE y2.b IN SELECT z2.d FROM Z z2 WHERE z2.c = y2.b'
+
+/tmp/tmserver -db xyz -addr "$ADDR2" -max-concurrency 2 &
+SRV2=$!
+trap 'kill "$SRV" "$SRV2" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+  if curl -fsS "$BASE2/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+  if [ "$i" = 50 ]; then echo "governance server never became healthy" >&2; exit 1; fi
+done
+
+# Per-request deadline: the slow query with timeout_ms=100 must come back as
+# a structured 408 deadline_exceeded document, fast.
+CODE=$(curl -sS -X POST "$BASE2/query" -d "{\"query\":\"$SLOWQ\",\"options\":{\"strategy\":\"naive\",\"timeout_ms\":100}}" | python3 -c 'import json,sys; print(json.load(sys.stdin)["error"]["code"])')
+if [ "$CODE" != "deadline_exceeded" ]; then
+  echo "slow query under timeout_ms produced code $CODE, want deadline_exceeded" >&2; exit 1
+fi
+
+# Row budget: max_rows=1 on a multi-row query must produce budget_exceeded.
+CODE=$(curl -sS -X POST "$BASE2/query" -d '{"query":"SELECT x.b FROM X x","options":{"max_rows":1}}' | python3 -c 'import json,sys; print(json.load(sys.stdin)["error"]["code"])')
+if [ "$CODE" != "budget_exceeded" ]; then
+  echo "max_rows=1 produced code $CODE, want budget_exceeded" >&2; exit 1
+fi
+
+# Kill the client mid-query: abort the connection while the slow naive query
+# is executing; the server must cancel the execution, reclaim the slot, and
+# count the abort.
+curl -sS --max-time 0.5 -X POST "$BASE2/query" \
+  -d "{\"query\":\"$SLOWQ\",\"options\":{\"strategy\":\"naive\"}}" >/dev/null 2>&1 || true
+for i in $(seq 1 100); do
+  RECLAIMED=$(curl -fsS "$BASE2/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+ok = s["in_flight"] == 0 and (s["canceled"] + s["client_gone"]) >= 1
+print("ok" if ok else "no")
+')
+  if [ "$RECLAIMED" = "ok" ]; then break; fi
+  sleep 0.1
+  if [ "$i" = 100 ]; then
+    echo "slot not reclaimed (or abort not counted) within 10s of client kill" >&2
+    curl -fsS "$BASE2/stats" >&2 || true
+    exit 1
+  fi
+done
+
+# The reclaimed slot serves new queries, and the abort counters are visible.
+curl -fsS -X POST "$BASE2/query" -d '{"query":"SELECT x.b FROM X x WHERE x.b = 3"}' >/dev/null
+curl -fsS "$BASE2/stats" | python3 -c '
+import json, sys
+s = json.load(sys.stdin)
+assert s["deadline_exceeded"] >= 1, s
+assert s["budget_exceeded"] >= 1, s
+assert (s["canceled"] + s["client_gone"]) >= 1, s
+assert s["in_flight"] == 0, s
+'
+
+kill -TERM "$SRV2"
+for i in $(seq 1 100); do
+  if ! kill -0 "$SRV2" 2>/dev/null; then break; fi
+  sleep 0.1
+  if [ "$i" = 100 ]; then echo "governance server did not drain within 10s" >&2; exit 1; fi
+done
+wait "$SRV2" || true
+trap 'kill "$SRV" 2>/dev/null || true' EXIT
+
 # Graceful shutdown: SIGTERM drains and the process exits cleanly.
 kill -TERM "$SRV"
 for i in $(seq 1 100); do

@@ -62,7 +62,16 @@
 //     256, see Engine.SetPlanCacheCapacity), so repeated queries skip
 //     translation and candidate enumeration; mutations invalidate per
 //     table (epoch mismatch + sweep), Engine.PlanCacheStats reports hits,
-//     misses, evictions, and invalidations.
+//     misses, evictions, and invalidations;
+//   - end-to-end cancellation and resource governance: context-observing
+//     APIs (Engine.QueryContext, Prepared.QueryContext), per-query
+//     wall-clock deadlines and row / build-byte budgets (Options.Limits)
+//     honored cooperatively by every operator including parallel workers, a
+//     typed abort taxonomy (ErrCanceled, ErrDeadlineExceeded,
+//     ErrBudgetExceeded, ErrTableDropped) with partial-work accounting
+//     (AbortError), panic isolation (PanicError), and a deterministic
+//     seed-addressable fault-injection harness (internal/faultinject)
+//     backing a chaos conformance suite.
 //
 // Quickstart:
 //
@@ -79,6 +88,7 @@ import (
 	"tmdb/internal/core"
 	"tmdb/internal/datagen"
 	"tmdb/internal/engine"
+	"tmdb/internal/exec"
 	"tmdb/internal/planner"
 	"tmdb/internal/schema"
 	"tmdb/internal/server"
@@ -189,6 +199,43 @@ type CacheStats = engine.CacheStats
 // concurrent use.
 type Prepared = engine.Prepared
 
+// Limits are per-query execution bounds — wall-clock timeout, result-row
+// budget, and hash/sort build-byte budget — set on Options.Limits and
+// enforced cooperatively by every operator. Cancellation and deadlines also
+// flow in through Engine.QueryContext / Prepared.QueryContext. The zero
+// value is unlimited.
+type Limits = engine.Limits
+
+// Governance error taxonomy. Aborted queries surface typed errors matchable
+// with errors.Is/errors.As regardless of how deep in the plan they stopped:
+//
+//	ErrCanceled         — the caller's context was canceled mid-execution
+//	ErrDeadlineExceeded — Limits.Timeout (or the context deadline) expired
+//	ErrBudgetExceeded   — a Limits budget tripped (*BudgetError has which)
+//	ErrTableDropped     — a referenced table was dropped (*TableDroppedError)
+var (
+	ErrCanceled         = exec.ErrCanceled
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+	ErrBudgetExceeded   = exec.ErrBudgetExceeded
+	ErrTableDropped     = engine.ErrTableDropped
+)
+
+// BudgetError reports which resource budget tripped, its limit, and usage.
+type BudgetError = exec.BudgetError
+
+// PanicError is a panic recovered during execution, isolated to the failing
+// query (the engine stays up); Val and Stack carry the recovery context.
+type PanicError = engine.PanicError
+
+// AbortError wraps a governance abort with the partial work the query had
+// already performed (rows produced, build bytes materialized) — all
+// discarded. Unwrap exposes the cause.
+type AbortError = engine.AbortError
+
+// TableDroppedError reports execution against a dropped table, typically a
+// prepared statement outliving Engine.DropTable.
+type TableDroppedError = engine.TableDroppedError
+
 // Server serves one engine over an HTTP/JSON API with sessions, prepared
 // statements, admission control, and graceful shutdown (see cmd/tmserver).
 type Server = server.Server
@@ -201,6 +248,10 @@ type WireOptions = server.WireOptions
 
 // Client is a typed client for the server's HTTP/JSON API.
 type Client = server.Client
+
+// RetryPolicy bounds a Client's automatic retry of transient server
+// rejections (queue_timeout, draining) on idempotent requests.
+type RetryPolicy = server.RetryPolicy
 
 // NewServer returns an HTTP query server over eng.
 func NewServer(eng *Engine, cfg ServerConfig) *Server { return server.New(eng, cfg) }
