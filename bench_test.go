@@ -238,6 +238,42 @@ func BenchmarkB4ParallelNestJoin(b *testing.B) {
 	}
 }
 
+// --- B9: vectorized batch pipeline — the same scan→filter→hash-join→project
+// plan executed row-at-a-time, at fixed batch sizes, and under the auto
+// (cost-chosen) protocol. The gap is per-tuple iterator dispatch plus
+// governor polling; batch must clear 1.5× row throughput at n=2000 (gated
+// via cmd/benchdiff, demonstrated by `go run ./cmd/repro -exp B9`). ---
+
+func BenchmarkB9BatchPipeline(b *testing.B) {
+	const q = `SELECT x.b FROM X x, Y y WHERE x.b = y.d AND y.a < 3 AND x.b < 250`
+	benchBatch := func(b *testing.B, eng *tmdb.Engine, batch int) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Query(q, engine.Options{Parallelism: 1, BatchSize: batch}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, n := range []int{400, 2000} {
+		cat, db := datagen.XYZ(datagen.Spec{
+			NX: n, NY: n, NZ: 0, Keys: n, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+		})
+		eng := tmdb.New(cat, db)
+		b.Run(fmt.Sprintf("row/n=%d", n), func(b *testing.B) {
+			benchBatch(b, eng, -1)
+		})
+		for _, size := range []int{64, 256, 1024} {
+			b.Run(fmt.Sprintf("batch=%d/n=%d", size, n), func(b *testing.B) {
+				benchBatch(b, eng, size)
+			})
+		}
+		b.Run(fmt.Sprintf("auto/n=%d", n), func(b *testing.B) {
+			benchBatch(b, eng, 0)
+		})
+	}
+}
+
 // --- Plan cache: repeated auto-planned queries skip strategy enumeration ---
 
 func BenchmarkPlanCacheRepeatedAuto(b *testing.B) {

@@ -1,5 +1,5 @@
 // Command benchdiff is the CI bench-regression gate: it measures the gated
-// B1/B6/B7/B8 benchmark scenarios with the standard testing.Benchmark
+// B1/B6/B7/B8/B9 benchmark scenarios with the standard testing.Benchmark
 // machinery and compares ns/op and allocs/op against the committed
 // BENCH_baseline.json, exiting non-zero when any benchmark regresses beyond
 // the tolerance (default 25%).

@@ -9,6 +9,7 @@
 //	tmql -q 'SELECT d.name FROM DEPT d'
 //	tmql -q '...' -strategy naive -explain
 //	tmql -q '...' -par 8           (partitioned hash joins at degree 8)
+//	tmql -q '...' -batch 1024      (vectorized batches of 1024 rows; -1 = rows)
 //	tmql -q '...' -rewrite         (pin the §6-rewritten alternative)
 //	tmql -q '...' -pin 'order:((z y) x)'
 //	tmql -plancache 64             (bound the LRU plan cache)
@@ -28,6 +29,10 @@
 //	\strategy auto|naive|nestjoin|kim|outerjoin
 //	\joins auto|nl|hash|merge|index
 //	\par <n>                      (0 = planner default, 1 = serial, n >= 2 = degree)
+//	\batch <n>|auto|row           (vectorized execution: auto lets the cost
+//	                               model weigh batched against row-at-a-time
+//	                               plans, n pins batches of n rows, row pins
+//	                               row-at-a-time)
 //	\rewrite on|off               (pin / unpin the §6-rewritten alternative)
 //	\pin <label>|off              (pin a logical alternative by label)
 //	\access auto|scan|index       (access path for selections: auto lets the
@@ -86,6 +91,7 @@ func main() {
 		joins    = flag.String("joins", "auto", "auto | nl | hash | merge | index")
 		access   = flag.String("access", "auto", "auto | scan | index (access path for selections)")
 		par      = flag.Int("par", 0, "partitioned-execution degree (0 = planner default, 1 = serial)")
+		batch    = flag.Int("batch", 0, "rows per vectorized batch (0 = cost model decides, -1 = row-at-a-time)")
 		rewrite  = flag.Bool("rewrite", false, "pin the §6-rewritten logical alternative (the optimizer considers rewrites either way)")
 		pin      = flag.String("pin", "", "pin a logical alternative by candidate-table label (base | rewrite | order:…)")
 		cacheCap = flag.Int("plancache", 0, "plan-cache LRU capacity (0 = default 256)")
@@ -113,6 +119,7 @@ func main() {
 		os.Exit(1)
 	}
 	opts.Parallelism = *par
+	opts.BatchSize = *batch
 	opts.Rewrite = *rewrite
 	opts.PinAlt = *pin
 	opts.Limits = engine.Limits{Timeout: *timeout, MaxRows: *maxRows, MaxBuildBytes: *maxBuild}
@@ -212,6 +219,9 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 	if res.Parallelism > 1 {
 		how += fmt.Sprintf(", parallelism %d", res.Parallelism)
 	}
+	if res.Batch > 0 {
+		how += fmt.Sprintf(", batch %d", res.Batch)
+	}
 	if res.CacheHit {
 		how += ", plan cached"
 	}
@@ -251,7 +261,7 @@ func analyze(eng *engine.Engine) {
 
 func repl(eng *engine.Engine, opts engine.Options) {
 	fmt.Println("tmql — nested-query optimization shell (EDBT'94 reproduction)")
-	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\rewrite, \\pin, \\timeout, \\budget, \\cache, \\analyze, \\insert, \\delete, \\index, \\tables, \\quit\n", opts.Strategy)
+	fmt.Printf("strategy=%s; explain <q>, \\strategy, \\joins, \\par, \\batch, \\rewrite, \\pin, \\timeout, \\budget, \\cache, \\analyze, \\insert, \\delete, \\index, \\tables, \\quit\n", opts.Strategy)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -296,6 +306,33 @@ func repl(eng *engine.Engine, opts engine.Options) {
 			}
 			opts.Parallelism = n
 			fmt.Printf("parallelism = %d\n", n)
+		case line == "\\batch":
+			switch {
+			case opts.BatchSize > 0:
+				fmt.Printf("batch = %d (\\batch <n>|auto|row to change)\n", opts.BatchSize)
+			case opts.BatchSize < 0:
+				fmt.Println("batch = row (\\batch <n>|auto|row to change)")
+			default:
+				fmt.Println("batch = auto (\\batch <n>|auto|row to change)")
+			}
+		case strings.HasPrefix(line, "\\batch "):
+			arg := strings.TrimSpace(strings.TrimPrefix(line, "\\batch "))
+			switch arg {
+			case "auto":
+				opts.BatchSize = 0
+				fmt.Println("batch = auto (cost model weighs batched vs row plans)")
+			case "row":
+				opts.BatchSize = -1
+				fmt.Println("batch = row (row-at-a-time execution pinned)")
+			default:
+				n, err := strconv.Atoi(arg)
+				if err != nil || n <= 0 {
+					fmt.Println("usage: \\batch <n>|auto|row  (n > 0 pins batches of n rows)")
+					continue
+				}
+				opts.BatchSize = n
+				fmt.Printf("batch = %d\n", n)
+			}
 		case strings.HasPrefix(line, "\\rewrite "):
 			switch strings.TrimSpace(strings.TrimPrefix(line, "\\rewrite ")) {
 			case "on":

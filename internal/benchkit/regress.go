@@ -17,7 +17,7 @@ import (
 )
 
 // Bench-regression gating (cmd/benchdiff): a fixed scenario set drawn from
-// the B1/B6/B7/B8 experiments is measured with testing.Benchmark and
+// the B1/B6/B7/B8/B9 experiments is measured with testing.Benchmark and
 // compared against a committed baseline (BENCH_baseline.json). allocs/op is
 // machine-independent and compared directly. ns/op is not — CI runners
 // differ from the machine that wrote the baseline — so the baseline also
@@ -99,16 +99,30 @@ func regressScenarios() []RegressScenario {
 	ixYd := func(eng *engine.Engine) error { return eng.CreateIndex("Y", "d") }
 	ixXb := func(eng *engine.Engine) error { return eng.CreateIndex("X", "b") }
 	ixYbd := func(eng *engine.Engine) error { return eng.CreateIndex("Y", "b", "d") }
+	// The B9 pipeline runs over a wide key space (Keys = n) so its cost sits
+	// in the scan/filter/probe loops rather than output materialization —
+	// the same workload RunB9 uses for the batch-vs-row acceptance bar.
+	xyzWide := func(n int, opts engine.Options) func() (*engine.Engine, engine.Options, error) {
+		return func() (*engine.Engine, engine.Options, error) {
+			cat, db := datagen.XYZ(datagen.Spec{
+				NX: n, NY: n, NZ: 0, Keys: n, DanglingFrac: 0.25, SetAttrCard: 3, Seed: 7,
+			})
+			return engine.New(cat, db), opts, nil
+		}
+	}
 	serial := engine.Options{Parallelism: 1}
 	fixedHash := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 1}
 	fixedIdx := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplIndex, Parallelism: 1}
 	scanPin := engine.Options{Access: planner.AccessScan, Parallelism: 1}
 	idxPin := engine.Options{Access: planner.AccessIndex, Parallelism: 1}
+	rowPin := engine.Options{Parallelism: 1, BatchSize: -1}
+	batchPin := engine.Options{Parallelism: 1, BatchSize: 256}
 
 	const b1 = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
 	const b6 = `SELECT x.b FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b) AND x.b < 0`
 	const b8 = `SELECT x FROM X x WHERE x.b = 3`
 	const b8c = `SELECT y.a FROM Y y WHERE y.b = 3 AND y.d = 2`
+	const b9 = `SELECT x.b FROM X x, Y y WHERE x.b = y.d AND y.a < 3 AND x.b < 250`
 	return []RegressScenario{
 		{Name: "B1/semijoin-hash/n=400", Query: b1, run: xyz(400, 800, noIndex, fixedHash)},
 		{Name: "B1/semijoin-auto/n=400", Query: b1, run: xyz(400, 800, noIndex, serial)},
@@ -118,6 +132,9 @@ func regressScenarios() []RegressScenario {
 		{Name: "B8/fullscan/n=2000", Query: b8, run: xyz(2000, 2000, ixXb, scanPin)},
 		{Name: "B8/idxscan/n=2000", Query: b8, run: xyz(2000, 2000, ixXb, idxPin)},
 		{Name: "B8/composite-idxscan/n=2000", Query: b8c, run: xyz(2000, 2000, ixYbd, idxPin)},
+		{Name: "B9/pipeline-row/n=2000", Query: b9, run: xyzWide(2000, rowPin)},
+		{Name: "B9/pipeline-batch/n=2000", Query: b9, run: xyzWide(2000, batchPin)},
+		{Name: "B9/pipeline-auto/n=2000", Query: b9, run: xyzWide(2000, serial)},
 	}
 }
 

@@ -79,8 +79,8 @@ func cacheKey(bound tmql.Expr, opts Options, par int, tables []string, epochs ma
 	for _, t := range tables {
 		fmt.Fprintf(&ev, "%s:%d,", t, epochs[t])
 	}
-	return fmt.Sprintf("s=%d|j=%d|a=%d|p=%d|pin=%s|e=%s|%s",
-		opts.Strategy, opts.Joins, opts.Access, par, opts.pin(), ev.String(), tmql.Format(bound))
+	return fmt.Sprintf("s=%d|j=%d|a=%d|p=%d|b=%d|pin=%s|e=%s|%s",
+		opts.Strategy, opts.Joins, opts.Access, par, opts.batch(), opts.pin(), ev.String(), tmql.Format(bound))
 }
 
 func (c *planCache) get(key string) (*planned, bool) {

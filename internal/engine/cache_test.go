@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 
@@ -175,5 +176,36 @@ func TestParallelismResolution(t *testing.T) {
 		if !value.Equal(res.Value, base.Value) {
 			t.Errorf("degree %d changed the result", p)
 		}
+	}
+}
+
+// TestAutoDegreeStatsSized pins the statistics-driven partition sizing: with
+// the degree left to the planner, the candidate degree comes from the row
+// estimates of the query's tables (~1k rows per partition) instead of the
+// machine width, while explicit pins are untouched.
+func TestAutoDegreeStatsSized(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs >= 2 procs to partition")
+	}
+	eng := xyzEngine(t) // 40–120-row tables: the sized bound is 2
+	res, err := eng.Query(`SELECT (xb = x.b, yd = y.d) FROM X x, Y y WHERE x.b = y.d`, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parallelism > 2 {
+		t.Errorf("auto degree = %d over tiny tables, want <= 2 (stats-sized)", res.Parallelism)
+	}
+	// An explicit pin still opens exactly the requested degree (fixed
+	// strategy: the degree is the caller's, not a costed candidate).
+	pinned, err := eng.Query(`SELECT (xb = x.b, yd = y.d) FROM X x, Y y WHERE x.b = y.d`,
+		Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Parallelism != 8 {
+		t.Errorf("pinned degree = %d, want 8", pinned.Parallelism)
+	}
+	if !value.Equal(res.Value, pinned.Value) {
+		t.Error("sized and pinned degrees disagree on the result")
 	}
 }

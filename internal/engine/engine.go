@@ -141,6 +141,16 @@ type Options struct {
 	// plan-cache key and identical queries share cached plans across
 	// different budgets.
 	Limits Limits
+	// BatchSize controls vectorized (batch-at-a-time) execution. The zero
+	// value defers to the planner: under StrategyAuto the cost model weighs a
+	// vectorized variant (at exec.DefaultBatchSize) against row-at-a-time for
+	// every candidate; under a fixed strategy zero stays row-at-a-time so
+	// historical experiment numbers are unaffected. A positive value pins
+	// vectorized execution at that many rows per batch (clamped to
+	// exec.MaxBatchSize); a negative value pins row-at-a-time execution.
+	// Results are identical either way — batching only trades dispatch
+	// overhead.
+	BatchSize int
 }
 
 // pin resolves the effective alternative pin: PinAlt wins, then the Rewrite
@@ -153,6 +163,19 @@ func (o Options) pin() string {
 		return planner.AltRewrite
 	}
 	return ""
+}
+
+// batch canonicalizes the BatchSize option for the plan-cache key: every
+// negative value pins row-at-a-time (-1), positive values clamp to the
+// effective size, zero defers to the planner.
+func (o Options) batch() int {
+	switch {
+	case o.BatchSize < 0:
+		return -1
+	case o.BatchSize > 0:
+		return exec.NormalizeBatchSize(o.BatchSize)
+	}
+	return 0
 }
 
 // resolveParallelism maps the option to an effective degree for the given
@@ -192,6 +215,8 @@ type Result struct {
 	// Parallelism is the partitioned-execution degree the plan ran at
 	// (1 = serial).
 	Parallelism int
+	// Batch is the vectorized batch size the plan ran at (0 = row-at-a-time).
+	Batch int
 	// Cost is the plan's estimated cost. Populated only on the cost-based
 	// path (Auto), so fixed-strategy benchmark runs skip statistics work.
 	Cost planner.Cost
@@ -217,6 +242,7 @@ type planned struct {
 	joins      planner.JoinImpl
 	access     planner.AccessPath
 	par        int
+	batch      int
 	cost       planner.Cost
 	auto       bool
 	candidates []planner.Candidate
@@ -283,14 +309,27 @@ func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (
 	gov := exec.NewGovernor(ctx, opts.Limits.exec())
 	ectx := exec.NewCtxGoverned(e.db, gov)
 	defer recoverAbort(gov, &res, &err)
-	it, err := planner.New(ectx, planner.Options{Joins: pl.joins, Parallelism: pl.par, Access: pl.access}).Compile(pl.plan)
-	if err != nil {
-		if terr := e.checkTablesLive(tmql.Tables(bound)); terr != nil {
-			return nil, terr
+	pltr := planner.New(ectx, planner.Options{Joins: pl.joins, Parallelism: pl.par, Access: pl.access, BatchSize: pl.batch})
+	var v value.Value
+	if pl.batch > 0 {
+		it, cerr := pltr.CompileBatch(pl.plan)
+		if cerr != nil {
+			if terr := e.checkTablesLive(tmql.Tables(bound)); terr != nil {
+				return nil, terr
+			}
+			return nil, cerr
 		}
-		return nil, err
+		v, err = exec.CollectBatchesGoverned(gov, it)
+	} else {
+		it, cerr := pltr.Compile(pl.plan)
+		if cerr != nil {
+			if terr := e.checkTablesLive(tmql.Tables(bound)); terr != nil {
+				return nil, terr
+			}
+			return nil, cerr
+		}
+		v, err = exec.CollectGoverned(gov, it)
 	}
-	v, err := exec.CollectGoverned(gov, it)
 	if err != nil {
 		// A table dropped between the liveness pre-check and execution fails
 		// deep in the executor with an untyped unknown-table error; reclassify
@@ -311,6 +350,7 @@ func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (
 		Joins:       pl.joins,
 		Access:      pl.access,
 		Parallelism: pl.par,
+		Batch:       pl.batch,
 		Cost:        pl.cost,
 		Auto:        pl.auto,
 		CacheHit:    hit,
@@ -329,6 +369,19 @@ func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (
 func (e *Engine) plan(bound tmql.Expr, opts Options) (*planned, bool, error) {
 	par := resolveParallelism(opts.Parallelism, opts.Strategy == core.StrategyAuto)
 	tables := tmql.Tables(bound)
+	if opts.Parallelism == 0 && par > 1 {
+		// Left to the planner, the degree is sized from statistics instead of
+		// opening the whole machine: enough partitions for ~1k rows each,
+		// bounded by GOMAXPROCS. Explicit pins pass through untouched.
+		rows := 0.0
+		sc := e.Stats()
+		for _, name := range tables {
+			if ts := sc.Table(name); ts != nil && float64(ts.Card) > rows {
+				rows = float64(ts.Card)
+			}
+		}
+		par = planner.PartitionDegree(rows, par)
+	}
 	epochs := make(map[string]uint64, len(tables))
 	for _, name := range tables {
 		if t, ok := e.db.Table(name); ok {
@@ -386,7 +439,13 @@ func (e *Engine) planMiss(bound tmql.Expr, opts Options, par int) (*planned, err
 		if access == planner.AccessAuto {
 			access = planner.AccessScan
 		}
-		pl = &planned{plan: p, strategy: opts.Strategy, alt: alt, joins: opts.Joins, access: access, par: par}
+		// Like parallelism and index scans, vectorization on a fixed strategy
+		// is an explicit opt-in: zero stays row-at-a-time.
+		batch := 0
+		if opts.BatchSize > 0 {
+			batch = exec.NormalizeBatchSize(opts.BatchSize)
+		}
+		pl = &planned{plan: p, strategy: opts.Strategy, alt: alt, joins: opts.Joins, access: access, par: par, batch: batch}
 	}
 	// Result.Parallelism reports the degree the plan actually runs at: a
 	// degree > 1 on a (possibly rewritten) plan with nothing to partition
@@ -431,7 +490,7 @@ func (e *Engine) autoPlan(bound tmql.Expr, opts Options, par int) (*planned, err
 	if err != nil {
 		return nil, err
 	}
-	best, all, err := est.ChooseAccess(alts, opts.Joins, par, opts.Access)
+	best, all, err := est.ChooseExec(alts, opts.Joins, par, opts.Access, opts.BatchSize)
 	if err != nil {
 		return nil, err
 	}
@@ -442,6 +501,7 @@ func (e *Engine) autoPlan(bound tmql.Expr, opts Options, par int) (*planned, err
 		joins:      best.Joins,
 		access:     best.Access,
 		par:        best.Par,
+		batch:      best.Batch,
 		cost:       best.Cost,
 		auto:       true,
 		candidates: all,
@@ -513,9 +573,13 @@ func (e *Engine) explainBound(bound tmql.Expr, opts Options) (string, error) {
 	if alt == "" {
 		alt = planner.AltBase
 	}
-	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s access=%s parallelism=%d (%s)\n",
-		pl.strategy, alt, pl.joins, pl.access, pl.par, mode)
-	b.WriteString(est.ExplainAccess(pl.plan, pl.joins, pl.par, pl.access))
+	batch := "row"
+	if pl.batch > 0 {
+		batch = fmt.Sprintf("%d", pl.batch)
+	}
+	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s access=%s parallelism=%d batch=%s (%s)\n",
+		pl.strategy, alt, pl.joins, pl.access, pl.par, batch, mode)
+	b.WriteString(est.ExplainExec(pl.plan, pl.joins, pl.par, pl.access, pl.batch))
 	if pl.auto && len(pl.candidates) > 1 {
 		b.WriteString("candidates considered:\n")
 		for _, c := range pl.candidates {

@@ -58,8 +58,11 @@ func TestDeadlineAbortsSlowPlan(t *testing.T) {
 	defer deactivate()
 	for _, par := range []int{1, 2, 8} {
 		base := runtime.NumGoroutine()
+		// BatchSize -1 pins row-at-a-time execution: this schedule's 1ms delay
+		// per PointScan hit only makes the plan slow when hits are per row.
+		// govern_batch_test.go covers the batched abort bounds.
 		opts := Options{
-			Joins: planner.ImplHash, Parallelism: par,
+			Joins: planner.ImplHash, Parallelism: par, BatchSize: -1,
 			Limits: Limits{Timeout: 50 * time.Millisecond},
 		}
 		start := time.Now()
@@ -108,7 +111,7 @@ func TestQueryContextCancellation(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()
-	_, err := eng.QueryContext(ctx, slowJoinQuery, Options{Joins: planner.ImplHash})
+	_, err := eng.QueryContext(ctx, slowJoinQuery, Options{Joins: planner.ImplHash, BatchSize: -1})
 	if !errors.Is(err, exec.ErrCanceled) {
 		t.Fatalf("want ErrCanceled, got %v", err)
 	}
@@ -184,7 +187,9 @@ func TestPanicIsolation(t *testing.T) {
 				{Point: faultinject.PointHashBuild, Kind: faultinject.Panic, OneInN: 10},
 			},
 		})
-		_, err = eng.Query(slowJoinQuery, Options{Joins: planner.ImplHash, Parallelism: par})
+		// Row-pinned so the 1-in-10 build fault sees per-row hit ordinals;
+		// batched panic isolation is covered in govern_batch_test.go.
+		_, err = eng.Query(slowJoinQuery, Options{Joins: planner.ImplHash, Parallelism: par, BatchSize: -1})
 		deactivate()
 		var pe *PanicError
 		if !errors.As(err, &pe) {

@@ -25,6 +25,14 @@ func (e *Env) Bind(name string, v value.Value) *Env {
 	return &Env{name: name, val: v, next: e}
 }
 
+// Rebind replaces the value bound at this node in place. It exists for
+// operator loops that bind the same variable once per row: reusing one node
+// across rows avoids a per-row allocation. The caller must own the node (have
+// created it with Bind) and must not rebind while an evaluation that received
+// the environment is still in flight; evaluation never retains environments
+// beyond the call, so rebinding between rows is safe.
+func (e *Env) Rebind(v value.Value) { e.val = v }
+
 // Lookup returns the binding of name, if any.
 func (e *Env) Lookup(name string) (value.Value, bool) {
 	for c := e; c != nil; c = c.next {

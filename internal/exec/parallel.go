@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"tmdb/internal/algebra"
 	"tmdb/internal/eval"
@@ -141,80 +143,232 @@ func firstError(errs []error) error {
 	return nil
 }
 
-// partitionInput drains it and routes every row to one of nparts partitions
-// by the hash of its encoded key. Key evaluation — the per-row hot cost — is
-// spread across up to nparts producer goroutines, each with a forked context
-// and a reusable scratch buffer. Returns the partitions and the evaluation
-// steps performed.
-func partitionInput(c *Ctx, it Iterator, keys []tmql.Expr, varName string, nparts int) (*partitionSet, int64, error) {
-	rows, err := Drain(it)
-	if err != nil {
+// seqRows is one feeder send: a batch's rows copied into an owned slice,
+// tagged with the batch's input sequence number so partition contents can be
+// reassembled in input order regardless of which producer handled which
+// batch.
+type seqRows struct {
+	seq  int
+	rows []value.Value
+}
+
+// seqFragment is one producer's routing of one batch into one partition.
+type seqFragment struct {
+	fragment
+	seq int
+}
+
+// routeBatch routes one batch's rows into per-partition fragments, encoding
+// each row's key on the way (the per-row hot cost the producers parallelize),
+// and appends the non-empty fragments to acc. scratch is the reusable key
+// buffer, returned extended for reuse.
+func routeBatch(enc *keyEncoder, sb seqRows, nparts int, acc [][]seqFragment, scratch []byte) ([]byte, error) {
+	frs := make([]fragment, nparts)
+	for _, r := range sb.rows {
+		buf, err := enc.appendKey(scratch[:0], r)
+		if err != nil {
+			return scratch, err
+		}
+		scratch = buf[:0]
+		frs[hashKeyBytes(buf)%uint64(nparts)].add(r, buf)
+	}
+	for p := range frs {
+		if len(frs[p].rows) > 0 {
+			acc[p] = append(acc[p], seqFragment{fragment: frs[p], seq: sb.seq})
+		}
+	}
+	return scratch, nil
+}
+
+// assemblePartitions merges per-producer fragment accumulators into a
+// partitionSet, ordering each partition's fragments by input sequence so the
+// partition contents are deterministic — input order filtered by partition —
+// independent of producer scheduling.
+func assemblePartitions(accs [][][]seqFragment, nparts, total int) *partitionSet {
+	ps := &partitionSet{parts: make([][]fragment, nparts), total: total}
+	for p := 0; p < nparts; p++ {
+		var sfs []seqFragment
+		for _, acc := range accs {
+			sfs = append(sfs, acc[p]...)
+		}
+		sort.Slice(sfs, func(i, j int) bool { return sfs[i].seq < sfs[j].seq })
+		for _, sf := range sfs {
+			ps.parts[p] = append(ps.parts[p], sf.fragment)
+		}
+	}
+	return ps
+}
+
+// partitionInput drains src and routes every row to one of nparts partitions
+// by the hash of its encoded key — the exchange. Rows move from the feeder
+// (the calling goroutine, which owns the source iterator) to up to nparts
+// producer goroutines in batches, one channel send per batch; producers
+// encode keys on forked contexts and route rows to per-partition fragments.
+// Inputs that end below minParallelRows are routed inline with no goroutine
+// fan-out. The source is always closed before returning. Key encoding takes
+// the step-counting path so serial and parallel plans over the same rows
+// report identical EvalSteps. Returns the partitions and the evaluation
+// steps performed by the producers.
+func partitionInput(c *Ctx, src BatchIterator, keys []tmql.Expr, varName string, nparts int) (*partitionSet, int64, error) {
+	if err := src.Open(); err != nil {
+		src.Close()
 		return nil, 0, err
 	}
-	producers := nparts
-	if len(rows) < minParallelRows {
-		producers = 1
+	// feed pulls the next batch, polls the governor, and hits the exchange
+	// fault point — once per batch.
+	feed := func() (seqRows, bool, error) {
+		bt, ok, err := src.NextBatch()
+		if err != nil || !ok {
+			return seqRows{}, false, err
+		}
+		if err := c.checkBatch(); err != nil {
+			return seqRows{}, false, err
+		}
+		if err := faultinject.Hit(faultinject.PointPartitionSend); err != nil {
+			return seqRows{}, false, err
+		}
+		return seqRows{rows: append([]value.Value(nil), bt.Rows...)}, true, nil
 	}
-	frags := make([][]fragment, producers)
+	// Buffer until the input proves large enough to pay for goroutines.
+	var pending []seqRows
+	var feedErr error
+	total, seq, more := 0, 0, false
+	for total < minParallelRows {
+		sb, ok, err := feed()
+		if err != nil {
+			feedErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		sb.seq = seq
+		seq++
+		total += len(sb.rows)
+		pending = append(pending, sb)
+		more = total >= minParallelRows
+	}
+	if feedErr != nil || !more {
+		// Small input (or an early feed error): route what arrived inline on
+		// a single forked context — partitioning, and thus the result, is
+		// unchanged; only the fan-out is skipped.
+		src.Close()
+		ctx := c.fork()
+		enc := newKeyEncoder(ctx, keys, varName, true)
+		acc := make([][]seqFragment, nparts)
+		var scratch []byte
+		var err error
+		for _, sb := range pending {
+			if scratch, err = routeBatch(enc, sb, nparts, acc, scratch); err != nil {
+				break
+			}
+		}
+		if feedErr == nil {
+			feedErr = err
+		}
+		if feedErr != nil {
+			return nil, ctx.Ev.Steps, feedErr
+		}
+		return assemblePartitions([][][]seqFragment{acc}, nparts, total), ctx.Ev.Steps, nil
+	}
+	// Large input: stream the rest through a channel to nparts producers.
+	ch := make(chan seqRows, nparts)
+	var stop atomic.Bool
+	producers := nparts
+	accs := make([][][]seqFragment, producers)
 	errs := make([]error, producers)
 	steps := make([]int64, producers)
-	runWorkers(producers, func(w int) {
-		ctx := c.fork()
-		local := make([]fragment, nparts)
-		var scratch []byte
-		lo, hi := len(rows)*w/producers, len(rows)*(w+1)/producers
-		for _, r := range rows[lo:hi] {
-			if errs[w] = ctx.check(); errs[w] != nil {
-				break
+	panics := make([]any, producers)
+	var wg sync.WaitGroup
+	wg.Add(producers)
+	for w := 0; w < producers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ctx := c.fork()
+			enc := newKeyEncoder(ctx, keys, varName, true)
+			acc := make([][]seqFragment, nparts)
+			var scratch []byte
+			for sb := range ch {
+				// The range always drains the channel — even after an error
+				// or panic — so the feeder can never block on a send; the
+				// per-batch recover keeps a panicking producer draining and
+				// re-raises on the caller after Wait, like runWorkers.
+				if stop.Load() {
+					continue
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[w] = p
+							stop.Store(true)
+						}
+					}()
+					var err error
+					if scratch, err = routeBatch(enc, sb, nparts, acc, scratch); err != nil {
+						errs[w] = err
+						stop.Store(true)
+					}
+				}()
 			}
-			if errs[w] = faultinject.Hit(faultinject.PointPartitionSend); errs[w] != nil {
-				break
-			}
-			buf, err := appendRowKey(ctx, keys, varName, r, scratch[:0])
-			if err != nil {
-				errs[w] = err
-				break
-			}
-			scratch = buf[:0]
-			local[hashKeyBytes(buf)%uint64(nparts)].add(r, buf)
+			accs[w] = acc
+			steps[w] = ctx.Ev.Steps
+		}(w)
+	}
+	for _, sb := range pending {
+		ch <- sb
+	}
+	for !stop.Load() {
+		sb, ok, err := feed()
+		if err != nil {
+			feedErr = err
+			break
 		}
-		frags[w] = local
-		steps[w] = ctx.Ev.Steps
-	})
-	var total int64
+		if !ok {
+			break
+		}
+		sb.seq = seq
+		seq++
+		total += len(sb.rows)
+		ch <- sb
+	}
+	close(ch)
+	wg.Wait()
+	src.Close()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	var totalSteps int64
 	for _, s := range steps {
-		total += s
+		totalSteps += s
 	}
-	if err := firstError(errs); err != nil {
-		return nil, total, err
+	if err := firstError(append([]error{feedErr}, errs...)); err != nil {
+		return nil, totalSteps, err
 	}
-	ps := &partitionSet{parts: make([][]fragment, nparts), total: len(rows)}
-	for p := 0; p < nparts; p++ {
-		for w := 0; w < producers; w++ {
-			if len(frags[w][p].rows) > 0 {
-				ps.parts[p] = append(ps.parts[p], frags[w][p])
-			}
-		}
-	}
-	return ps, total, nil
+	return assemblePartitions(accs, nparts, total), totalSteps, nil
 }
+
 
 // parOutput is the shared output stage of the partitioned operators: Open
-// materializes per-partition result slices, Next streams them in partition
-// order, Close releases them (both inputs were drained — and closed — in
-// Open, so there is nothing else to tear down).
+// materializes per-partition result slices, Next (or NextBatch) streams them
+// in partition order, Close releases them (both inputs were drained — and
+// closed — in Open, so there is nothing else to tear down).
 type parOutput struct {
-	out [][]value.Value
-	pi  int
-	oi  int
+	out   [][]value.Value
+	pi    int
+	oi    int
+	bsize int
+	b     Batch
 }
 
-func (o *parOutput) reset(nparts int) {
+func (o *parOutput) reset(nparts, bsize int) {
 	if nparts < 0 {
 		nparts = 0 // invalid degrees are rejected by runPartitioned right after
 	}
 	o.out = make([][]value.Value, nparts)
 	o.pi, o.oi = 0, 0
+	o.bsize = NormalizeBatchSize(bsize)
 }
 
 // Next streams the materialized output partition by partition.
@@ -231,10 +385,42 @@ func (o *parOutput) Next() (value.Value, bool, error) {
 	return value.Value{}, false, nil
 }
 
+// NextBatch streams the materialized output as zero-copy slices of the
+// per-partition result vectors, making the partitioned operators batch
+// sources for batched plans.
+func (o *parOutput) NextBatch() (*Batch, bool, error) {
+	for o.pi < len(o.out) {
+		part := o.out[o.pi]
+		if o.oi < len(part) {
+			end := o.oi + o.bsize
+			if end > len(part) {
+				end = len(part)
+			}
+			o.b.reset()
+			o.b.Rows = part[o.oi:end]
+			o.oi = end
+			return &o.b, true, nil
+		}
+		o.pi++
+		o.oi = 0
+	}
+	return nil, false, nil
+}
+
 // Close releases the output.
 func (o *parOutput) Close() error {
 	o.out = nil
 	return nil
+}
+
+// batchInput returns the batch form of a partitioned operator's input: the
+// batch iterator itself when the planner compiled the child batched, the row
+// iterator adapted otherwise.
+func batchInput(it Iterator, bit BatchIterator, size int) BatchIterator {
+	if bit != nil {
+		return bit
+	}
+	return &RowsToBatch{It: it, Size: size}
 }
 
 // runPartitioned is the shared orchestration of the partitioned operators:
@@ -243,7 +429,7 @@ func (o *parOutput) Close() error {
 // threshold), and fold every forked evaluator's steps back into c. The
 // perPartition callback runs the operator-specific build/probe for one
 // partition on a worker-owned context.
-func runPartitioned(c *Ctx, degree int, l, r Iterator,
+func runPartitioned(c *Ctx, degree int, l, r BatchIterator,
 	lkeys, rkeys []tmql.Expr, lvar, rvar string,
 	perPartition func(ctx *Ctx, rp, lp *partitionSet, part int) error) error {
 	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
@@ -322,6 +508,11 @@ type ParHashJoin struct {
 	RElem        *types.Type
 	// Degree is the number of partitions (and maximum worker goroutines).
 	Degree int
+	// BL/BR, when set, feed the exchange directly with batches (batched
+	// plans); otherwise L/R are adapted. BatchSize sizes the exchange feed
+	// and the output batches (0 = default).
+	BL, BR    BatchIterator
+	BatchSize int
 
 	parOutput
 	pad value.Value
@@ -336,8 +527,10 @@ func (j *ParHashJoin) Open() error {
 		}
 		j.pad = nullTuple(j.RElem)
 	}
-	j.reset(j.Degree)
-	return runPartitioned(j.Ctx, j.Degree, j.L, j.R, j.LKeys, j.RKeys, j.LVar, j.RVar, j.joinPartition)
+	j.reset(j.Degree, j.BatchSize)
+	return runPartitioned(j.Ctx, j.Degree,
+		batchInput(j.L, j.BL, j.BatchSize), batchInput(j.R, j.BR, j.BatchSize),
+		j.LKeys, j.RKeys, j.LVar, j.RVar, j.joinPartition)
 }
 
 // joinPartition runs the serial hash-join algorithm over one partition,
@@ -424,6 +617,9 @@ type ParHashNestJoin struct {
 	Fn           tmql.Expr
 	Label        string
 	Degree       int
+	// BL/BR/BatchSize mirror ParHashJoin's batched inputs.
+	BL, BR    BatchIterator
+	BatchSize int
 
 	parOutput
 }
@@ -431,8 +627,10 @@ type ParHashNestJoin struct {
 // Open partitions both inputs and builds each partition's groups on its own
 // worker.
 func (j *ParHashNestJoin) Open() error {
-	j.reset(j.Degree)
-	return runPartitioned(j.Ctx, j.Degree, j.L, j.R, j.LKeys, j.RKeys, j.LVar, j.RVar,
+	j.reset(j.Degree, j.BatchSize)
+	return runPartitioned(j.Ctx, j.Degree,
+		batchInput(j.L, j.BL, j.BatchSize), batchInput(j.R, j.BR, j.BatchSize),
+		j.LKeys, j.RKeys, j.LVar, j.RVar,
 		func(ctx *Ctx, rp, lp *partitionSet, part int) error {
 			table, err := buildPartition(ctx, rp, part)
 			if err != nil {

@@ -152,7 +152,7 @@ func TestPartitionInputRouting(t *testing.T) {
 	rows := genRows(1000, 23, "k", "v")
 	for _, nparts := range []int{2, 5, 8} {
 		ctx := NewCtx(nil)
-		ps, steps, err := partitionInput(ctx, &SliceScan{Rows: rows}, []tmql.Expr{pred("x.k")}, "x", nparts)
+		ps, steps, err := partitionInput(ctx, &RowsToBatch{It: &SliceScan{Rows: rows}}, []tmql.Expr{pred("x.k")}, "x", nparts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -29,8 +29,8 @@ const (
 	PointHashBuild = "hash.build"
 	// PointHashProbe fires once per probe-side row in the hash join family.
 	PointHashProbe = "hash.probe"
-	// PointPartitionSend fires once per row routed to a partition during the
-	// parallel exchange.
+	// PointPartitionSend fires once per batch fed into the parallel
+	// exchange (the exchange moves rows in batches, one channel send each).
 	PointPartitionSend = "partition.send"
 	// PointSortBuild fires once per row drained into a sort (Sort operator
 	// and the merge joins' sorted runs).

@@ -7,6 +7,7 @@ import (
 	"tmdb/internal/exec"
 	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
+	"tmdb/internal/value"
 )
 
 // Access-path selection for single-table selections. A selection whose
@@ -59,13 +60,21 @@ type IndexScanMatch struct {
 	IndexAttrs []string
 	// Depth is the covered prefix length.
 	Depth int
-	// Keys holds the constant key expressions, one per covered index
-	// attribute in index order — one point lookup.
-	Keys []tmql.Expr
+	// Points holds the constant key points, each a list of Depth expressions
+	// in index order. A plain conjunction of equalities yields one point;
+	// OR/IN-list equality disjuncts over covered attributes multiply out into
+	// several (capped at maxIndexScanPoints), each addressing a disjoint
+	// bucket.
+	Points [][]tmql.Expr
 	// Residual is the conjunction of the selection's uncovered conjuncts
 	// (nil when the index covers the whole predicate).
 	Residual tmql.Expr
 }
+
+// maxIndexScanPoints bounds the cartesian product of per-attribute constant
+// alternatives a multi-point index scan enumerates; coverage stops extending
+// the prefix before exceeding it.
+const maxIndexScanPoints = 64
 
 // Name returns the index's canonical registry name.
 func (m IndexScanMatch) Name() string { return storage.IndexName(m.IndexAttrs) }
@@ -110,43 +119,34 @@ func wrapperLabel(m *algebra.Map) string {
 }
 
 // FindIndexScan reports how the selection n can be served by a persistent
-// index: its input must chain down to a scan, and its equality conjuncts of
-// the form attr = const (either orientation; the attribute resolving through
-// the chain to a stored attribute of the scanned table, the other side free
-// of variables) must cover a non-empty prefix of some live index. The
-// longest covered prefix wins, ties prefer the shorter index — the same
-// preference FindIndexProbe applies on the join side.
+// index: its input must chain down to a scan, and its equality conjuncts —
+// attr = const (either orientation; the attribute resolving through the
+// chain to a stored attribute of the scanned table, the other side free of
+// variables), attr IN {lit, …}, or an OR of attr = lit equalities over one
+// attribute — must cover a non-empty prefix of some live index. Multi-point
+// conjuncts expand into the cartesian product of their constants, one point
+// per combination. The longest covered prefix wins, ties prefer the shorter
+// index — the same preference FindIndexProbe applies on the join side.
 func FindIndexScan(n *algebra.Select, indexesOf func(table string) [][]string) (IndexScanMatch, bool) {
 	_, scan, ok := AccessChain(n.In)
 	if !ok {
 		return IndexScanMatch{}, false
 	}
 	conjuncts := tmql.SplitAnd(n.Pred)
-	// Map each stored attribute with an attr = const conjunct to (constant
-	// expression, conjunct position); first conjunct per attribute wins.
-	type eqConst struct {
-		key tmql.Expr
-		pos int
+	// Map each stored attribute to its constant alternatives and conjunct
+	// position; first conjunct per attribute wins.
+	type eqConsts struct {
+		keys []tmql.Expr
+		pos  int
 	}
-	eq := make(map[string]eqConst)
+	eq := make(map[string]eqConsts)
 	for i, c := range conjuncts {
-		b, ok := c.(*tmql.Binary)
-		if !ok || b.Op != tmql.OpEq {
+		attr, keys := matchEqConsts(c, n.In, n.Var, scan.Table)
+		if len(keys) == 0 {
 			continue
 		}
-		for _, side := range [2][2]tmql.Expr{{b.L, b.R}, {b.R, b.L}} {
-			attrE, constE := side[0], side[1]
-			if len(tmql.FreeVars(constE)) != 0 {
-				continue
-			}
-			tab, attr, ok := resolveScanAttr(n.In, n.Var, attrE)
-			if !ok || tab != scan.Table {
-				continue
-			}
-			if _, dup := eq[attr]; !dup {
-				eq[attr] = eqConst{key: constE, pos: i}
-			}
-			break
+		if _, dup := eq[attr]; !dup {
+			eq[attr] = eqConsts{keys: keys, pos: i}
 		}
 	}
 	if len(eq) == 0 {
@@ -155,21 +155,23 @@ func FindIndexScan(n *algebra.Select, indexesOf func(table string) [][]string) (
 	var best IndexScanMatch
 	var bestCovered []int
 	for _, attrs := range indexesOf(scan.Table) {
-		var keys []tmql.Expr
+		var lists [][]tmql.Expr
 		var covered []int
+		points := 1
 		for _, attr := range attrs {
 			c, ok := eq[attr]
-			if !ok {
+			if !ok || points*len(c.keys) > maxIndexScanPoints {
 				break
 			}
-			keys = append(keys, c.key)
+			points *= len(c.keys)
+			lists = append(lists, c.keys)
 			covered = append(covered, c.pos)
 		}
-		if len(keys) == 0 {
+		if len(lists) == 0 {
 			continue
 		}
-		if len(keys) > best.Depth || (len(keys) == best.Depth && len(attrs) < len(best.IndexAttrs)) {
-			best = IndexScanMatch{Table: scan.Table, IndexAttrs: attrs, Depth: len(keys), Keys: keys}
+		if len(lists) > best.Depth || (len(lists) == best.Depth && len(attrs) < len(best.IndexAttrs)) {
+			best = IndexScanMatch{Table: scan.Table, IndexAttrs: attrs, Depth: len(lists), Points: crossPoints(lists)}
 			bestCovered = covered
 		}
 	}
@@ -188,6 +190,110 @@ func FindIndexScan(n *algebra.Select, indexesOf func(table string) [][]string) (
 	}
 	best.Residual = tmql.JoinAnd(rest)
 	return best, true
+}
+
+// matchEqConsts matches one conjunct to a stored attribute of table and its
+// constant alternatives: attr = const in either orientation (one
+// alternative, any closed expression), attr IN {lit, …}, or an OR of
+// attr = lit equalities over a single attribute. Multi-constant shapes
+// accept literals only and deduplicate them by canonical key, so the
+// expanded points address pairwise-disjoint buckets and the concatenating
+// exec.IndexScan never produces a row twice. No match returns an empty list.
+func matchEqConsts(c tmql.Expr, in algebra.Plan, varName, table string) (string, []tmql.Expr) {
+	b, ok := c.(*tmql.Binary)
+	if !ok {
+		return "", nil
+	}
+	switch b.Op {
+	case tmql.OpEq:
+		for _, side := range [2][2]tmql.Expr{{b.L, b.R}, {b.R, b.L}} {
+			attrE, constE := side[0], side[1]
+			if len(tmql.FreeVars(constE)) != 0 {
+				continue
+			}
+			tab, attr, ok := resolveScanAttr(in, varName, attrE)
+			if !ok || tab != table {
+				continue
+			}
+			return attr, []tmql.Expr{constE}
+		}
+	case tmql.OpIn:
+		set, ok := b.R.(*tmql.SetCons)
+		if !ok {
+			return "", nil
+		}
+		tab, attr, ok := resolveScanAttr(in, varName, b.L)
+		if !ok || tab != table {
+			return "", nil
+		}
+		return attr, dedupLits(set.Elems)
+	case tmql.OpOr:
+		var attr string
+		var consts []tmql.Expr
+		for _, d := range tmql.SplitOr(c) {
+			db, ok := d.(*tmql.Binary)
+			if !ok || db.Op != tmql.OpEq {
+				return "", nil
+			}
+			matched := false
+			for _, side := range [2][2]tmql.Expr{{db.L, db.R}, {db.R, db.L}} {
+				attrE, constE := side[0], side[1]
+				if _, isLit := constE.(*tmql.Lit); !isLit {
+					continue
+				}
+				tab, a, ok := resolveScanAttr(in, varName, attrE)
+				if !ok || tab != table || (attr != "" && a != attr) {
+					continue
+				}
+				attr, matched = a, true
+				consts = append(consts, constE)
+				break
+			}
+			if !matched {
+				return "", nil
+			}
+		}
+		return attr, dedupLits(consts)
+	}
+	return "", nil
+}
+
+// dedupLits keeps the literal expressions of es deduplicated by the
+// canonical key of their values; any non-literal poisons the whole list.
+func dedupLits(es []tmql.Expr) []tmql.Expr {
+	seen := make(map[string]bool, len(es))
+	var out []tmql.Expr
+	for _, e := range es {
+		lit, ok := e.(*tmql.Lit)
+		if !ok {
+			return nil
+		}
+		k := value.Key(lit.V)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	return out
+}
+
+// crossPoints expands per-attribute constant alternatives into the cartesian
+// product of key points, in index-attribute order.
+func crossPoints(lists [][]tmql.Expr) [][]tmql.Expr {
+	points := [][]tmql.Expr{nil}
+	for _, alts := range lists {
+		next := make([][]tmql.Expr, 0, len(points)*len(alts))
+		for _, p := range points {
+			for _, a := range alts {
+				pt := make([]tmql.Expr, len(p), len(p)+1)
+				copy(pt, p)
+				next = append(next, append(pt, a))
+			}
+		}
+		points = next
+	}
+	return points
 }
 
 // findIndexScanStats is the costing-side matcher, against the statistics
@@ -225,7 +331,7 @@ func (p *Planner) compileIndexScan(n *algebra.Select, m IndexScanMatch) (exec.It
 	}
 	leaf := &exec.IndexScan{
 		Ctx: p.ctx, Table: m.Table, Index: m.Name(), Depth: m.Depth,
-		Points: [][]tmql.Expr{m.Keys},
+		Points: m.Points,
 	}
 	var it exec.Iterator = leaf
 	if len(chain) == 0 {

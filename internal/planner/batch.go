@@ -1,0 +1,248 @@
+// Batched (vectorized) compilation: CompileBatch mirrors Compile but targets
+// the exec batch protocol. Hot-path nodes — scans, selections, maps, the hash
+// join family — compile to batch-native operators; cold nodes (nesting,
+// unnesting, set operations, merge/NL/index joins) compile to their row
+// operators over BatchToRows-adapted batched subtrees and are re-wrapped in
+// RowsToBatch, so a cold operator in the middle of a plan never forces the
+// subtree below it back to row-at-a-time execution. Results are identical to
+// Compile's by the set-canonicalization safety rail (see exec/batch.go).
+
+package planner
+
+import (
+	"fmt"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/exec"
+	"tmdb/internal/tmql"
+)
+
+// CompileBatch turns a logical plan into a physical batch-iterator tree using
+// Options.BatchSize rows per batch (0 = exec.DefaultBatchSize).
+func (p *Planner) CompileBatch(plan algebra.Plan) (exec.BatchIterator, error) {
+	switch n := plan.(type) {
+	case *algebra.Scan:
+		return &exec.BatchTableScan{Ctx: p.ctx, Table: n.Table, Size: p.opts.BatchSize}, nil
+
+	case *algebra.Select:
+		if p.opts.Access == AccessIndex {
+			if m, ok := FindIndexScan(n, p.liveIndexes); ok {
+				// Index scans are bucket probes, not row loops: keep the row
+				// compilation and adapt its output.
+				it, err := p.compileIndexScan(n, m)
+				if err != nil {
+					return nil, err
+				}
+				return p.rowsToBatch(it), nil
+			}
+		}
+		in, err := p.CompileBatch(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.BatchFilter{Ctx: p.ctx, In: in, Var: n.Var, Pred: n.Pred}, nil
+
+	case *algebra.Map:
+		in, err := p.CompileBatch(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.BatchDistinct{Ctx: p.ctx, In: &exec.BatchMap{Ctx: p.ctx, In: in, Var: n.Var, Out: n.Out}}, nil
+
+	case *algebra.Join:
+		return p.compileBatchJoin(n)
+
+	case *algebra.NestJoin:
+		return p.compileBatchNestJoin(n)
+
+	case *algebra.EvalNode:
+		return p.rowsToBatch(&exec.EvalScan{Ctx: p.ctx, Expr: n.Expr}), nil
+
+	case *algebra.Nest:
+		in, err := p.batchToRows(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.rowsToBatch(&exec.NestIter{Ctx: p.ctx, In: in, Attrs: n.Attrs, Label: n.Label, NullAware: n.NullAware}), nil
+
+	case *algebra.Unnest:
+		in, err := p.batchToRows(n.In)
+		if err != nil {
+			return nil, err
+		}
+		return p.rowsToBatch(&exec.UnnestIter{Ctx: p.ctx, In: in, Attr: n.Attr, Scalar: n.Scalar()}), nil
+
+	case *algebra.SetOp:
+		l, err := p.batchToRows(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.batchToRows(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return p.rowsToBatch(&exec.SetOpIter{Ctx: p.ctx, Kind: int(n.Kind), L: l, R: r}), nil
+	}
+	return nil, fmt.Errorf("planner: unhandled plan node %T", plan)
+}
+
+// rowsToBatch re-enters the batch protocol above a row operator.
+func (p *Planner) rowsToBatch(it exec.Iterator) exec.BatchIterator {
+	return &exec.RowsToBatch{It: it, Size: p.opts.BatchSize}
+}
+
+// batchToRows compiles a subtree batched and adapts it for a row consumer.
+func (p *Planner) batchToRows(plan algebra.Plan) (exec.Iterator, error) {
+	in, err := p.CompileBatch(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &exec.BatchToRows{In: in}, nil
+}
+
+// compileBatchJoin mirrors compileJoin: hash-family joins are batch-native
+// (BatchHashJoin, or ParHashJoin fed batched inputs directly), index and
+// nested-loop joins stay row operators behind adapters.
+func (p *Planner) compileBatchJoin(n *algebra.Join) (exec.BatchIterator, error) {
+	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	if p.opts.Joins == ImplIndex {
+		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
+			l, err := p.batchToRows(n.L)
+			if err != nil {
+				return nil, err
+			}
+			return p.rowsToBatch(&exec.IndexJoin{
+				Ctx: p.ctx, Kind: n.Kind, L: l,
+				Table: pr.Table, Index: pr.Name(),
+				LVar: n.LVar, RVar: n.RVar,
+				LKeys:    probeLKeys(lk, pr),
+				Residual: indexResidual(lk, rk, pr, residual),
+				RElem:    n.R.Elem(),
+			}), nil
+		}
+		// No usable index on this operator: auto fallback below.
+	}
+	useHash := len(lk) > 0
+	switch p.opts.Joins {
+	case ImplNestedLoop:
+		useHash = false
+	case ImplHash, ImplMerge:
+		if len(lk) == 0 {
+			return nil, fmt.Errorf("planner: hash join requested but no equi-key in %s", tmql.Format(n.Pred))
+		}
+		useHash = true
+	}
+	if !useHash {
+		l, err := p.batchToRows(n.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.batchToRows(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return p.rowsToBatch(&exec.NLJoin{
+			Ctx: p.ctx, Kind: n.Kind, L: l, R: r,
+			LVar: n.LVar, RVar: n.RVar, Pred: n.Pred, RElem: n.R.Elem(),
+		}), nil
+	}
+	bl, err := p.CompileBatch(n.L)
+	if err != nil {
+		return nil, err
+	}
+	br, err := p.CompileBatch(n.R)
+	if err != nil {
+		return nil, err
+	}
+	if p.opts.parallel() {
+		return &exec.ParHashJoin{
+			Ctx: p.ctx, Kind: n.Kind, BL: bl, BR: br,
+			LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, RElem: n.R.Elem(),
+			Degree: p.opts.Parallelism, BatchSize: p.opts.BatchSize,
+		}, nil
+	}
+	return &exec.BatchHashJoin{
+		Ctx: p.ctx, Kind: n.Kind, L: bl, R: br,
+		LVar: n.LVar, RVar: n.RVar,
+		LKeys: lk, RKeys: rk, Residual: residual, RElem: n.R.Elem(),
+	}, nil
+}
+
+// compileBatchNestJoin mirrors compileNestJoin: only the parallel hash nest
+// join consumes batches natively (through the exchange); the serial forms are
+// row operators over batched subtrees.
+func (p *Planner) compileBatchNestJoin(n *algebra.NestJoin) (exec.BatchIterator, error) {
+	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
+	impl := p.opts.Joins
+	if impl == ImplIndex {
+		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
+			l, err := p.batchToRows(n.L)
+			if err != nil {
+				return nil, err
+			}
+			return p.rowsToBatch(&exec.IndexNestJoin{
+				Ctx: p.ctx, L: l,
+				Table: pr.Table, Index: pr.Name(),
+				LVar: n.LVar, RVar: n.RVar,
+				LKeys:    probeLKeys(lk, pr),
+				Residual: indexResidual(lk, rk, pr, residual),
+				Fn:       n.Fn, Label: n.Label,
+			}), nil
+		}
+		impl = ImplAuto // no usable index on this operator
+	}
+	if impl == ImplAuto {
+		if len(lk) > 0 {
+			impl = ImplHash
+		} else {
+			impl = ImplNestedLoop
+		}
+	}
+	if impl != ImplNestedLoop && len(lk) == 0 {
+		return nil, fmt.Errorf("planner: %s nest join requested but no equi-key in %s",
+			impl, tmql.Format(n.Pred))
+	}
+	if impl == ImplHash && p.opts.parallel() {
+		bl, err := p.CompileBatch(n.L)
+		if err != nil {
+			return nil, err
+		}
+		br, err := p.CompileBatch(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.ParHashNestJoin{
+			Ctx: p.ctx, BL: bl, BR: br, LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+			Degree: p.opts.Parallelism, BatchSize: p.opts.BatchSize,
+		}, nil
+	}
+	l, err := p.batchToRows(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.batchToRows(n.R)
+	if err != nil {
+		return nil, err
+	}
+	var it exec.Iterator
+	switch impl {
+	case ImplNestedLoop:
+		it = &exec.NLNestJoin{
+			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+			Pred: n.Pred, Fn: n.Fn, Label: n.Label,
+		}
+	case ImplMerge:
+		it = &exec.MergeNestJoin{
+			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+		}
+	default:
+		it = &exec.HashNestJoin{
+			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+		}
+	}
+	return p.rowsToBatch(it), nil
+}

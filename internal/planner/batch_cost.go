@@ -1,0 +1,117 @@
+// Costing and rendering for the vectorized batch dimension. The model
+// follows the B-series profiles that motivated batching: a fixed share of
+// row-at-a-time work is per-row dispatch (interface calls, governor polls)
+// that vectorized operators pay once per batch instead, plus a small flat
+// setup cost (adapters, scratch arenas) that keeps tiny queries on the row
+// engine. Row-at-a-time candidates (batch <= 0) are costed by EstimateAccess
+// unchanged, so adding the dimension cannot perturb existing plan choices.
+
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"tmdb/internal/algebra"
+	"tmdb/internal/exec"
+)
+
+const (
+	// batchDispatchShare is the fraction of row-at-a-time work attributed to
+	// per-row dispatch, which batching amortizes to one dispatch per batch.
+	batchDispatchShare = 0.35
+	// batchStartupWork is the flat per-plan cost of vectorized execution:
+	// adapter layers and per-operator scratch arenas.
+	batchStartupWork = 32.0
+)
+
+// BatchWorkFactor scales row-at-a-time work for execution at the given batch
+// size: the dispatch share divides by the batch size, the rest is per-row
+// work batching cannot remove. Factor 1 at batch <= 1.
+func BatchWorkFactor(batch int) float64 {
+	if batch <= 1 {
+		return 1
+	}
+	return (1 - batchDispatchShare) + batchDispatchShare/float64(batch)
+}
+
+// EstimateExec is EstimateAccess under a batch-size choice: batch <= 0 costs
+// row-at-a-time execution (identical to EstimateAccess), batch > 1 applies
+// the dispatch amortization plus the flat vectorization overhead.
+func (e *Estimator) EstimateExec(p algebra.Plan, impl JoinImpl, par int, access AccessPath, batch int) Cost {
+	c := e.EstimateAccess(p, impl, par, access)
+	if batch > 1 {
+		c.Work = c.Work*BatchWorkFactor(batch) + batchStartupWork
+	}
+	return c
+}
+
+// batchNative reports whether CompileBatch compiles the node to a
+// batch-native operator (as opposed to a row operator behind adapters), so
+// EXPLAIN's [batch=N] annotations cannot drift from compilation: scans,
+// non-index-served selections, and maps are always batch-native; flat joins
+// are batch-native exactly when they resolve to the hash family
+// (BatchHashJoin serially, ParHashJoin partitioned); nest joins only through
+// the partitioned exchange (the serial HashNestJoin stays a row operator).
+func (e *Estimator) batchNative(n algebra.Plan, impl JoinImpl, par int, access AccessPath) bool {
+	switch j := n.(type) {
+	case *algebra.Scan, *algebra.Map:
+		return true
+	case *algebra.Select:
+		if access == AccessIndex {
+			if _, ok := e.findIndexScanStats(j); ok {
+				return false
+			}
+		}
+		return true
+	case *algebra.Join:
+		lk, rk, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
+		if impl == ImplIndex {
+			if _, ok := FindIndexProbe(j.R, j.RVar, rk, e.statsIndexes); ok {
+				return false
+			}
+			// No usable index: CompileBatch falls back to the auto mapping.
+			return len(lk) > 0
+		}
+		eff := effectiveJoinImpl(impl, len(lk) > 0)
+		return eff == ImplHash || eff == ImplMerge // flat-join merge lowers to hash
+	case *algebra.NestJoin:
+		lk, rk, _ := ExtractEquiKeys(j.Pred, j.LVar, j.RVar)
+		eff := impl
+		if eff == ImplIndex {
+			if _, ok := FindIndexProbe(j.R, j.RVar, rk, e.statsIndexes); ok {
+				return false
+			}
+			eff = ImplAuto
+		}
+		return effectiveJoinImpl(eff, len(lk) > 0) == ImplHash && par > 1
+	}
+	return false
+}
+
+// ExplainExec is the fully physical EXPLAIN rendering including the batch
+// dimension: batch <= 0 is exactly ExplainAccess; batch > 0 annotates every
+// batch-native operator with its batch size ("HashJoin[batch=1024]") and
+// costs nodes through EstimateExec.
+func (e *Estimator) ExplainExec(p algebra.Plan, impl JoinImpl, par int, access AccessPath, batch int) string {
+	if batch <= 0 {
+		return e.ExplainAccess(p, impl, par, access)
+	}
+	batch = exec.NormalizeBatchSize(batch)
+	var b strings.Builder
+	var walk func(n algebra.Plan, depth int)
+	walk = func(n algebra.Plan, depth int) {
+		c := e.EstimateExec(n, impl, par, access, batch)
+		desc := e.physicalDescribeAccess(n, impl, par, access)
+		if e.batchNative(n, impl, par, access) {
+			desc += fmt.Sprintf("[batch=%d]", batch)
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s  (%s)\n", desc, c)
+		for _, ch := range n.Children() {
+			walk(ch, depth+1)
+		}
+	}
+	walk(p, 0)
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"tmdb/internal/algebra"
+	"tmdb/internal/exec"
 	"tmdb/internal/tmql"
 )
 
@@ -42,9 +43,12 @@ type Candidate struct {
 	Access AccessPath
 	// Par is the partitioned-execution degree this candidate was costed at
 	// (1 = serial).
-	Par  int
-	Plan algebra.Plan
-	Cost Cost
+	Par int
+	// Batch is the vectorized batch size this candidate was costed at (0 =
+	// row-at-a-time execution).
+	Batch int
+	Plan  algebra.Plan
+	Cost  Cost
 	// Infeasible is non-empty when the combination cannot execute (e.g. a
 	// hash family requested with no equi-key); such candidates are never
 	// chosen.
@@ -63,6 +67,9 @@ func (c Candidate) String() string {
 	}
 	if c.Access == AccessIndex {
 		joins += "+idxscan"
+	}
+	if c.Batch > 0 {
+		joins += fmt.Sprintf("+b%d", c.Batch)
 	}
 	alt := c.Alt
 	if alt == "" {
@@ -100,8 +107,28 @@ func (e *Estimator) Choose(plans []StrategyPlan, fixed JoinImpl, par int) (*Cand
 // scans per selection at compile time, exactly as ImplIndex falls back per
 // join operator).
 func (e *Estimator) ChooseAccess(plans []StrategyPlan, fixed JoinImpl, par int, access AccessPath) (*Candidate, []Candidate, error) {
+	return e.ChooseExec(plans, fixed, par, access, -1)
+}
+
+// ChooseExec is ChooseAccess with a batch-size pin, the full physical
+// enumeration the engine uses: batch < 0 restricts the enumeration to
+// row-at-a-time execution (the seed behavior ChooseAccess preserves), batch =
+// 0 enumerates a vectorized variant at exec.DefaultBatchSize alongside every
+// row-at-a-time combination, and batch > 0 pins every candidate to vectorized
+// execution at that size (clamped to exec.MaxBatchSize). Batch size is
+// orthogonal to the other physical dimensions — every strategy × alternative
+// × join family × degree × access combination is costed at every enumerated
+// batch size.
+func (e *Estimator) ChooseExec(plans []StrategyPlan, fixed JoinImpl, par int, access AccessPath, batch int) (*Candidate, []Candidate, error) {
 	if len(plans) == 0 {
 		return nil, nil, fmt.Errorf("planner: no candidate plans to choose from")
+	}
+	batches := []int{0}
+	switch {
+	case batch == 0:
+		batches = []int{0, exec.DefaultBatchSize}
+	case batch > 0:
+		batches = []int{exec.NormalizeBatchSize(batch)}
 	}
 	impls := []JoinImpl{ImplNestedLoop, ImplHash, ImplMerge}
 	if fixed != ImplAuto {
@@ -149,11 +176,13 @@ func (e *Estimator) ChooseAccess(plans []StrategyPlan, fixed JoinImpl, par int, 
 			}
 			for _, deg := range degrees {
 				for _, acc := range accesses {
-					c := Candidate{Strategy: sp.Strategy, Alt: alt, Joins: impl, Access: acc, Par: deg, Plan: sp.Plan}
-					c.Cost = e.EstimateAccess(sp.Plan, impl, deg, acc)
-					all = append(all, c)
-					if best < 0 || c.Cost.Work < all[best].Cost.Work {
-						best = len(all) - 1
+					for _, bsz := range batches {
+						c := Candidate{Strategy: sp.Strategy, Alt: alt, Joins: impl, Access: acc, Par: deg, Batch: bsz, Plan: sp.Plan}
+						c.Cost = e.EstimateExec(sp.Plan, impl, deg, acc, bsz)
+						all = append(all, c)
+						if best < 0 || c.Cost.Work < all[best].Cost.Work {
+							best = len(all) - 1
+						}
 					}
 				}
 			}
@@ -296,6 +325,9 @@ func (e *Estimator) physicalDescribeAccess(n algebra.Plan, impl JoinImpl, par in
 				desc := fmt.Sprintf("IndexScan(%s) using %s(%s)", m.Table, m.Table, m.Name())
 				if m.Depth < len(m.IndexAttrs) {
 					desc += fmt.Sprintf(" prefix=%d", m.Depth)
+				}
+				if len(m.Points) > 1 {
+					desc += fmt.Sprintf(" points=%d", len(m.Points))
 				}
 				if m.Residual != nil {
 					desc += fmt.Sprintf(" residual[%s]", tmql.Format(m.Residual))

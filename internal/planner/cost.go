@@ -171,15 +171,16 @@ func (e *Estimator) EstimateAccess(p algebra.Plan, impl JoinImpl, par int, acces
 // once, and each bucket row re-checked against the residual and the chain
 // nodes above the leaf. The expected bucket depth comes from the index's
 // per-bucket depth statistics (stats.Catalog.IndexDepth); the base scan is
-// never paid.
+// never paid. Multi-point scans (OR/IN-list disjuncts) pay the per-point
+// cost once per point.
 func (e *Estimator) indexScanWork(m IndexScanMatch) float64 {
 	avg := 1.0
 	if prof, ok := e.stats.IndexDepth(m.Table, m.IndexAttrs, m.Depth); ok && prof.AvgBucket > 0 {
 		avg = prof.AvgBucket
 	}
-	// One lookup + one visit per bucket row + one residual/chain re-check
-	// per bucket row.
-	return 1 + 2*avg
+	// Per point: one lookup + one visit per bucket row + one residual/chain
+	// re-check per bucket row.
+	return float64(len(m.Points)) * (1 + 2*avg)
 }
 
 func (e *Estimator) estimateJoin(n *algebra.Join, impl JoinImpl, par int, access AccessPath) Cost {

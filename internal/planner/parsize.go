@@ -1,0 +1,40 @@
+package planner
+
+import "math"
+
+// Statistics-driven partition sizing. When the caller leaves the
+// partitioned-execution degree to the planner, the engine no longer opens
+// the whole machine unconditionally: the degree is sized from the row
+// estimates of the query's tables so that each partition of a parallel hash
+// operator receives a meaningful share of the input. Tiny inputs stop
+// paying per-worker startup for partitions that would hold a handful of
+// rows each (the cost model would usually reject those candidates anyway —
+// sizing keeps the enumeration honest and the exchange lean when
+// parallelism does win), while large inputs still fan out to the machine.
+// Explicit Options.Parallelism pins bypass sizing entirely.
+
+// parTargetRowsPerPartition is the input-row share each partition should
+// receive. Below ~1k rows per worker, partition startup and channel traffic
+// dominate the probe work a worker saves.
+const parTargetRowsPerPartition = 1024
+
+// PartitionDegree sizes the partitioned-execution degree for an input of
+// the given estimated rows: one partition per parTargetRowsPerPartition
+// rows (rounded up), at least 2 (a single partition is serial execution
+// with exchange overhead), capped at maxDegree — the machine width or the
+// caller's bound. A maxDegree below 2 cannot partition and passes through.
+func PartitionDegree(rows float64, maxDegree int) int {
+	if maxDegree < 2 {
+		return maxDegree
+	}
+	d := 2
+	if rows > 0 {
+		if n := int(math.Ceil(rows / parTargetRowsPerPartition)); n > d {
+			d = n
+		}
+	}
+	if d > maxDegree {
+		d = maxDegree
+	}
+	return d
+}

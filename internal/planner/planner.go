@@ -68,6 +68,11 @@ type Options struct {
 	// and AccessScan compile full scans — under the cost-based engine path
 	// the chooser resolves AccessAuto before compilation.
 	Access AccessPath
+	// BatchSize is the rows-per-batch capacity CompileBatch builds vectorized
+	// operators with (0 = exec.DefaultBatchSize; capped at
+	// exec.MaxBatchSize). Compile ignores it — row-at-a-time plans are
+	// unchanged.
+	BatchSize int
 }
 
 // parallel reports whether planning targets the partitioned operators.

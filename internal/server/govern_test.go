@@ -49,7 +49,9 @@ func TestTimeoutReturns408(t *testing.T) {
 	c := NewClient(hs.URL, hs.Client())
 
 	start := time.Now()
-	_, err := c.Query(flatJoinQuery, &WireOptions{Joins: "hash", TimeoutMs: 20})
+	// batch_size -1 pins row-at-a-time execution so the per-row delay keeps
+	// the plan slow (and exercises the wire option's row pin end to end).
+	_, err := c.Query(flatJoinQuery, &WireOptions{Joins: "hash", BatchSize: -1, TimeoutMs: 20})
 	elapsed := time.Since(start)
 	wantServerError(t, err, "deadline_exceeded", http.StatusRequestTimeout)
 	if elapsed > time.Second {
@@ -65,7 +67,7 @@ func TestTimeoutReturns408(t *testing.T) {
 	}
 
 	// Per-session timeouts ride on the session's options the same way.
-	if _, err := c.NewSession(WireOptions{Joins: "hash", TimeoutMs: 20}); err != nil {
+	if _, err := c.NewSession(WireOptions{Joins: "hash", BatchSize: -1, TimeoutMs: 20}); err != nil {
 		t.Fatal(err)
 	}
 	_, err = c.Query(flatJoinQuery, nil)
@@ -103,7 +105,7 @@ func TestBadLimitOptionsRejected(t *testing.T) {
 	_, hs := newTestServer(t, Config{})
 	c := NewClient(hs.URL, hs.Client())
 	for _, opts := range []WireOptions{
-		{TimeoutMs: -1}, {MaxRows: -5}, {MaxBuildBytes: -1},
+		{TimeoutMs: -1}, {MaxRows: -5}, {MaxBuildBytes: -1}, {BatchSize: -2},
 	} {
 		_, err := c.Query(flatJoinQuery, &opts)
 		wantServerError(t, err, "bad_options", http.StatusBadRequest)

@@ -23,6 +23,9 @@ type WireOptions struct {
 	Access string `json:"access,omitempty"`
 	// Parallelism: 0 = planner default, 1 = serial, n >= 2 = degree.
 	Parallelism int `json:"parallelism,omitempty"`
+	// BatchSize: 0 = planner default (cost-chosen), n > 0 = vectorized
+	// execution at n rows per batch, -1 = row-at-a-time.
+	BatchSize int `json:"batch_size,omitempty"`
 	// Rewrite pins the §6-rewritten logical alternative.
 	Rewrite bool `json:"rewrite,omitempty"`
 	// PinAlt pins a logical alternative by its candidate-table label.
@@ -76,6 +79,10 @@ func (w WireOptions) Engine() (engine.Options, error) {
 		return opts, fmt.Errorf("parallelism must be >= 0, got %d", w.Parallelism)
 	}
 	opts.Parallelism = w.Parallelism
+	if w.BatchSize < -1 {
+		return opts, fmt.Errorf("batch_size must be >= -1, got %d", w.BatchSize)
+	}
+	opts.BatchSize = w.BatchSize
 	opts.Rewrite = w.Rewrite
 	opts.PinAlt = w.PinAlt
 	if w.TimeoutMs < 0 {

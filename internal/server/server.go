@@ -356,6 +356,7 @@ type QueryResponse struct {
 	Joins       string          `json:"joins"`
 	Access      string          `json:"access"`
 	Parallelism int             `json:"parallelism"`
+	Batch       int             `json:"batch"`
 	Auto        bool            `json:"auto"`
 	CacheHit    bool            `json:"cache_hit"`
 	DurationNs  int64           `json:"duration_ns"`
@@ -775,6 +776,7 @@ func (s *Server) writeResult(w http.ResponseWriter, reqID string, res *engine.Re
 		Joins:       res.Joins.String(),
 		Access:      res.Access.String(),
 		Parallelism: res.Parallelism,
+		Batch:       res.Batch,
 		Auto:        res.Auto,
 		CacheHit:    res.CacheHit,
 		DurationNs:  res.Duration.Nanoseconds(),

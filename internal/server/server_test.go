@@ -185,6 +185,32 @@ func TestSessionOptionsAndOverride(t *testing.T) {
 	}
 }
 
+// TestBatchSizeOverWire pins the batch_size option end to end: a pinned
+// vectorized query reports its batch in the response and answers
+// byte-identically to the row-pinned plan.
+func TestBatchSizeOverWire(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	c := NewClient(hs.URL, hs.Client())
+	const q = `SELECT (xb = x.b, zc = z.c) FROM X x, Z z WHERE x.b = z.d`
+	row, err := c.Query(q, &WireOptions{Joins: "hash", BatchSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Batch != 0 {
+		t.Fatalf("row-pinned response batch = %d, want 0", row.Batch)
+	}
+	bat, err := c.Query(q, &WireOptions{Joins: "hash", BatchSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bat.Batch != 256 {
+		t.Fatalf("batch-pinned response batch = %d, want 256", bat.Batch)
+	}
+	if !bytes.Equal(row.Result, bat.Result) {
+		t.Fatalf("batched result diverged from row result:\n  row:   %s\n  batch: %s", row.Result, bat.Result)
+	}
+}
+
 // TestStructuredErrors covers the remaining error codes and the request-ID
 // plumbing.
 func TestStructuredErrors(t *testing.T) {

@@ -78,6 +78,18 @@ func SplitAnd(e Expr) []Expr {
 	return []Expr{e}
 }
 
+// SplitOr flattens a right- or left-nested OR tree into its disjuncts; a
+// nil expression yields nil.
+func SplitOr(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpOr {
+		return append(SplitOr(b.L), SplitOr(b.R)...)
+	}
+	return []Expr{e}
+}
+
 // JoinAnd rebuilds a conjunction from parts (nil for none).
 func JoinAnd(parts []Expr) Expr {
 	var out Expr

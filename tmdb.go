@@ -37,6 +37,13 @@
 //     decides whether parallelism pays; fixed strategies opt in explicitly)
 //     over an allocation-lean key encoding, with results bit-identical to
 //     serial execution at any degree;
+//   - vectorized batch execution: the hot path (scans, filters, projections,
+//     hash joins, and the parallel exchange) moves rows in batches of up to
+//     Options.BatchSize with pre-encoded join keys, costed against
+//     row-at-a-time execution as a physical dimension (0 lets the cost model
+//     decide, n > 0 pins batches of n, negative pins rows); results are
+//     byte-identical to the row engine and EXPLAIN annotates batched
+//     operators with [batch=n];
 //   - mutable storage with per-table invalidation: tables are bulk-loaded,
 //     sealed, and then mutated in place (Engine.Insert / Engine.Delete /
 //     Engine.InsertValue / Engine.DeleteValue, or the storage-level
