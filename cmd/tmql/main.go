@@ -8,7 +8,7 @@
 //	tmql -db xyz                   # REPL over the synthetic X/Y/Z database
 //	tmql -q 'SELECT d.name FROM DEPT d'
 //	tmql -q '...' -strategy naive -explain
-//	tmql -q '...' -par 8           (partitioned hash joins at degree 8)
+//	tmql -q '...' -par 8           (morsel-scheduler degree 8)
 //	tmql -q '...' -batch 1024      (vectorized batches of 1024 rows; -1 = rows)
 //	tmql -q '...' -rewrite         (pin the §6-rewritten alternative)
 //	tmql -q '...' -pin 'order:((z y) x)'
@@ -90,8 +90,9 @@ func main() {
 		strategy = flag.String("strategy", "auto", "auto | naive | nestjoin | kim | outerjoin")
 		joins    = flag.String("joins", "auto", "auto | nl | hash | merge | index")
 		access   = flag.String("access", "auto", "auto | scan | index (access path for selections)")
-		par      = flag.Int("par", 0, "partitioned-execution degree (0 = planner default, 1 = serial)")
-		batch    = flag.Int("batch", 0, "rows per vectorized batch (0 = cost model decides, -1 = row-at-a-time)")
+		par      = flag.Int("par", 0, "morsel-scheduler degree: worker pool and hash partitions (0 = planner default, 1 = serial)")
+		batch    = flag.Int("batch", 0, "rows per vectorized batch and morsel (0 = cost model decides, -1 = row-at-a-time)")
+		noSteal  = flag.Bool("nosteal", false, "disable work stealing in the morsel scheduler (ablation; results identical)")
 		rewrite  = flag.Bool("rewrite", false, "pin the §6-rewritten logical alternative (the optimizer considers rewrites either way)")
 		pin      = flag.String("pin", "", "pin a logical alternative by candidate-table label (base | rewrite | order:…)")
 		cacheCap = flag.Int("plancache", 0, "plan-cache LRU capacity (0 = default 256)")
@@ -120,6 +121,7 @@ func main() {
 	}
 	opts.Parallelism = *par
 	opts.BatchSize = *batch
+	opts.NoSteal = *noSteal
 	opts.Rewrite = *rewrite
 	opts.PinAlt = *pin
 	opts.Limits = engine.Limits{Timeout: *timeout, MaxRows: *maxRows, MaxBuildBytes: *maxBuild}
@@ -218,6 +220,9 @@ func runOne(eng *engine.Engine, q string, opts engine.Options, explain bool) err
 	}
 	if res.Parallelism > 1 {
 		how += fmt.Sprintf(", parallelism %d", res.Parallelism)
+		if res.Sched.Dispatched+res.Sched.Stolen > 0 {
+			how += fmt.Sprintf(" (morsels %d+%d stolen)", res.Sched.Dispatched, res.Sched.Stolen)
+		}
 	}
 	if res.Batch > 0 {
 		how += fmt.Sprintf(", batch %d", res.Batch)

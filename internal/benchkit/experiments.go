@@ -36,6 +36,7 @@ func All() []Experiment {
 		{"B4", "nest join physical implementations", RunB4},
 		{"B5", "nesting depth (linear chains)", RunB5},
 		{"B9", "vectorized batch pipeline vs row-at-a-time", RunB9},
+		{"B10", "morsel scheduling vs partition-dedicated under skew", RunB10},
 	}
 }
 

@@ -110,6 +110,20 @@ func regressScenarios() []RegressScenario {
 			return engine.New(cat, db), opts, nil
 		}
 	}
+	// The B10 scenarios run the skewed semijoin RunB10 gates: one hash
+	// partition holds ~90% of the probe rows, so the steal/nosteal pair
+	// tracks the scheduler's own overhead (ns/op is calibration-scaled; on a
+	// single-CPU runner the two coincide, which is fine — the gate compares
+	// each against its own baseline, not against each other).
+	xyzSkew := func(n int, opts engine.Options) func() (*engine.Engine, engine.Options, error) {
+		return func() (*engine.Engine, engine.Options, error) {
+			cat, db := datagen.XYZ(datagen.Spec{
+				NX: n, NY: 2 * n, NZ: 0, Keys: 16, DanglingFrac: 0.2, SetAttrCard: 3,
+				SkewFrac: 0.9, Seed: 7,
+			})
+			return engine.New(cat, db), opts, nil
+		}
+	}
 	serial := engine.Options{Parallelism: 1}
 	fixedHash := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 1}
 	fixedIdx := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplIndex, Parallelism: 1}
@@ -117,6 +131,9 @@ func regressScenarios() []RegressScenario {
 	idxPin := engine.Options{Access: planner.AccessIndex, Parallelism: 1}
 	rowPin := engine.Options{Parallelism: 1, BatchSize: -1}
 	batchPin := engine.Options{Parallelism: 1, BatchSize: 256}
+	morselHash := engine.Options{Strategy: core.StrategyNestJoin, Joins: planner.ImplHash, Parallelism: 4}
+	morselNoSteal := morselHash
+	morselNoSteal.NoSteal = true
 
 	const b1 = `SELECT x FROM X x WHERE x.b IN SELECT y.d FROM Y y WHERE x.b = y.d`
 	const b6 = `SELECT x.b FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b) AND x.b < 0`
@@ -135,6 +152,8 @@ func regressScenarios() []RegressScenario {
 		{Name: "B9/pipeline-row/n=2000", Query: b9, run: xyzWide(2000, rowPin)},
 		{Name: "B9/pipeline-batch/n=2000", Query: b9, run: xyzWide(2000, batchPin)},
 		{Name: "B9/pipeline-auto/n=2000", Query: b9, run: xyzWide(2000, serial)},
+		{Name: "B10/morsel-steal/n=2000", Query: b1, run: xyzSkew(2000, morselHash)},
+		{Name: "B10/morsel-nosteal/n=2000", Query: b1, run: xyzSkew(2000, morselNoSteal)},
 	}
 }
 

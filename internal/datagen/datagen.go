@@ -130,7 +130,13 @@ type Spec struct {
 	DanglingFrac float64
 	// SetAttrCard is the cardinality of the set-valued attributes x.a, y.c.
 	SetAttrCard int
-	Seed        int64
+	// SkewFrac in [0,1) is the fraction of matched join keys collapsed onto
+	// key 0: with SkewFrac = 0.9, ~90% of the matched rows in every relation
+	// share one key, so one hash partition carries almost all the join work —
+	// the workload the morsel scheduler's stealing exists for. Zero (the
+	// default) leaves the uniform key draw untouched, byte-for-byte.
+	SkewFrac float64
+	Seed     int64
 }
 
 // DefaultSpec returns a small spec suitable for tests.
@@ -188,6 +194,16 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 		}
 		return value.SetOf(es...)
 	}
+	// matchedKey draws a join key for a matched tuple. SkewFrac collapses
+	// that fraction of draws onto key 0; the guard keeps the random sequence
+	// untouched byte-for-byte when skew is off, so existing seeded datasets
+	// are unchanged.
+	matchedKey := func() int64 {
+		if spec.SkewFrac > 0 && r.Float64() < spec.SkewFrac {
+			return 0
+		}
+		return int64(r.Intn(spec.Keys))
+	}
 	// Dangling tuples draw from per-relation disjoint negative ranges so a
 	// dangling key never matches anything — in particular a dangling X tuple
 	// must not accidentally pair with a dangling Y tuple on x.b = y.d.
@@ -195,7 +211,7 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 		if float64(i) < spec.DanglingFrac*float64(n) {
 			return -offset - int64(i) - 1
 		}
-		return int64(r.Intn(spec.Keys))
+		return matchedKey()
 	}
 
 	for i := 0; i < spec.NX; i++ {
@@ -207,7 +223,7 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 	for i := 0; i < spec.NY; i++ {
 		y.MustInsert(value.TupleOf(
 			value.F("a", value.Int(int64(r.Intn(2*max(1, spec.SetAttrCard))))),
-			value.F("b", value.Int(int64(r.Intn(spec.Keys)))),
+			value.F("b", value.Int(matchedKey())),
 			value.F("c", intSet(r.Intn(spec.SetAttrCard+1))),
 			value.F("d", value.Int(key(i, spec.NY, 1<<30))),
 		))
@@ -215,7 +231,7 @@ func XYZ(spec Spec) (*schema.Catalog, *storage.DB) {
 	for i := 0; i < spec.NZ; i++ {
 		z.MustInsert(value.TupleOf(
 			value.F("c", value.Int(int64(r.Intn(2*max(1, spec.SetAttrCard))))),
-			value.F("d", value.Int(int64(r.Intn(spec.Keys)))),
+			value.F("d", value.Int(matchedKey())),
 		))
 	}
 	db.SealAll()

@@ -99,16 +99,18 @@ type Options struct {
 	// cost under StrategyAuto, hash-when-an-equi-key-exists under a fixed
 	// strategy).
 	Joins planner.JoinImpl
-	// Parallelism bounds the partitioned-execution degree of the hash join
-	// family: values >= 2 partition hash joins and hash nest joins across
-	// that many workers, 1 forces serial execution. The zero value defers
-	// to the planner: under StrategyAuto it resolves to
-	// runtime.GOMAXPROCS(0) and the cost model decides per query whether a
-	// parallel variant actually wins; under a fixed strategy the physical
-	// decision is pinned by the caller, so zero stays serial and parallel
-	// execution is an explicit opt-in (keeping fixed-strategy experiment
-	// numbers comparable across releases). Results are identical at every
-	// degree.
+	// Parallelism sizes the query's morsel scheduler: values >= 2 run the
+	// hash join family partitioned across a worker pool of that size (hash
+	// partitions and pool share the degree; idle workers steal morsels from
+	// loaded ones), 1 forces serial execution. The zero value defers to the
+	// planner: under StrategyAuto it resolves to runtime.GOMAXPROCS(0)
+	// (sized down by statistics — see planner.PartitionDegree) and the cost
+	// model decides per query whether a parallel variant actually wins;
+	// under a fixed strategy the physical decision is pinned by the caller,
+	// so zero stays serial and parallel execution is an explicit opt-in
+	// (keeping fixed-strategy experiment numbers comparable across
+	// releases). Results are byte-identical at every degree and any steal
+	// schedule.
 	Parallelism int
 	// Rewrite is a compatibility override. The optimizer now enumerates the
 	// §6 rewrite rules (selection pushdown through nest joins, selection
@@ -151,6 +153,13 @@ type Options struct {
 	// Results are identical either way — batching only trades dispatch
 	// overhead.
 	BatchSize int
+	// NoSteal disables work stealing in the morsel scheduler, pinning every
+	// morsel to its home worker — the partition-dedicated assignment the
+	// scheduler replaced. Results are identical either way; the knob exists
+	// as an ablation for benchmarks (B10 measures steal vs no-steal under
+	// skew) and for diagnosing scheduling anomalies. Like Limits it never
+	// affects planning, so it is excluded from the plan-cache key.
+	NoSteal bool
 }
 
 // pin resolves the effective alternative pin: PinAlt wins, then the Rewrite
@@ -230,6 +239,11 @@ type Result struct {
 	// EvalSteps counts elementary expression-evaluation steps performed by
 	// operators and naive evaluation — a machine-independent work measure.
 	EvalSteps int64
+	// Sched reports the morsel scheduler's per-query counters: morsels
+	// dispatched to their home worker, morsels stolen by idle workers, and
+	// summed worker busy time. All zero for plans with no partitioned
+	// operators.
+	Sched exec.SchedStats
 }
 
 // planned is a resolved physical planning decision: what the plan cache
@@ -308,6 +322,11 @@ func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (
 	}
 	gov := exec.NewGovernor(ctx, opts.Limits.exec())
 	ectx := exec.NewCtxGoverned(e.db, gov)
+	// One scheduler per query: every partitioned operator of the plan shares
+	// the worker pool and the stats counters reported on Result.Sched.
+	ectx.Sched = exec.NewScheduler(exec.SchedConfig{
+		Workers: pl.par, MorselSize: pl.batch, NoSteal: opts.NoSteal,
+	})
 	defer recoverAbort(gov, &res, &err)
 	pltr := planner.New(ectx, planner.Options{Joins: pl.joins, Parallelism: pl.par, Access: pl.access, BatchSize: pl.batch})
 	var v value.Value
@@ -356,6 +375,7 @@ func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (
 		CacheHit:    hit,
 		Duration:    time.Since(start),
 		EvalSteps:   ectx.Ev.Steps,
+		Sched:       ectx.Sched.Stats(),
 	}, nil
 }
 
@@ -577,8 +597,11 @@ func (e *Engine) explainBound(bound tmql.Expr, opts Options) (string, error) {
 	if pl.batch > 0 {
 		batch = fmt.Sprintf("%d", pl.batch)
 	}
-	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s access=%s parallelism=%d batch=%s (%s)\n",
-		pl.strategy, alt, pl.joins, pl.access, pl.par, batch, mode)
+	// sched/morsel render the runtime configuration the plan executes under:
+	// the scheduler's worker-pool size (= the degree) and the effective
+	// rows-per-morsel the exchange feeds it.
+	fmt.Fprintf(&b, "strategy=%s alt=%s joins=%s access=%s parallelism=%d sched=%d morsel=%d batch=%s (%s)\n",
+		pl.strategy, alt, pl.joins, pl.access, pl.par, pl.par, exec.NormalizeBatchSize(pl.batch), batch, mode)
 	b.WriteString(est.ExplainExec(pl.plan, pl.joins, pl.par, pl.access, pl.batch))
 	if pl.auto && len(pl.candidates) > 1 {
 		b.WriteString("candidates considered:\n")

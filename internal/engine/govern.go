@@ -36,8 +36,8 @@ func (l Limits) exec() exec.Limits {
 
 // PanicError is a panic recovered during query execution, isolated to the
 // failing query: the engine (and any server above it) stays up. Val is the
-// recovered value; Stack the goroutine stack at recovery. Parallel workers'
-// panics are re-raised on the query goroutine (see exec.runWorkers), so they
+// recovered value; Stack the goroutine stack at recovery. Scheduler workers'
+// panics are re-raised on the query goroutine (see exec.Scheduler), so they
 // surface here identically to serial panics.
 type PanicError struct {
 	Val   any

@@ -25,6 +25,7 @@ func chaosSchedule(seed uint64) faultinject.Schedule {
 	points := []string{
 		faultinject.PointScan, faultinject.PointHashBuild, faultinject.PointHashProbe,
 		faultinject.PointPartitionSend, faultinject.PointSortBuild,
+		faultinject.PointSchedMorsel,
 	}
 	kinds := []faultinject.Kind{faultinject.Delay, faultinject.Error, faultinject.Panic}
 	n := 1 + r.Intn(3)

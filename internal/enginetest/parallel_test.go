@@ -69,6 +69,45 @@ func TestConformanceParallelExplain(t *testing.T) {
 		if !contains(out, "parallelism=") {
 			t.Errorf("%s: EXPLAIN misses the parallelism header:\n%s", g.Name, out)
 		}
+		if !contains(out, "sched=") || !contains(out, "morsel=") {
+			t.Errorf("%s: EXPLAIN misses the scheduler header (sched=/morsel=):\n%s", g.Name, out)
+		}
+	}
+}
+
+// TestConformanceParallelSkewDeterminism executes every fuzz query shape on
+// a 90/10-skewed XYZ instance — one join key holding ~90% of the matched
+// rows, so one hash partition carries almost all the join work and the
+// scheduler's stealing is what evens it out — at every degree, asserting
+// byte-identity to serial under both the auto planner and the paper's fixed
+// nest-join strategy.
+func TestConformanceParallelSkewDeterminism(t *testing.T) {
+	cat, db := datagen.XYZ(datagen.Spec{
+		NX: 300, NY: 600, NZ: 300, Keys: 10, DanglingFrac: 0.2,
+		SetAttrCard: 3, SkewFrac: 0.9, Seed: 7,
+	})
+	eng := engine.New(cat, db)
+	for qi, q := range fuzzQueries {
+		for _, s := range []core.Strategy{core.StrategyAuto, core.StrategyNestJoin} {
+			var want string
+			for _, par := range ParallelDegrees() {
+				res, err := eng.Query(q, engine.Options{Strategy: s, Parallelism: par})
+				if err != nil {
+					if SkippableError(err) {
+						break
+					}
+					t.Errorf("query %d %s par=%d: %v", qi, s, par, err)
+					break
+				}
+				if par == 1 {
+					want = value.Key(res.Value)
+					continue
+				}
+				if value.Key(res.Value) != want {
+					t.Errorf("query %d %s par=%d: skewed result not byte-identical to serial", qi, s, par)
+				}
+			}
+		}
 	}
 }
 

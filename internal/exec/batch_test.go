@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -179,5 +181,71 @@ func TestBatchDistinctIdentity(t *testing.T) {
 	got := collectBatches(t, &BatchDistinct{Ctx: NewCtx(nil), In: &BatchSliceScan{Rows: rows, Size: 2}})
 	if !value.Equal(got, want) {
 		t.Errorf("distinct identity mismatch:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+// TestSortBatchBuildMatchesRow drains Sort through its batch-native build at
+// every batch size and asserts the emitted sequence — not just the set — is
+// byte-identical to the row build's.
+func TestSortBatchBuildMatchesRow(t *testing.T) {
+	rows := genRows(500, 23, "k", "v")
+	keys := []tmql.Expr{pred("x.k")}
+	want, err := Drain(&Sort{Ctx: NewCtx(nil), In: &SliceScan{Rows: rows}, Var: "x", Keys: keys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range batchSizes {
+		got, err := Drain(&Sort{Ctx: NewCtx(nil), BIn: &BatchSliceScan{Rows: rows, Size: size}, Var: "x", Keys: keys})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("size=%d: %d rows out, want %d", size, len(got), len(want))
+		}
+		for i := range want {
+			if value.Key(got[i]) != value.Key(want[i]) {
+				t.Fatalf("size=%d: row %d differs from row build", size, i)
+			}
+		}
+	}
+}
+
+// TestSortBatchBuildBudget pins the batched sort build's governance: the
+// flat per-row build charge is still accounted (summed per batch), so a
+// build budget trips exactly as it does on the row path.
+func TestSortBatchBuildBudget(t *testing.T) {
+	rows := genRows(500, 23, "k", "v")
+	gov := NewGovernor(context.Background(), Limits{MaxBuildBytes: 64})
+	ctx := NewCtxGoverned(nil, gov)
+	s := &Sort{Ctx: ctx, BIn: &BatchSliceScan{Rows: rows, Size: 64}, Var: "x", Keys: []tmql.Expr{pred("x.k")}}
+	_, err := Drain(s)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "build_bytes" {
+		t.Fatalf("want build_bytes BudgetError, got %v", err)
+	}
+}
+
+// TestMergeNestJoinBatchedInputs builds the merge nest join's sorted runs
+// from batch inputs (BL/BR) at every batch size and asserts byte-identity
+// with the row-input build, with and without a residual.
+func TestMergeNestJoinBatchedInputs(t *testing.T) {
+	l, r := genRows(400, 13, "k", "v"), genRows(200, 7, "j", "w")
+	lk, rk := []tmql.Expr{pred("x.k")}, []tmql.Expr{pred("y.j")}
+	for rname, residual := range map[string]tmql.Expr{"nil": nil, "residual": pred("x.v <= y.w")} {
+		want := collect(t, &MergeNestJoin{
+			Ctx: NewCtx(nil), L: &SliceScan{Rows: l}, R: &SliceScan{Rows: r},
+			LVar: "x", RVar: "y", LKeys: lk, RKeys: rk,
+			Residual: residual, Fn: pred("y"), Label: "g",
+		})
+		for _, size := range batchSizes {
+			got := collect(t, &MergeNestJoin{
+				Ctx: NewCtx(nil), BL: &BatchSliceScan{Rows: l, Size: size}, BR: &BatchSliceScan{Rows: r, Size: size},
+				LVar: "x", RVar: "y", LKeys: lk, RKeys: rk,
+				Residual: residual, Fn: pred("y"), Label: "g",
+			})
+			if value.Key(got) != value.Key(want) {
+				t.Errorf("%s/size=%d: batched merge nest join differs:\nwant %s\ngot  %s", rname, size, want, got)
+			}
+		}
 	}
 }

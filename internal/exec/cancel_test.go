@@ -190,11 +190,11 @@ func TestGovernorBudgets(t *testing.T) {
 	}
 }
 
-// TestRunWorkersPanicPropagates pins the worker panic contract: a panic
-// inside a partitioned worker resurfaces on the calling goroutine (where the
+// TestSchedulerPanicPropagates pins the worker panic contract: a panic
+// inside a scheduled morsel resurfaces on the calling goroutine (where the
 // engine's recover can isolate it) instead of crashing the process from a
-// worker, and the workers drain first.
-func TestRunWorkersPanicPropagates(t *testing.T) {
+// worker, and the pool drains first.
+func TestSchedulerPanicPropagates(t *testing.T) {
 	l, r := genRows(2000, 13, "k", "v"), genRows(1000, 7, "j", "w")
 	deactivate := faultinject.Activate(faultinject.Schedule{
 		Seed: 7,

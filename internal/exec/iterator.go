@@ -41,6 +41,12 @@ type Ctx struct {
 	// queries (the free fast path). Shared — never forked — across parallel
 	// workers, so accounting is query-global.
 	Gov *Governor
+	// Sched is the query's morsel scheduler (see sched.go): the engine
+	// attaches one per query so every partitioned operator of the plan
+	// shares the worker pool and the stats counters. Operators fall back to
+	// a private scheduler sized from their own Degree/BatchSize hints when
+	// nil (exec used standalone).
+	Sched *Scheduler
 	// ticks spaces out the governor polls of check(); worker-local.
 	ticks uint32
 }

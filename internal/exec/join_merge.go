@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"tmdb/internal/tmql"
 	"tmdb/internal/value"
@@ -18,8 +17,13 @@ import (
 // join is subsumed by HashJoin/NLJoin in the planner, while the merge *nest*
 // join exists to demonstrate §6's point that any common join method adapts.
 type MergeNestJoin struct {
-	Ctx          *Ctx
+	Ctx *Ctx
+	// L/R are the row inputs; BL/BR, when set, replace them with batch-native
+	// inputs whose sorted runs are built batch-at-a-time (per-batch
+	// governance, no row-adapter hop). Either form feeds the same comparator,
+	// so the runs — and the join output — are byte-identical.
 	L, R         Iterator
+	BL, BR       BatchIterator
 	LVar, RVar   string
 	LKeys, RKeys []tmql.Expr
 	Residual     tmql.Expr
@@ -38,11 +42,19 @@ func (j *MergeNestJoin) Open() error {
 		return fmt.Errorf("exec: MergeNestJoin needs matching non-empty key lists")
 	}
 	var err error
-	j.left, err = drainSorted(j.Ctx, j.L, j.LVar, j.LKeys)
+	if j.BL != nil {
+		j.left, err = drainSortedBatches(j.Ctx, j.BL, j.LVar, j.LKeys)
+	} else {
+		j.left, err = drainSorted(j.Ctx, j.L, j.LVar, j.LKeys)
+	}
 	if err != nil {
 		return err
 	}
-	j.right, err = drainSorted(j.Ctx, j.R, j.RVar, j.RKeys)
+	if j.BR != nil {
+		j.right, err = drainSortedBatches(j.Ctx, j.BR, j.RVar, j.RKeys)
+	} else {
+		j.right, err = drainSorted(j.Ctx, j.R, j.RVar, j.RKeys)
+	}
 	if err != nil {
 		return err
 	}
@@ -66,12 +78,7 @@ func drainSorted(c *Ctx, in Iterator, varName string, keys []tmql.Expr) ([]sorte
 		}
 		out[i] = sortedRow{key: k, v: v}
 	}
-	sort.SliceStable(out, func(i, k int) bool {
-		if c := value.Compare(out[i].key, out[k].key); c != 0 {
-			return c < 0
-		}
-		return value.Less(out[i].v, out[k].v)
-	})
+	sortRowsStable(out)
 	return out, nil
 }
 

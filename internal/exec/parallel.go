@@ -3,8 +3,6 @@ package exec
 import (
 	"fmt"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"tmdb/internal/algebra"
 	"tmdb/internal/eval"
@@ -14,24 +12,30 @@ import (
 	"tmdb/internal/value"
 )
 
-// Parallel partitioned execution of the hash join family: the build (right)
-// and probe (left) inputs are partitioned by key hash across P partitions,
-// and P workers each build and probe one partition independently — the
-// exchange-style plan shape. Results are correct because rows that can ever
-// match share identical key bytes and therefore land in the same partition;
-// results are deterministic because every query result passes through the
-// set canonicalization in exec.Collect, which erases arrival order, so the
-// final value is bit-identical to serial execution at any worker count.
+// Parallel partitioned execution of the hash join family on the morsel
+// scheduler (see sched.go): the build (right) and probe (left) inputs are
+// partitioned by key hash across Degree partitions through the scheduler's
+// exchange pump, then each partition's hash build runs as one morsel and
+// each probe-side fragment — at most one input batch of rows by construction
+// — runs as its own morsel with a statically assigned output slot. Morsels
+// start on their partition's home worker and can be stolen by idle workers,
+// so a skewed partition no longer serializes on one goroutine. Results are
+// correct because rows that can ever match share identical key bytes and
+// therefore land in the same partition; results are deterministic because
+// output slots are concatenated in static (partition, fragment) order and
+// every query result passes through the set canonicalization in
+// exec.Collect, which erases arrival order — so the final value is
+// bit-identical to serial execution at any degree and any steal schedule.
 //
 // Each worker runs over a forked Ctx with its own evaluator, so the
 // EvalSteps counter is sharded per worker — no races, no false sharing —
-// and folded back into the parent at the end of Open. Key encodings are
+// and folded back into the parent by the scheduler. Key encodings are
 // computed once during partitioning and stored as offsets into per-fragment
 // byte arenas; build and probe reuse them, keeping the per-row key cost to
 // a single evaluation and zero string allocations on the probe side.
 
 // minParallelRows is the input size below which the partitioned operators
-// run their phases inline on the calling goroutine: the partitioned
+// run their morsels inline on the calling goroutine: the partitioned
 // algorithm (and thus the result) is unchanged, only the goroutine fan-out
 // is skipped where it could not pay for itself.
 const minParallelRows = 256
@@ -56,8 +60,8 @@ func (f *fragment) add(v value.Value, key []byte) {
 func (f *fragment) key(i int) []byte { return f.keys[f.offs[i]:f.offs[i+1]] }
 
 // partitionSet is the result of the exchange: parts[p] holds partition p's
-// fragments in producer order, making per-partition row order deterministic
-// for a fixed producer count.
+// fragments in input-sequence order, making per-partition row order
+// deterministic regardless of which pump worker routed which batch.
 type partitionSet struct {
 	parts [][]fragment
 	total int
@@ -86,50 +90,18 @@ func (ps *partitionSet) each(p int, fn func(v value.Value, key []byte) error) er
 }
 
 // fork returns a context over the same database with a fresh evaluator, so
-// parallel workers never share a step counter; callers fold the forked
-// counters back into the parent once the workers are done. The Governor is
-// shared, not forked: cancellation and budget accounting are query-global,
-// and its methods are atomic precisely so workers need no coordination.
+// parallel workers never share a step counter; the scheduler folds the
+// forked counters back into the parent once the workers join. The Governor
+// is shared, not forked: cancellation and budget accounting are
+// query-global, and its methods are atomic precisely so workers need no
+// coordination. The Scheduler rides along for the same reason — its
+// counters are query-global atomics.
 func (c *Ctx) fork() *Ctx {
-	f := &Ctx{DB: c.DB, Ev: eval.New(c.DB), Gov: c.Gov}
+	f := &Ctx{DB: c.DB, Ev: eval.New(c.DB), Gov: c.Gov, Sched: c.Sched}
 	if c.Gov != nil {
 		f.Ev.Check = c.Gov.Err
 	}
 	return f
-}
-
-// runWorkers invokes fn(0..n-1), on goroutines when n > 1, inline otherwise.
-// It always waits for every worker before returning — cancellation makes
-// workers return early, never leak — and a worker panic is re-raised on the
-// calling goroutine after the others drain, so serial and parallel plans
-// surface panics identically (and the engine's recovery isolates both).
-func runWorkers(n int, fn func(w int)) {
-	if n <= 1 {
-		if n == 1 {
-			fn(0)
-		}
-		return
-	}
-	panics := make([]any, n)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for w := 0; w < n; w++ {
-		go func(w int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[w] = p
-				}
-			}()
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
-		}
-	}
 }
 
 // firstError returns the lowest-indexed non-nil error, keeping error
@@ -145,7 +117,7 @@ func firstError(errs []error) error {
 
 // seqRows is one feeder send: a batch's rows copied into an owned slice,
 // tagged with the batch's input sequence number so partition contents can be
-// reassembled in input order regardless of which producer handled which
+// reassembled in input order regardless of which pump worker handled which
 // batch.
 type seqRows struct {
 	seq  int
@@ -159,7 +131,7 @@ type seqFragment struct {
 }
 
 // routeBatch routes one batch's rows into per-partition fragments, encoding
-// each row's key on the way (the per-row hot cost the producers parallelize),
+// each row's key on the way (the per-row hot cost the pump parallelizes),
 // and appends the non-empty fragments to acc. scratch is the reusable key
 // buffer, returned extended for reuse.
 func routeBatch(enc *keyEncoder, sb seqRows, nparts int, acc [][]seqFragment, scratch []byte) ([]byte, error) {
@@ -183,7 +155,7 @@ func routeBatch(enc *keyEncoder, sb seqRows, nparts int, acc [][]seqFragment, sc
 // assemblePartitions merges per-producer fragment accumulators into a
 // partitionSet, ordering each partition's fragments by input sequence so the
 // partition contents are deterministic — input order filtered by partition —
-// independent of producer scheduling.
+// independent of worker scheduling.
 func assemblePartitions(accs [][][]seqFragment, nparts, total int) *partitionSet {
 	ps := &partitionSet{parts: make([][]fragment, nparts), total: total}
 	for p := 0; p < nparts; p++ {
@@ -201,21 +173,21 @@ func assemblePartitions(accs [][][]seqFragment, nparts, total int) *partitionSet
 
 // partitionInput drains src and routes every row to one of nparts partitions
 // by the hash of its encoded key — the exchange. Rows move from the feeder
-// (the calling goroutine, which owns the source iterator) to up to nparts
-// producer goroutines in batches, one channel send per batch; producers
-// encode keys on forked contexts and route rows to per-partition fragments.
-// Inputs that end below minParallelRows are routed inline with no goroutine
-// fan-out. The source is always closed before returning. Key encoding takes
-// the step-counting path so serial and parallel plans over the same rows
-// report identical EvalSteps. Returns the partitions and the evaluation
-// steps performed by the producers.
-func partitionInput(c *Ctx, src BatchIterator, keys []tmql.Expr, varName string, nparts int) (*partitionSet, int64, error) {
+// (the calling goroutine, which owns the source iterator) to the scheduler's
+// pump workers one batch-sized morsel per send; workers encode keys on
+// forked contexts and route rows to per-partition fragments. Inputs that end
+// below minParallelRows are routed inline with no goroutine fan-out. The
+// source is always closed before returning. Key encoding takes the
+// step-counting path so serial and parallel plans over the same rows report
+// identical EvalSteps (folded into c by the scheduler).
+func partitionInput(c *Ctx, s *Scheduler, src BatchIterator, keys []tmql.Expr, varName string, nparts int) (*partitionSet, error) {
 	if err := src.Open(); err != nil {
 		src.Close()
-		return nil, 0, err
+		return nil, err
 	}
 	// feed pulls the next batch, polls the governor, and hits the exchange
 	// fault point — once per batch.
+	total, seq := 0, 0
 	feed := func() (seqRows, bool, error) {
 		bt, ok, err := src.NextBatch()
 		if err != nil || !ok {
@@ -227,12 +199,14 @@ func partitionInput(c *Ctx, src BatchIterator, keys []tmql.Expr, varName string,
 		if err := faultinject.Hit(faultinject.PointPartitionSend); err != nil {
 			return seqRows{}, false, err
 		}
-		return seqRows{rows: append([]value.Value(nil), bt.Rows...)}, true, nil
+		sb := seqRows{seq: seq, rows: append([]value.Value(nil), bt.Rows...)}
+		seq++
+		total += len(sb.rows)
+		return sb, true, nil
 	}
 	// Buffer until the input proves large enough to pay for goroutines.
 	var pending []seqRows
 	var feedErr error
-	total, seq, more := 0, 0, false
 	for total < minParallelRows {
 		sb, ok, err := feed()
 		if err != nil {
@@ -242,13 +216,9 @@ func partitionInput(c *Ctx, src BatchIterator, keys []tmql.Expr, varName string,
 		if !ok {
 			break
 		}
-		sb.seq = seq
-		seq++
-		total += len(sb.rows)
 		pending = append(pending, sb)
-		more = total >= minParallelRows
 	}
-	if feedErr != nil || !more {
+	if feedErr != nil || total < minParallelRows {
 		// Small input (or an early feed error): route what arrived inline on
 		// a single forked context — partitioning, and thus the result, is
 		// unchanged; only the fan-out is skipped.
@@ -263,92 +233,51 @@ func partitionInput(c *Ctx, src BatchIterator, keys []tmql.Expr, varName string,
 				break
 			}
 		}
+		c.Ev.Steps += ctx.Ev.Steps
 		if feedErr == nil {
 			feedErr = err
 		}
 		if feedErr != nil {
-			return nil, ctx.Ev.Steps, feedErr
+			return nil, feedErr
 		}
-		return assemblePartitions([][][]seqFragment{acc}, nparts, total), ctx.Ev.Steps, nil
+		return assemblePartitions([][][]seqFragment{acc}, nparts, total), nil
 	}
-	// Large input: stream the rest through a channel to nparts producers.
-	ch := make(chan seqRows, nparts)
-	var stop atomic.Bool
-	producers := nparts
-	accs := make([][][]seqFragment, producers)
-	errs := make([]error, producers)
-	steps := make([]int64, producers)
-	panics := make([]any, producers)
-	var wg sync.WaitGroup
-	wg.Add(producers)
-	for w := 0; w < producers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			ctx := c.fork()
-			enc := newKeyEncoder(ctx, keys, varName, true)
-			acc := make([][]seqFragment, nparts)
-			var scratch []byte
-			for sb := range ch {
-				// The range always drains the channel — even after an error
-				// or panic — so the feeder can never block on a send; the
-				// per-batch recover keeps a panicking producer draining and
-				// re-raises on the caller after Wait, like runWorkers.
-				if stop.Load() {
-					continue
-				}
-				func() {
-					defer func() {
-						if p := recover(); p != nil {
-							panics[w] = p
-							stop.Store(true)
-						}
-					}()
-					var err error
-					if scratch, err = routeBatch(enc, sb, nparts, acc, scratch); err != nil {
-						errs[w] = err
-						stop.Store(true)
-					}
-				}()
-			}
-			accs[w] = acc
-			steps[w] = ctx.Ev.Steps
-		}(w)
-	}
-	for _, sb := range pending {
-		ch <- sb
-	}
-	for !stop.Load() {
-		sb, ok, err := feed()
-		if err != nil {
-			feedErr = err
-			break
+	// Large input: replay the buffered batches and stream the rest through
+	// the scheduler's pump. Per-worker accumulators and key encoders are
+	// created lazily — each index is only ever touched by its own worker.
+	pi := 0
+	feedAll := func() (seqRows, bool, error) {
+		if pi < len(pending) {
+			sb := pending[pi]
+			pi++
+			return sb, true, nil
 		}
-		if !ok {
-			break
-		}
-		sb.seq = seq
-		seq++
-		total += len(sb.rows)
-		ch <- sb
+		return feed()
 	}
-	close(ch)
-	wg.Wait()
+	accs := make([][][]seqFragment, s.Workers())
+	encs := make([]*keyEncoder, s.Workers())
+	scratches := make([][]byte, s.Workers())
+	err := s.pump(c, feedAll, func(w int, ctx *Ctx, sb seqRows) error {
+		if accs[w] == nil {
+			accs[w] = make([][]seqFragment, nparts)
+			encs[w] = newKeyEncoder(ctx, keys, varName, true)
+		}
+		var rerr error
+		scratches[w], rerr = routeBatch(encs[w], sb, nparts, accs[w], scratches[w])
+		return rerr
+	})
 	src.Close()
-	for _, p := range panics {
-		if p != nil {
-			panic(p)
+	if err != nil {
+		return nil, err
+	}
+	filled := accs[:0]
+	for _, acc := range accs {
+		if acc != nil {
+			filled = append(filled, acc)
 		}
 	}
-	var totalSteps int64
-	for _, s := range steps {
-		totalSteps += s
-	}
-	if err := firstError(append([]error{feedErr}, errs...)); err != nil {
-		return nil, totalSteps, err
-	}
-	return assemblePartitions(accs, nparts, total), totalSteps, nil
+	return assemblePartitions(filled, nparts, total), nil
 }
-
 
 // parOutput is the shared output stage of the partitioned operators: Open
 // materializes per-partition result slices, Next (or NextBatch) streams them
@@ -423,51 +352,93 @@ func batchInput(it Iterator, bit BatchIterator, size int) BatchIterator {
 	return &RowsToBatch{It: it, Size: size}
 }
 
-// runPartitioned is the shared orchestration of the partitioned operators:
-// validate the degree, partition both inputs, run perPartition(ctx, rp, lp,
-// part) for every partition across worker goroutines (inline below the
-// threshold), and fold every forked evaluator's steps back into c. The
-// perPartition callback runs the operator-specific build/probe for one
-// partition on a worker-owned context.
+// runPartitioned is the shared orchestration of the partitioned operators on
+// the morsel scheduler: validate the degree, exchange-partition both inputs
+// through the pump, then run two scheduled phases with a barrier between —
+// build (one morsel per partition, via buildPart) and probe (one morsel per
+// (partition, fragment), via probeFragment) — and concatenate the probe
+// slots into out[part] in static order. Inputs below minParallelRows run
+// the same morsels inline on one worker.
 func runPartitioned(c *Ctx, degree int, l, r BatchIterator,
 	lkeys, rkeys []tmql.Expr, lvar, rvar string,
-	perPartition func(ctx *Ctx, rp, lp *partitionSet, part int) error) error {
+	probeFragment func(ctx *Ctx, table *hashTable, f *fragment) ([]value.Value, error),
+	out [][]value.Value) error {
 	if len(lkeys) == 0 || len(lkeys) != len(rkeys) {
 		return fmt.Errorf("exec: partitioned join needs matching non-empty key lists")
 	}
 	if degree < 2 {
 		return fmt.Errorf("exec: partitioned join needs Degree >= 2, got %d", degree)
 	}
-	rp, rsteps, err := partitionInput(c, r, rkeys, rvar, degree)
-	c.Ev.Steps += rsteps
+	s := c.scheduler(degree, 0)
+	rp, err := partitionInput(c, s, r, rkeys, rvar, degree)
 	if err != nil {
 		return err
 	}
-	lp, lsteps, err := partitionInput(c, l, lkeys, lvar, degree)
-	c.Ev.Steps += lsteps
+	lp, err := partitionInput(c, s, l, lkeys, lvar, degree)
 	if err != nil {
 		return err
 	}
-	errs := make([]error, degree)
-	steps := make([]int64, degree)
-	workers := degree
+	maxWorkers := s.Workers()
 	if rp.total+lp.total < minParallelRows {
-		workers = 1
+		maxWorkers = 1
 	}
-	runWorkers(workers, func(w int) {
-		ctx := c.fork()
-		for part := w; part < degree; part += workers {
-			if errs[w] != nil {
-				break
+
+	// Build phase: one morsel per partition, homed on partition index.
+	tables := make([]*hashTable, degree)
+	btasks := make([]morselTask, degree)
+	for p := 0; p < degree; p++ {
+		p := p
+		btasks[p] = morselTask{home: p, fn: func(ctx *Ctx) error {
+			t, err := buildPartition(ctx, rp, p)
+			if err != nil {
+				return err
 			}
-			errs[w] = perPartition(ctx, rp, lp, part)
-		}
-		steps[w] = ctx.Ev.Steps
-	})
-	for _, s := range steps {
-		c.Ev.Steps += s
+			tables[p] = t
+			return nil
+		}}
 	}
-	return firstError(errs)
+	if err := s.run(c, btasks, maxWorkers); err != nil {
+		return err
+	}
+
+	// Probe phase: one morsel per (partition, fragment). A fragment holds at
+	// most one input batch of rows, so this is the morsel granularity that
+	// lets idle workers steal into a skewed partition; each morsel writes a
+	// statically assigned slot, so stealing can never reorder output.
+	slots := make([][][]value.Value, degree)
+	var ptasks []morselTask
+	for p := 0; p < degree; p++ {
+		slots[p] = make([][]value.Value, len(lp.parts[p]))
+		for fi := range lp.parts[p] {
+			p, fi := p, fi
+			ptasks = append(ptasks, morselTask{home: p, fn: func(ctx *Ctx) error {
+				res, err := probeFragment(ctx, tables[p], &lp.parts[p][fi])
+				if err != nil {
+					return err
+				}
+				slots[p][fi] = res
+				return nil
+			}})
+		}
+	}
+	if err := s.run(c, ptasks, maxWorkers); err != nil {
+		return err
+	}
+	for p := 0; p < degree; p++ {
+		n := 0
+		for _, fo := range slots[p] {
+			n += len(fo)
+		}
+		if n == 0 {
+			continue
+		}
+		merged := make([]value.Value, 0, n)
+		for _, fo := range slots[p] {
+			merged = append(merged, fo...)
+		}
+		out[p] = merged
+	}
+	return nil
 }
 
 // buildPartition builds a hash table over one partition's rows, reusing the
@@ -497,7 +468,8 @@ func buildPartition(c *Ctx, ps *partitionSet, p int) (*hashTable, error) {
 
 // ParHashJoin is the parallel partitioned form of HashJoin: inner, semi,
 // anti, and left-outer flat joins on equi-keys, partitioned by key hash
-// across Degree workers. Open materializes the full output; Next streams it.
+// across Degree partitions and scheduled as morsels on the query's worker
+// pool. Open materializes the full output; Next streams it.
 type ParHashJoin struct {
 	Ctx          *Ctx
 	Kind         algebra.JoinKind
@@ -506,7 +478,9 @@ type ParHashJoin struct {
 	LKeys, RKeys []tmql.Expr
 	Residual     tmql.Expr
 	RElem        *types.Type
-	// Degree is the number of partitions (and maximum worker goroutines).
+	// Degree is the number of hash partitions. The worker-pool size comes
+	// from the query's Scheduler (Degree doubles as the pool hint when the
+	// context carries none).
 	Degree int
 	// BL/BR, when set, feed the exchange directly with batches (batched
 	// plans); otherwise L/R are adapted. BatchSize sizes the exchange feed
@@ -518,8 +492,9 @@ type ParHashJoin struct {
 	pad value.Value
 }
 
-// Open partitions both inputs, joins each partition on its own worker, and
-// folds the workers' evaluation steps into the parent context.
+// Open partitions both inputs, schedules each partition's build and probe
+// morsels on the worker pool, and folds the workers' evaluation steps into
+// the parent context.
 func (j *ParHashJoin) Open() error {
 	if j.Kind == algebra.JoinLeftOuter {
 		if j.RElem == nil {
@@ -530,42 +505,38 @@ func (j *ParHashJoin) Open() error {
 	j.reset(j.Degree, j.BatchSize)
 	return runPartitioned(j.Ctx, j.Degree,
 		batchInput(j.L, j.BL, j.BatchSize), batchInput(j.R, j.BR, j.BatchSize),
-		j.LKeys, j.RKeys, j.LVar, j.RVar, j.joinPartition)
+		j.LKeys, j.RKeys, j.LVar, j.RVar, j.probeFragment, j.out)
 }
 
-// joinPartition runs the serial hash-join algorithm over one partition,
-// appending outputs to j.out[part].
-func (j *ParHashJoin) joinPartition(ctx *Ctx, rp, lp *partitionSet, part int) error {
-	table, err := buildPartition(ctx, rp, part)
-	if err != nil {
-		return err
-	}
+// probeFragment runs the serial hash-join probe over one fragment's rows
+// against its partition's table, returning the fragment's output slot.
+func (j *ParHashJoin) probeFragment(ctx *Ctx, table *hashTable, f *fragment) ([]value.Value, error) {
 	var out []value.Value
-	err = lp.each(part, func(l value.Value, key []byte) error {
+	for i := range f.rows {
+		l, key := f.rows[i], f.key(i)
 		if err := ctx.check(); err != nil {
-			return err
+			return nil, err
 		}
 		if err := faultinject.Hit(faultinject.PointHashProbe); err != nil {
-			return err
+			return nil, err
 		}
 		bucket := table.bucket(key)
 		switch j.Kind {
 		case algebra.JoinSemi, algebra.JoinAnti:
 			m, err := probeAnyBucket(ctx, l, bucket, j.LVar, j.RVar, j.Residual)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if m == (j.Kind == algebra.JoinSemi) {
 				out = append(out, l)
 			}
-			return nil
 		default:
 			matched := false
 			for _, r := range bucket {
 				if j.Residual != nil {
 					ok, err := ctx.evalPred(j.Residual, env2(j.LVar, l, j.RVar, r))
 					if err != nil {
-						return err
+						return nil, err
 					}
 					if !ok {
 						continue
@@ -577,11 +548,9 @@ func (j *ParHashJoin) joinPartition(ctx *Ctx, rp, lp *partitionSet, part int) er
 			if j.Kind == algebra.JoinLeftOuter && !matched {
 				out = append(out, l.Concat(j.pad))
 			}
-			return nil
 		}
-	})
-	j.out[part] = out
-	return err
+	}
+	return out, nil
 }
 
 // probeAnyBucket reports whether any bucket candidate passes the residual;
@@ -607,7 +576,7 @@ func probeAnyBucket(c *Ctx, l value.Value, bucket []value.Value,
 // restrictions carry over unchanged: the right operand is the build side and
 // each left element's entire group is known before its output tuple is
 // emitted — a left element's matches all share its key and therefore its
-// partition, so the group is complete within one worker.
+// partition, so the group is complete within one probe morsel.
 type ParHashNestJoin struct {
 	Ctx          *Ctx
 	L, R         Iterator
@@ -624,34 +593,32 @@ type ParHashNestJoin struct {
 	parOutput
 }
 
-// Open partitions both inputs and builds each partition's groups on its own
-// worker.
+// Open partitions both inputs and schedules each partition's build and
+// per-fragment group-probe morsels on the worker pool.
 func (j *ParHashNestJoin) Open() error {
 	j.reset(j.Degree, j.BatchSize)
 	return runPartitioned(j.Ctx, j.Degree,
 		batchInput(j.L, j.BL, j.BatchSize), batchInput(j.R, j.BR, j.BatchSize),
-		j.LKeys, j.RKeys, j.LVar, j.RVar,
-		func(ctx *Ctx, rp, lp *partitionSet, part int) error {
-			table, err := buildPartition(ctx, rp, part)
-			if err != nil {
-				return err
-			}
-			var out []value.Value
-			err = lp.each(part, func(l value.Value, key []byte) error {
-				if err := ctx.check(); err != nil {
-					return err
-				}
-				if err := faultinject.Hit(faultinject.PointHashProbe); err != nil {
-					return err
-				}
-				group, err := nestGroup(ctx, l, table.bucket(key), j.LVar, j.RVar, j.Residual, j.Fn)
-				if err != nil {
-					return err
-				}
-				out = append(out, l.Extend(j.Label, group))
-				return nil
-			})
-			j.out[part] = out
-			return err
-		})
+		j.LKeys, j.RKeys, j.LVar, j.RVar, j.probeFragment, j.out)
+}
+
+// probeFragment builds each left row's nested group from its partition's
+// bucket, returning the fragment's output slot.
+func (j *ParHashNestJoin) probeFragment(ctx *Ctx, table *hashTable, f *fragment) ([]value.Value, error) {
+	var out []value.Value
+	for i := range f.rows {
+		l, key := f.rows[i], f.key(i)
+		if err := ctx.check(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Hit(faultinject.PointHashProbe); err != nil {
+			return nil, err
+		}
+		group, err := nestGroup(ctx, l, table.bucket(key), j.LVar, j.RVar, j.Residual, j.Fn)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l.Extend(j.Label, group))
+	}
+	return out, nil
 }

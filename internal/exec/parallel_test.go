@@ -152,11 +152,12 @@ func TestPartitionInputRouting(t *testing.T) {
 	rows := genRows(1000, 23, "k", "v")
 	for _, nparts := range []int{2, 5, 8} {
 		ctx := NewCtx(nil)
-		ps, steps, err := partitionInput(ctx, &RowsToBatch{It: &SliceScan{Rows: rows}}, []tmql.Expr{pred("x.k")}, "x", nparts)
+		s := NewScheduler(SchedConfig{Workers: nparts})
+		ps, err := partitionInput(ctx, s, &RowsToBatch{It: &SliceScan{Rows: rows}}, []tmql.Expr{pred("x.k")}, "x", nparts)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if steps <= 0 {
+		if ctx.Ev.Steps <= 0 {
 			t.Error("partitioning reported no eval steps")
 		}
 		total := 0

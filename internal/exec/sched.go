@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tmdb/internal/faultinject"
+)
+
+// Morsel-driven scheduling: the query's single execution runtime. Instead of
+// dedicating a worker to a whole partition (the PR 2 exchange design), work
+// is cut into morsels — batch-sized units, at most MorselSize rows each —
+// that start on a home worker's deque and can be stolen by any worker that
+// runs dry, in the spirit of HyPer's morsel-driven parallelism. Degree is a
+// resource (the pool size), not a plan shape: the same operators run at any
+// worker count, and skewed inputs keep every worker busy because idle
+// workers pull morsels from loaded deques.
+//
+// Determinism contract: a morsel's output goes to a statically assigned slot
+// (task index, or (partition, fragment) coordinates), and slots are
+// concatenated in static order after the pool joins — so which worker ran a
+// morsel, and in what interleaving, is invisible in the result. Together
+// with the set canonicalization in Collect, output is byte-identical to
+// serial execution at any degree and any steal schedule.
+//
+// Governor contract: the scheduler's morsel loop owns the per-morsel
+// cancellation/deadline/budget poll and the sched.morsel fault point
+// (morselGate), so every scheduled operator inherits governance and chaos
+// coverage for free; operators add only their own per-row points
+// (hash.build, hash.probe, sort.build). Workers always drain — an error,
+// cancellation, or panic flips a stop flag that makes the remaining morsels
+// no-ops, every worker joins, and the first error (by static task index) or
+// panic is surfaced on the calling goroutine. No goroutine outlives run().
+
+// SchedConfig sizes a query's morsel Scheduler.
+type SchedConfig struct {
+	// Workers is the worker-pool size; values below 1 mean 1 (every morsel
+	// runs inline on the calling goroutine's forked context).
+	Workers int
+	// MorselSize is the number of rows per morsel (0 = DefaultBatchSize,
+	// clamped to MaxBatchSize). The exchange feeds batches of this size, and
+	// probe morsels are at most this many rows by construction.
+	MorselSize int
+	// NoSteal pins every morsel to its home worker — the partition-dedicated
+	// assignment the scheduler replaced. Results are identical either way;
+	// the knob exists as an ablation for benchmarks (B10 measures steal vs
+	// no-steal under skew) and for debugging.
+	NoSteal bool
+}
+
+// SchedStats are one query's scheduler counters, exposed on engine.Result
+// and aggregated in server /stats.
+type SchedStats struct {
+	// Dispatched counts morsels run by their home worker, including morsels
+	// consumed from the exchange's shared feed queue.
+	Dispatched int64 `json:"dispatched"`
+	// Stolen counts morsels run by an idle worker that stole them from
+	// another worker's deque.
+	Stolen int64 `json:"stolen"`
+	// BusyNanos is the wall-clock time workers spent running morsels,
+	// summed across workers (not elapsed time: at degree N it can approach
+	// N× the phase's elapsed time).
+	BusyNanos int64 `json:"busy_nanos"`
+}
+
+// Scheduler is the query-wide morsel scheduler. It holds configuration and
+// stats only — each run()/pump() call spawns and joins its own pool — so it
+// is safe for concurrent and reentrant use (nested scheduled operators
+// simply run nested pools against the same counters).
+type Scheduler struct {
+	workers int
+	morsel  int
+	noSteal bool
+
+	dispatched atomic.Int64
+	stolen     atomic.Int64
+	busy       atomic.Int64
+}
+
+// NewScheduler returns a scheduler for cfg.
+func NewScheduler(cfg SchedConfig) *Scheduler {
+	w := cfg.Workers
+	if w < 1 {
+		w = 1
+	}
+	return &Scheduler{workers: w, morsel: NormalizeBatchSize(cfg.MorselSize), noSteal: cfg.NoSteal}
+}
+
+// Stats snapshots the scheduler's counters.
+func (s *Scheduler) Stats() SchedStats {
+	return SchedStats{
+		Dispatched: s.dispatched.Load(),
+		Stolen:     s.stolen.Load(),
+		BusyNanos:  s.busy.Load(),
+	}
+}
+
+// Workers returns the configured pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// MorselSize returns the effective rows-per-morsel.
+func (s *Scheduler) MorselSize() int { return s.morsel }
+
+// scheduler returns the query's shared scheduler, or a private one sized
+// from the operator's own hints when the context carries none (exec used
+// standalone, as in tests).
+func (c *Ctx) scheduler(degree, batchSize int) *Scheduler {
+	if c.Sched != nil {
+		return c.Sched
+	}
+	return NewScheduler(SchedConfig{Workers: degree, MorselSize: batchSize})
+}
+
+// morselTask is one unit of schedulable work: fn runs on some worker's
+// forked context; home names the deque it is enqueued on (mod pool size).
+type morselTask struct {
+	home int
+	fn   func(ctx *Ctx) error
+}
+
+// morselGate is the per-morsel governor contract: one cancellation/deadline/
+// budget poll plus one pass through the sched.morsel fault point before the
+// morsel's work runs.
+func morselGate(c *Ctx) error {
+	if err := c.checkBatch(); err != nil {
+		return err
+	}
+	return faultinject.Hit(faultinject.PointSchedMorsel)
+}
+
+// taskDeque is one worker's queue of task indices. The owner pops the front;
+// thieves take the back, so owner and thieves contend only when one task
+// remains.
+type taskDeque struct {
+	mu    sync.Mutex
+	tasks []int
+}
+
+func (d *taskDeque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+func (d *taskDeque) popBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	return t, true
+}
+
+// run executes tasks to completion on the worker pool. Task i starts on
+// deque tasks[i].home mod the effective pool size; a worker drains its own
+// deque front-first and, when empty, scans the other deques round-robin and
+// steals from their backs (unless NoSteal pins assignments). maxWorkers
+// caps the pool below the configured size — operators pass 1 for inputs too
+// small to pay for a fan-out, which runs every task inline in index order.
+//
+// Each worker runs on a forked Ctx whose evaluation steps are folded back
+// into c after the pool joins, so serial and parallel plans report identical
+// EvalSteps. Errors are recorded per static task index and the lowest-index
+// error is returned; a panicking morsel stops the pool, lets every worker
+// drain, and re-raises on the calling goroutine.
+func (s *Scheduler) run(c *Ctx, tasks []morselTask, maxWorkers int) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	workers := s.workers
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	errs := make([]error, len(tasks))
+	if workers <= 1 {
+		// Inline: same morsels, same gates, no goroutines.
+		ctx := c.fork()
+		t0 := time.Now()
+		var done int64
+		for i := range tasks {
+			if errs[i] = morselGate(ctx); errs[i] == nil {
+				errs[i] = tasks[i].fn(ctx)
+			}
+			done++
+			if errs[i] != nil {
+				break
+			}
+		}
+		c.Ev.Steps += ctx.Ev.Steps
+		s.dispatched.Add(done)
+		s.busy.Add(int64(time.Since(t0)))
+		return firstError(errs)
+	}
+
+	deques := make([]taskDeque, workers)
+	for i := range tasks {
+		d := &deques[tasks[i].home%workers]
+		d.tasks = append(d.tasks, i)
+	}
+	var stop atomic.Bool
+	steps := make([]int64, workers)
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ctx := c.fork()
+			defer func() {
+				steps[w] = ctx.Ev.Steps
+				if p := recover(); p != nil {
+					panics[w] = p
+					stop.Store(true)
+				}
+			}()
+			var disp, stolen, busy int64
+			defer func() {
+				s.dispatched.Add(disp)
+				s.stolen.Add(stolen)
+				s.busy.Add(busy)
+			}()
+			for !stop.Load() {
+				ti, ok := deques[w].popFront()
+				theft := false
+				if !ok && !s.noSteal {
+					for v := 1; v < workers && !ok; v++ {
+						ti, ok = deques[(w+v)%workers].popBack()
+					}
+					theft = ok
+				}
+				if !ok {
+					return
+				}
+				m0 := time.Now()
+				if err := morselGate(ctx); err != nil {
+					errs[ti] = err
+					stop.Store(true)
+				} else if err := tasks[ti].fn(ctx); err != nil {
+					errs[ti] = err
+					stop.Store(true)
+				}
+				busy += int64(time.Since(m0))
+				if theft {
+					stolen++
+				} else {
+					disp++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, st := range steps {
+		c.Ev.Steps += st
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return firstError(errs)
+}
+
+// pump is the streaming half of the exchange: feed produces morsels on the
+// calling goroutine (which owns the source iterator) while pool workers
+// consume them from a shared queue. The queue is a channel and therefore
+// self-balancing — a busy worker simply takes fewer morsels, so this edge
+// needs no stealing and every consumed morsel counts as dispatched. Each
+// consumed morsel passes morselGate; consumers run on forked contexts whose
+// steps fold back into c after the pool joins.
+//
+// Error and drain discipline: consumers always drain the channel — even
+// after an error or panic — so the feeder can never block on a send; the
+// feeder stops on the stop flag, closes the channel, and waits for every
+// consumer before returning. Feeder errors take precedence, then consumer
+// errors by worker index.
+func (s *Scheduler) pump(c *Ctx, feed func() (seqRows, bool, error),
+	consume func(w int, ctx *Ctx, sb seqRows) error) error {
+	workers := s.workers
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan seqRows, workers)
+	var stop atomic.Bool
+	errs := make([]error, workers)
+	steps := make([]int64, workers)
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			ctx := c.fork()
+			var disp, busy int64
+			for sb := range ch {
+				if stop.Load() {
+					continue
+				}
+				m0 := time.Now()
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[w] = p
+							stop.Store(true)
+						}
+					}()
+					if err := morselGate(ctx); err != nil {
+						errs[w] = err
+						stop.Store(true)
+						return
+					}
+					if err := consume(w, ctx, sb); err != nil {
+						errs[w] = err
+						stop.Store(true)
+						return
+					}
+					disp++
+				}()
+				busy += int64(time.Since(m0))
+			}
+			steps[w] = ctx.Ev.Steps
+			s.dispatched.Add(disp)
+			s.busy.Add(busy)
+		}(w)
+	}
+	var feedErr error
+	for !stop.Load() {
+		sb, ok, err := feed()
+		if err != nil {
+			feedErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		ch <- sb
+	}
+	close(ch)
+	wg.Wait()
+	for _, st := range steps {
+		c.Ev.Steps += st
+	}
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return firstError(append([]error{feedErr}, errs...))
+}

@@ -108,9 +108,17 @@ func (d *Distinct) Close() error { d.seen = nil; return d.In.Close() }
 // Sort materializes its input in Open and emits it ordered by the canonical
 // value order of the key expressions (then by the full element, making the
 // order total and deterministic). It underlies the sort-merge join variants.
+//
+// The input is either a row iterator (In) or a batch iterator (BIn): when BIn
+// is set, the build drains whole batches with per-batch governance and never
+// pays the row-adapter hop. Both builds feed the same comparator, so the
+// sorted runs — and therefore every downstream result — are byte-identical.
 type Sort struct {
-	Ctx  *Ctx
-	In   Iterator
+	Ctx *Ctx
+	// In is the row-at-a-time input; ignored when BIn is set.
+	In Iterator
+	// BIn, when non-nil, is the batch-native input.
+	BIn  BatchIterator
 	Var  string
 	Keys []tmql.Expr
 	rows []sortedRow
@@ -124,6 +132,15 @@ type sortedRow struct {
 
 // Open drains and sorts the input.
 func (s *Sort) Open() error {
+	if s.BIn != nil {
+		rows, err := drainSortedBatches(s.Ctx, s.BIn, s.Var, s.Keys)
+		if err != nil {
+			return err
+		}
+		s.rows = rows
+		s.i = 0
+		return nil
+	}
 	if err := s.In.Open(); err != nil {
 		return err
 	}
@@ -146,12 +163,7 @@ func (s *Sort) Open() error {
 		}
 		s.rows = append(s.rows, sortedRow{key: k, v: v})
 	}
-	sort.SliceStable(s.rows, func(i, j int) bool {
-		if c := value.Compare(s.rows[i].key, s.rows[j].key); c != 0 {
-			return c < 0
-		}
-		return value.Less(s.rows[i].v, s.rows[j].v)
-	})
+	sortRowsStable(s.rows)
 	s.i = 0
 	return nil
 }
@@ -181,6 +193,68 @@ func sortBuildCheck(c *Ctx) error {
 		return err
 	}
 	return c.addBuild(0)
+}
+
+// sortBuildCheckBatch is sortBuildCheck under the batched contract: one
+// governor poll and one fault point per batch, the flat per-row build
+// overhead charged for all n rows in one budget call.
+func sortBuildCheckBatch(c *Ctx, n int) error {
+	if err := c.checkBatch(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit(faultinject.PointSortBuild); err != nil {
+		return err
+	}
+	if c.Gov == nil {
+		return nil
+	}
+	return c.Gov.AddBuildBytes(int64(n) * buildRowOverhead)
+}
+
+// sortRowsStable orders a sorted-run build by the canonical key order, ties
+// broken by the full element. Row and batch builds share this comparator, so
+// their runs are byte-identical.
+func sortRowsStable(rows []sortedRow) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if c := value.Compare(rows[i].key, rows[j].key); c != 0 {
+			return c < 0
+		}
+		return value.Less(rows[i].v, rows[j].v)
+	})
+}
+
+// drainSortedBatches drains a batch input into one sorted run: the
+// batch-native counterpart of the merge joins' drainSorted and Sort's row
+// build. Retaining a row out of a batch is a struct copy (value.Value is
+// immutable; only the batch's backing slice is reused), so the per-row work
+// left is key evaluation.
+func drainSortedBatches(c *Ctx, in BatchIterator, varName string, keys []tmql.Expr) ([]sortedRow, error) {
+	if err := in.Open(); err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	var out []sortedRow
+	for {
+		bt, ok, err := in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if err := sortBuildCheckBatch(c, len(bt.Rows)); err != nil {
+			return nil, err
+		}
+		for _, v := range bt.Rows {
+			k, err := evalKey(c, keys, varName, v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sortedRow{key: k, v: v})
+		}
+	}
+	sortRowsStable(out)
+	return out, nil
 }
 
 // evalKey evaluates the key expressions for element v bound to varName and

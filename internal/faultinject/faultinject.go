@@ -32,6 +32,10 @@ const (
 	// PointPartitionSend fires once per batch fed into the parallel
 	// exchange (the exchange moves rows in batches, one channel send each).
 	PointPartitionSend = "partition.send"
+	// PointSchedMorsel fires once per morsel entering the scheduler's
+	// morsel loop — exchange consumers, partition builds, and probe
+	// fragments alike — the single gate every scheduled operator inherits.
+	PointSchedMorsel = "sched.morsel"
 	// PointSortBuild fires once per row drained into a sort (Sort operator
 	// and the merge joins' sorted runs).
 	PointSortBuild = "sort.build"
@@ -44,7 +48,7 @@ const (
 func Points() []string {
 	return []string{
 		PointScan, PointHashBuild, PointHashProbe,
-		PointPartitionSend, PointSortBuild, PointMutationEpoch,
+		PointPartitionSend, PointSchedMorsel, PointSortBuild, PointMutationEpoch,
 	}
 }
 

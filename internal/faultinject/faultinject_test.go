@@ -148,7 +148,8 @@ func TestConcurrentHits(t *testing.T) {
 func TestPointsRegistry(t *testing.T) {
 	want := map[string]bool{
 		PointScan: true, PointHashBuild: true, PointHashProbe: true,
-		PointPartitionSend: true, PointSortBuild: true, PointMutationEpoch: true,
+		PointPartitionSend: true, PointSchedMorsel: true,
+		PointSortBuild: true, PointMutationEpoch: true,
 	}
 	pts := Points()
 	if len(pts) != len(want) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tmdb/internal/algebra"
+	"tmdb/internal/eval"
 	"tmdb/internal/exec"
 	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
@@ -122,8 +123,10 @@ func wrapperLabel(m *algebra.Map) string {
 // index: its input must chain down to a scan, and its equality conjuncts —
 // attr = const (either orientation; the attribute resolving through the
 // chain to a stored attribute of the scanned table, the other side free of
-// variables), attr IN {lit, …}, or an OR of attr = lit equalities over one
-// attribute — must cover a non-empty prefix of some live index. Multi-point
+// variables), attr IN {const, …}, or an OR of attr = const equalities over
+// one attribute (constants being closed expressions the planner can evaluate
+// at plan time, not just literals) — must cover a non-empty prefix of some
+// live index. Multi-point
 // conjuncts expand into the cartesian product of their constants, one point
 // per combination. The longest covered prefix wins, ties prefer the shorter
 // index — the same preference FindIndexProbe applies on the join side.
@@ -194,11 +197,13 @@ func FindIndexScan(n *algebra.Select, indexesOf func(table string) [][]string) (
 
 // matchEqConsts matches one conjunct to a stored attribute of table and its
 // constant alternatives: attr = const in either orientation (one
-// alternative, any closed expression), attr IN {lit, …}, or an OR of
-// attr = lit equalities over a single attribute. Multi-constant shapes
-// accept literals only and deduplicate them by canonical key, so the
-// expanded points address pairwise-disjoint buckets and the concatenating
-// exec.IndexScan never produces a row twice. No match returns an empty list.
+// alternative, any closed expression), attr IN {const, …}, or an OR of
+// attr = const equalities over a single attribute. Multi-constant shapes
+// accept any closed constant expression — literals fast-pathed, the rest
+// evaluated at plan time — deduplicated by the canonical key of their
+// values, so the expanded points address pairwise-disjoint buckets and the
+// concatenating exec.IndexScan never produces a row twice. No match returns
+// an empty list.
 func matchEqConsts(c tmql.Expr, in algebra.Plan, varName, table string) (string, []tmql.Expr) {
 	b, ok := c.(*tmql.Binary)
 	if !ok {
@@ -226,7 +231,7 @@ func matchEqConsts(c tmql.Expr, in algebra.Plan, varName, table string) (string,
 		if !ok || tab != table {
 			return "", nil
 		}
-		return attr, dedupLits(set.Elems)
+		return attr, dedupConsts(set.Elems)
 	case tmql.OpOr:
 		var attr string
 		var consts []tmql.Expr
@@ -238,7 +243,7 @@ func matchEqConsts(c tmql.Expr, in algebra.Plan, varName, table string) (string,
 			matched := false
 			for _, side := range [2][2]tmql.Expr{{db.L, db.R}, {db.R, db.L}} {
 				attrE, constE := side[0], side[1]
-				if _, isLit := constE.(*tmql.Lit); !isLit {
+				if _, ok := constKey(constE); !ok {
 					continue
 				}
 				tab, a, ok := resolveScanAttr(in, varName, attrE)
@@ -253,22 +258,44 @@ func matchEqConsts(c tmql.Expr, in algebra.Plan, varName, table string) (string,
 				return "", nil
 			}
 		}
-		return attr, dedupLits(consts)
+		return attr, dedupConsts(consts)
 	}
 	return "", nil
 }
 
-// dedupLits keeps the literal expressions of es deduplicated by the
-// canonical key of their values; any non-literal poisons the whole list.
-func dedupLits(es []tmql.Expr) []tmql.Expr {
+// constKey returns the canonical key of a closed constant expression's
+// plan-time value. Literals skip the evaluator; any other expression must be
+// closed (no free variables) and evaluate against no database — plan-time
+// evaluation that fails (say, an extension reference) reports ok=false and
+// the caller falls back to the scan path.
+func constKey(e tmql.Expr) (string, bool) {
+	if lit, ok := e.(*tmql.Lit); ok {
+		return value.Key(lit.V), true
+	}
+	if len(tmql.FreeVars(e)) != 0 {
+		return "", false
+	}
+	v, err := eval.New(nil).Eval(e)
+	if err != nil {
+		return "", false
+	}
+	return value.Key(v), true
+}
+
+// dedupConsts keeps the closed constant expressions of es deduplicated by
+// the canonical key of their plan-time values; any open or unevaluable
+// expression poisons the whole list. The expanded points must address
+// pairwise-disjoint buckets (the concatenating exec.IndexScan never produces
+// a row twice), so an alternative the planner cannot pin disqualifies the
+// multi-point expansion.
+func dedupConsts(es []tmql.Expr) []tmql.Expr {
 	seen := make(map[string]bool, len(es))
 	var out []tmql.Expr
 	for _, e := range es {
-		lit, ok := e.(*tmql.Lit)
+		k, ok := constKey(e)
 		if !ok {
 			return nil
 		}
-		k := value.Key(lit.V)
 		if seen[k] {
 			continue
 		}

@@ -150,11 +150,25 @@ func TestFindIndexScanMultiPoint(t *testing.T) {
 	if _, ok := FindIndexScan(s4, est.statsIndexes); ok {
 		t.Error("mixed-attribute OR matched")
 	}
-	// Non-literal disjunct constants poison the list (plan-time dedup is
-	// what keeps the expanded points disjoint).
+	// Closed non-literal constants are evaluated at plan time: 1 + 1 is a
+	// point like any literal, and plan-time values — not expression shapes —
+	// drive the dedup that keeps the expanded points disjoint.
 	s5, _ := b.Select(x, "x", tmql.MustParse("x.b = 1 OR x.b = 1 + 1"))
-	if _, ok := FindIndexScan(s5, est.statsIndexes); ok {
-		t.Error("non-literal OR constant matched")
+	m5, ok := FindIndexScan(s5, est.statsIndexes)
+	if !ok || m5.Depth != 1 || len(m5.Points) != 2 {
+		t.Fatalf("closed-constant OR match = %+v, %v", m5, ok)
+	}
+	s5b, _ := b.Select(x, "x", tmql.MustParse("x.b IN {2, 1 + 1, 3}"))
+	m5b, ok := FindIndexScan(s5b, est.statsIndexes)
+	if !ok || len(m5b.Points) != 2 {
+		t.Fatalf("value-level dedup of closed constants = %+v, %v", m5b, ok)
+	}
+	// Open disjunct constants (free variables) still poison the list.
+	s5c, err := b.Select(x, "x", tmql.MustParse("x.b = 1 OR x.b = x.a + 1"))
+	if err == nil {
+		if _, ok := FindIndexScan(s5c, est.statsIndexes); ok {
+			t.Error("open OR constant matched")
+		}
 	}
 	// Beyond the cap the attribute stays uncovered.
 	elems := make([]string, maxIndexScanPoints+1)
@@ -208,6 +222,8 @@ func TestCompileIndexScanMultiPointExecutes(t *testing.T) {
 		{"in-missing-keys", "x.b IN {3, 123456, 999}", x, "x"},
 		{"composite-cross", "y.b IN {1, 3} AND (y.d = 2 OR y.d = 4)", y, "y"},
 		{"multi-point-residual", "y.b IN {1, 3} AND y.a > 0", y, "y"},
+		{"closed-const-or", "x.b = 3 OR x.b = 2 + 3", x, "x"},
+		{"closed-const-in-dedup", "x.b IN {3, 1 + 2, 5}", x, "x"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			s, err := b.Select(tc.in, tc.v, tmql.MustParse(tc.pred))

@@ -1,11 +1,13 @@
 // Batched (vectorized) compilation: CompileBatch mirrors Compile but targets
 // the exec batch protocol. Hot-path nodes — scans, selections, maps, the hash
-// join family — compile to batch-native operators; cold nodes (nesting,
-// unnesting, set operations, merge/NL/index joins) compile to their row
-// operators over BatchToRows-adapted batched subtrees and are re-wrapped in
-// RowsToBatch, so a cold operator in the middle of a plan never forces the
-// subtree below it back to row-at-a-time execution. Results are identical to
-// Compile's by the set-canonicalization safety rail (see exec/batch.go).
+// join family — compile to batch-native operators; the merge nest join builds
+// its sorted runs batch-natively and only re-enters the row protocol for its
+// merge output; the remaining cold nodes (nesting, unnesting, set operations,
+// NL/index joins) compile to their row operators over BatchToRows-adapted
+// batched subtrees and are re-wrapped in RowsToBatch, so a cold operator in
+// the middle of a plan never forces the subtree below it back to
+// row-at-a-time execution. Results are identical to Compile's by the set
+// canonicalization safety rail (see exec/batch.go).
 
 package planner
 
@@ -169,8 +171,9 @@ func (p *Planner) compileBatchJoin(n *algebra.Join) (exec.BatchIterator, error) 
 	}, nil
 }
 
-// compileBatchNestJoin mirrors compileNestJoin: only the parallel hash nest
-// join consumes batches natively (through the exchange); the serial forms are
+// compileBatchNestJoin mirrors compileNestJoin: the parallel hash nest join
+// consumes batches natively (through the exchange), the merge nest join
+// builds its sorted runs batch-natively, and the remaining serial forms are
 // row operators over batched subtrees.
 func (p *Planner) compileBatchNestJoin(n *algebra.NestJoin) (exec.BatchIterator, error) {
 	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
@@ -218,6 +221,22 @@ func (p *Planner) compileBatchNestJoin(n *algebra.NestJoin) (exec.BatchIterator,
 			Degree: p.opts.Parallelism, BatchSize: p.opts.BatchSize,
 		}, nil
 	}
+	if impl == ImplMerge {
+		// The merge nest join's sort builds consume batches natively; only
+		// its output re-enters the batch protocol through an adapter.
+		bl, err := p.CompileBatch(n.L)
+		if err != nil {
+			return nil, err
+		}
+		br, err := p.CompileBatch(n.R)
+		if err != nil {
+			return nil, err
+		}
+		return p.rowsToBatch(&exec.MergeNestJoin{
+			Ctx: p.ctx, BL: bl, BR: br, LVar: n.LVar, RVar: n.RVar,
+			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
+		}), nil
+	}
 	l, err := p.batchToRows(n.L)
 	if err != nil {
 		return nil, err
@@ -232,11 +251,6 @@ func (p *Planner) compileBatchNestJoin(n *algebra.NestJoin) (exec.BatchIterator,
 		it = &exec.NLNestJoin{
 			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
 			Pred: n.Pred, Fn: n.Fn, Label: n.Label,
-		}
-	case ImplMerge:
-		it = &exec.MergeNestJoin{
-			Ctx: p.ctx, L: l, R: r, LVar: n.LVar, RVar: n.RVar,
-			LKeys: lk, RKeys: rk, Residual: residual, Fn: n.Fn, Label: n.Label,
 		}
 	default:
 		it = &exec.HashNestJoin{

@@ -2,27 +2,29 @@ package planner
 
 import "math"
 
-// Statistics-driven partition sizing. When the caller leaves the
-// partitioned-execution degree to the planner, the engine no longer opens
-// the whole machine unconditionally: the degree is sized from the row
-// estimates of the query's tables so that each partition of a parallel hash
-// operator receives a meaningful share of the input. Tiny inputs stop
-// paying per-worker startup for partitions that would hold a handful of
-// rows each (the cost model would usually reject those candidates anyway —
-// sizing keeps the enumeration honest and the exchange lean when
-// parallelism does win), while large inputs still fan out to the machine.
-// Explicit Options.Parallelism pins bypass sizing entirely.
+// Statistics-driven scheduler sizing. The degree is a hint to the morsel
+// scheduler (exec.Scheduler): it sizes the worker pool and the hash
+// partition count together, and the scheduler's work stealing evens out
+// whatever imbalance the partitioning produces at runtime. When the caller
+// leaves the degree to the planner, the engine does not open the whole
+// machine unconditionally: the hint is sized from the row estimates of the
+// query's tables so that each partition receives a meaningful share of the
+// input. Tiny inputs stop paying pool startup for morsels that would hold a
+// handful of rows each (the cost model would usually reject those
+// candidates anyway — sizing keeps the enumeration honest and the exchange
+// lean when parallelism does win), while large inputs still fan out to the
+// machine. Explicit Options.Parallelism pins bypass sizing entirely.
 
 // parTargetRowsPerPartition is the input-row share each partition should
 // receive. Below ~1k rows per worker, partition startup and channel traffic
 // dominate the probe work a worker saves.
 const parTargetRowsPerPartition = 1024
 
-// PartitionDegree sizes the partitioned-execution degree for an input of
-// the given estimated rows: one partition per parTargetRowsPerPartition
-// rows (rounded up), at least 2 (a single partition is serial execution
-// with exchange overhead), capped at maxDegree — the machine width or the
-// caller's bound. A maxDegree below 2 cannot partition and passes through.
+// PartitionDegree sizes the scheduler-degree hint for an input of the given
+// estimated rows: one partition per parTargetRowsPerPartition rows (rounded
+// up), at least 2 (a single partition is serial execution with exchange
+// overhead), capped at maxDegree — the machine width or the caller's bound.
+// A maxDegree below 2 cannot partition and passes through.
 func PartitionDegree(rows float64, maxDegree int) int {
 	if maxDegree < 2 {
 		return maxDegree

@@ -55,12 +55,15 @@ func (ji JoinImpl) String() string {
 type Options struct {
 	// Joins picks the implementation family for all join-like operators.
 	Joins JoinImpl
-	// Parallelism is the partitioned-execution degree for the hash join
-	// family: values >= 2 compile hash joins and hash nest joins to their
-	// exchange-style parallel forms (ParHashJoin, ParHashNestJoin), which
-	// partition both inputs by key hash across that many workers. 0 and 1
-	// mean serial execution. Results are identical at any degree — final
-	// results are canonical sets — so the knob only trades latency.
+	// Parallelism is the scheduler-degree hint for the hash join family:
+	// values >= 2 compile hash joins and hash nest joins to their
+	// partitioned forms (ParHashJoin, ParHashNestJoin), which exchange both
+	// inputs by key hash across that many partitions and run build/probe
+	// morsels on the query's morsel scheduler (exec.Scheduler) — one
+	// runtime at every degree, not a separate parallel operator family. 0
+	// and 1 mean serial streaming execution. Results are byte-identical at
+	// any degree and any steal schedule — final results are canonical sets
+	// — so the knob only trades latency.
 	Parallelism int
 	// Access picks the access path for leaf selections: AccessIndex compiles
 	// selections whose equality conjuncts cover a live index prefix to

@@ -116,6 +116,12 @@ type Server struct {
 	panics           atomic.Uint64
 	discardedRows    atomic.Int64
 	discardedBytes   atomic.Int64
+
+	// morsel-scheduler counters for /stats, aggregated across completed
+	// queries (see exec.SchedStats).
+	morselsDispatched atomic.Int64
+	morselsStolen     atomic.Int64
+	schedBusyNs       atomic.Int64
 }
 
 // New returns a server over eng.
@@ -361,6 +367,12 @@ type QueryResponse struct {
 	CacheHit    bool            `json:"cache_hit"`
 	DurationNs  int64           `json:"duration_ns"`
 	EvalSteps   int64           `json:"eval_steps"`
+	// Morsel-scheduler counters for this query: morsels run by their home
+	// worker, morsels stolen by idle workers, and summed worker busy time.
+	// All zero for serial plans.
+	SchedDispatched int64 `json:"sched_dispatched"`
+	SchedStolen     int64 `json:"sched_stolen"`
+	SchedBusyNs     int64 `json:"sched_busy_ns"`
 }
 
 type explainResponse struct {
@@ -391,6 +403,12 @@ type StatsResponse struct {
 	Panics              uint64 `json:"panics"`
 	DiscardedRows       int64  `json:"discarded_rows"`
 	DiscardedBuildBytes int64  `json:"discarded_build_bytes"`
+
+	// Morsel scheduler: per-query exec.SchedStats summed across completed
+	// queries — dispatched/stolen morsel counts and worker busy time.
+	MorselsDispatched int64 `json:"morsels_dispatched"`
+	MorselsStolen     int64 `json:"morsels_stolen"`
+	SchedBusyNs       int64 `json:"sched_busy_ns"`
 }
 
 // --- plumbing ---
@@ -744,6 +762,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Panics:              s.panics.Load(),
 		DiscardedRows:       s.discardedRows.Load(),
 		DiscardedBuildBytes: s.discardedBytes.Load(),
+
+		MorselsDispatched: s.morselsDispatched.Load(),
+		MorselsStolen:     s.morselsStolen.Load(),
+		SchedBusyNs:       s.schedBusyNs.Load(),
 	})
 }
 
@@ -756,13 +778,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, reqID, map[string]string{"status": "ok", "request_id": reqID})
 }
 
-// writeResult renders an engine result as a QueryResponse.
+// writeResult renders an engine result as a QueryResponse and folds the
+// query's scheduler counters into the server-wide /stats aggregates.
 func (s *Server) writeResult(w http.ResponseWriter, reqID string, res *engine.Result) {
 	raw, err := json.Marshal(res.Value)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, reqID, "internal", "encoding result: %v", err)
 		return
 	}
+	s.morselsDispatched.Add(res.Sched.Dispatched)
+	s.morselsStolen.Add(res.Sched.Stolen)
+	s.schedBusyNs.Add(res.Sched.BusyNanos)
 	alt := res.Alt
 	if alt == "base" {
 		alt = ""
@@ -781,5 +807,9 @@ func (s *Server) writeResult(w http.ResponseWriter, reqID string, res *engine.Re
 		CacheHit:    res.CacheHit,
 		DurationNs:  res.Duration.Nanoseconds(),
 		EvalSteps:   res.EvalSteps,
+
+		SchedDispatched: res.Sched.Dispatched,
+		SchedStolen:     res.Sched.Stolen,
+		SchedBusyNs:     res.Sched.BusyNanos,
 	})
 }

@@ -31,12 +31,16 @@
 //     by equi-depth histograms and KMV distinct-count sketches (selectivity,
 //     NDV, and dangling fractions become bounded-error estimates), tiny
 //     tables keep exact figures;
-//   - parallel partitioned execution: hash joins and hash nest joins run
-//     partitioned by key hash across Options.Parallelism workers (under the
-//     auto strategy the degree defaults to GOMAXPROCS and the cost model
-//     decides whether parallelism pays; fixed strategies opt in explicitly)
-//     over an allocation-lean key encoding, with results bit-identical to
-//     serial execution at any degree;
+//   - morsel-driven parallel execution: hash joins and hash nest joins run
+//     as batch-sized morsels on a work-stealing scheduler sized by
+//     Options.Parallelism (under the auto strategy the degree is sized from
+//     table statistics, capped at GOMAXPROCS, and the cost model decides
+//     whether parallelism pays; fixed strategies opt in explicitly). Idle
+//     workers steal morsels from skewed partitions, Options.NoSteal pins
+//     morsels to their home worker as an ablation knob, scheduler counters
+//     (morsels dispatched/stolen, busy time) surface on Result.Sched, and
+//     results are bit-identical to serial execution at any degree and any
+//     steal schedule;
 //   - vectorized batch execution: the hot path (scans, filters, projections,
 //     hash joins, and the parallel exchange) moves rows in batches of up to
 //     Options.BatchSize with pre-encoded join keys, costed against
