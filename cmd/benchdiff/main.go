@@ -25,6 +25,13 @@
 //	                               # regenerate the artifact on a multi-core
 //	                               # host with:
 //	                               #   go run ./cmd/repro -parbench BENCH_parallel.json
+//	benchdiff -workload base.json -workload-current cur.json
+//	                               # compare two tmbench workload artifacts
+//	                               # stage by stage (throughput floor + p99
+//	                               # ceiling); refuses mismatched specs and
+//	                               # explicitly SKIPs incomparable hosts —
+//	                               # regenerate artifacts with:
+//	                               #   go run ./cmd/tmbench -spec workloads/<name>.json -out <file>
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"runtime"
 
 	"tmdb/internal/benchkit"
+	"tmdb/internal/workload"
 )
 
 func main() {
@@ -45,8 +53,26 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.25, "allowed regression fraction for ns/op and allocs/op")
 		parallel  = flag.String("parallel", "", "also gate the parallel-speedup artifact (e.g. BENCH_parallel.json)")
 		minSpeed  = flag.Float64("min-speedup", 1.1, "minimum acceptable parallel speedup (with -parallel)")
+
+		wlBase = flag.String("workload", "", "baseline tmbench workload artifact to gate against")
+		wlCur  = flag.String("workload-current", "", "current tmbench workload artifact (with -workload)")
+		minOps = flag.Float64("min-ops-ratio", 0.7, "workload gate: current/baseline throughput floor per stage")
+		maxP99 = flag.Float64("max-p99-ratio", 2.0, "workload gate: current/baseline p99 latency ceiling per stage")
+		wlOnly = flag.Bool("workload-only", false, "skip the micro-benchmark gate, run only the workload comparison")
 	)
 	flag.Parse()
+
+	// Workload-only mode: compare two artifacts and exit — the workload gate
+	// needs no local measurement, so it can run anywhere, fast.
+	if *wlOnly {
+		if *wlBase == "" || *wlCur == "" {
+			fatal(fmt.Errorf("-workload-only needs -workload and -workload-current"))
+		}
+		if gateWorkload(*wlBase, *wlCur, *minOps, *maxP99) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *update {
 		// Measure into memory first: a failed or interrupted run must not
@@ -119,9 +145,45 @@ func main() {
 		}
 	}
 
+	// Workload gate: stage-by-stage throughput/latency comparison of two
+	// tmbench artifacts (see workload.GateWorkload for the skip/refuse
+	// semantics and regeneration recipe).
+	if *wlBase != "" {
+		if *wlCur == "" {
+			fatal(fmt.Errorf("-workload needs -workload-current (the artifact to compare against the baseline)"))
+		}
+		fmt.Println()
+		if gateWorkload(*wlBase, *wlCur, *minOps, *maxP99) {
+			failed = true
+		}
+	}
+
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// gateWorkload loads both artifacts, runs the gate, prints it, and reports
+// whether it failed.
+func gateWorkload(basePath, curPath string, minOps, maxP99 float64) bool {
+	base, err := workload.LoadArtifact(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := workload.LoadArtifact(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	gate, err := workload.GateWorkload(base, cur, minOps, maxP99)
+	if err != nil {
+		fatal(err)
+	}
+	gate.Print(os.Stdout)
+	if gate.Status == "failed" {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d workload stage(s) outside the gate bounds\n", gate.Failures)
+		return true
+	}
+	return false
 }
 
 func fatal(err error) {

@@ -1,0 +1,121 @@
+// Command tmbench runs a declarative workload spec against the tmdb server
+// and writes a metadata-stamped JSON artifact with per-stage throughput,
+// latency percentiles, an error taxonomy, and server /stats deltas.
+//
+// By default it opens the spec's dataset in-process and serves it over a
+// loopback listener, so a run is fully self-contained and reproducible from
+// the spec's seed; -addr points it at an already-running tmserver instead
+// (that server's dataset is then whatever it was started with).
+//
+// Usage:
+//
+//	tmbench -spec workloads/mixed.json                 # run, print the report
+//	tmbench -spec workloads/mixed.json -out BENCH_workload_mixed.json
+//	tmbench -spec workloads/mixed.json -scale 0.1      # CI smoke: 10% budgets
+//	tmbench -spec workloads/mixed.json -validate       # parse + validate only
+//	tmbench -spec workloads/mixed.json -addr http://localhost:8080
+//
+// Compare two artifacts with the workload gate:
+//
+//	benchdiff -workload BENCH_workload_mixed.json -workload-current new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"time"
+
+	"tmdb/internal/server"
+	"tmdb/internal/workload"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "workload spec file (required)")
+		out      = flag.String("out", "", "write the artifact to this JSON file")
+		addr     = flag.String("addr", "", "bench an external server at this base URL instead of in-process")
+		scale    = flag.Float64("scale", 1, "multiply every stage's duration and ops budget")
+		validate = flag.Bool("validate", false, "parse and validate the spec, then exit")
+		quiet    = flag.Bool("q", false, "suppress per-stage progress lines")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fatal(fmt.Errorf("-spec is required (committed specs live under workloads/)"))
+	}
+
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := workload.ParseSpec(data)
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		fmt.Printf("%s: valid workload %q (spec %s, %d stages)\n",
+			*specPath, spec.Name, spec.Hash(), len(spec.Stages))
+		return
+	}
+
+	base := *addr
+	if base == "" {
+		eng, err := workload.OpenEngine(spec)
+		if err != nil {
+			fatal(err)
+		}
+		hs := httptest.NewServer(server.New(eng, spec.ServerConfig()))
+		defer hs.Close()
+		base = hs.URL
+	}
+
+	r := &workload.Runner{Base: base, Spec: spec, Scale: *scale}
+	if !*quiet {
+		r.Logf = func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	}
+	startNs := time.Now().UnixNano()
+	stages, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	art := workload.NewArtifact(spec, *scale, stages)
+	art.StartUnixNs = startNs
+	art.GitRev = gitRev()
+	if art.Host.GOMAXPROCS < 2 || art.Host.NumCPU < 2 {
+		art.Warning = "measured on a single-CPU host: concurrent-client throughput is not meaningful"
+	}
+
+	fmt.Printf("\nworkload %q (spec %s, seed %d, scale %g) — %d stages, rev %s\n",
+		art.Name, art.SpecHash, art.Seed, art.Scale, len(art.Stages), orNone(art.GitRev))
+	if *out != "" {
+		if err := art.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// gitRev stamps provenance; best-effort (empty outside a checkout).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tmbench:", err)
+	os.Exit(1)
+}

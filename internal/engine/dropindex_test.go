@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tmdb/internal/planner"
+	"tmdb/internal/value"
+)
+
+// TestDropIndexReplansToScan: after Engine.DropIndex sweeps the table's
+// cached plans, the next execution of a query that had been served by the
+// index replans onto scans with an unchanged result.
+func TestDropIndexReplansToScan(t *testing.T) {
+	eng := accessEngine(t)
+	const q = `SELECT x FROM X x WHERE x.b = 3`
+
+	if err := eng.CreateIndex("X", "b"); err != nil {
+		t.Fatal(err)
+	}
+	withIdx, err := eng.Query(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withIdx.Access != planner.AccessIndex {
+		t.Fatalf("auto picked access=%s with the index live, want idxscan", withIdx.Access)
+	}
+
+	if err := eng.DropIndex("X", "b"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := eng.Query(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Access == planner.AccessIndex {
+		t.Error("index access still chosen after the index was dropped")
+	}
+	if after.CacheHit {
+		t.Error("cached index plan served after DropIndex swept the table")
+	}
+	if value.Key(after.Value) != value.Key(withIdx.Value) {
+		t.Error("post-drop result differs from indexed result")
+	}
+
+	if err := eng.DropIndex("X", "b"); err == nil {
+		t.Error("second DropIndex on the same index must error")
+	} else if !strings.Contains(err.Error(), "no index X(b)") {
+		t.Errorf("unexpected DropIndex error: %v", err)
+	}
+	if err := eng.DropIndex("missing", "b"); err == nil {
+		t.Error("DropIndex on an unknown table must error")
+	}
+}
+
+// TestIndexChurnNeverFailsQueries is the DDL-under-load invariant: with one
+// goroutine creating and dropping the index in a tight loop while others
+// query, no execution may surface an error or a wrong result. Two mechanisms
+// cooperate: the planner re-resolves indexes at every compile (a vanished
+// index silently falls back to scans), and the narrow compile→Open window —
+// where exec observes a typed stale-index failure — is closed by execBound's
+// one-shot transparent replan. Run under -race this also checks the index
+// registry's locking.
+func TestIndexChurnNeverFailsQueries(t *testing.T) {
+	eng := accessEngine(t)
+	const q = `SELECT x FROM X x WHERE x.b = 3`
+	want, err := eng.Query(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := value.Key(want.Value)
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := eng.CreateIndex("X", "b"); err != nil {
+				t.Errorf("CreateIndex: %v", err)
+				return
+			}
+			if err := eng.DropIndex("X", "b"); err != nil {
+				t.Errorf("DropIndex: %v", err)
+				return
+			}
+		}
+	}()
+
+	var queries sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		queries.Add(1)
+		go func() {
+			defer queries.Done()
+			for i := 0; i < 150; i++ {
+				res, err := eng.Query(q, Options{})
+				if err != nil {
+					t.Errorf("query under index churn: %v", err)
+					return
+				}
+				if value.Key(res.Value) != wantKey {
+					t.Error("result changed under index churn")
+					return
+				}
+			}
+		}()
+	}
+	queries.Wait()
+	close(stop)
+	churn.Wait()
+}

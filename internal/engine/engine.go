@@ -17,6 +17,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -303,15 +304,34 @@ func (e *Engine) QueryExprContext(ctx context.Context, expr tmql.Expr, opts Opti
 // is cancellable or budgets are set — otherwise nil, the free path) is
 // polled by every operator, and a recovered panic becomes a typed
 // *PanicError rather than taking the process down.
-func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (res *Result, err error) {
+func (e *Engine) execBound(ctx context.Context, bound tmql.Expr, opts Options) (*Result, error) {
 	start := time.Now()
-	if err := e.checkTablesLive(tmql.Tables(bound)); err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		if err := e.checkTablesLive(tmql.Tables(bound)); err != nil {
+			return nil, err
+		}
+		pl, hit, err := e.plan(bound, opts)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.runPlanned(ctx, bound, opts, pl, hit, start)
+		if err != nil && attempt == 0 && errors.Is(err, exec.ErrStaleIndex) {
+			// The plan probed an index dropped between planning and Open (the
+			// DropIndex cache sweep raced this execution). Sweep the query's
+			// tables and replan once against the current index registry; only a
+			// second stale failure — the churn outran the retry — surfaces.
+			for _, name := range tmql.Tables(bound) {
+				e.cache.invalidateTable(name)
+			}
+			continue
+		}
+		return res, err
 	}
-	pl, hit, err := e.plan(bound, opts)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// runPlanned executes one resolved planning decision under governance — the
+// per-attempt body of execBound.
+func (e *Engine) runPlanned(ctx context.Context, bound tmql.Expr, opts Options, pl *planned, hit bool, start time.Time) (res *Result, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}

@@ -5,6 +5,7 @@ import (
 
 	"tmdb/internal/eval"
 	"tmdb/internal/faultinject"
+	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
 	"tmdb/internal/types"
 	"tmdb/internal/value"
@@ -154,6 +155,28 @@ func (e *Engine) CreateIndex(table string, attrs ...string) error {
 	}
 	if err := e.db.CreateIndex(table, attrs...); err != nil {
 		return err
+	}
+	e.cache.invalidateTable(table)
+	return nil
+}
+
+// DropIndex unregisters the persistent index on the table's ordered attribute
+// list. Like CreateIndex it leaves the data (and so the epoch and statistics)
+// untouched but sweeps the table's cached plans: a plan probing the dropped
+// index must not be served again. A query that planned before the drop and
+// opens after it observes a typed stale-index failure, which execBound turns
+// into one transparent replan — so concurrent index churn never surfaces as a
+// query error unless the churn outruns the retry.
+func (e *Engine) DropIndex(table string, attrs ...string) error {
+	if err := faultinject.Hit(faultinject.PointMutationEpoch); err != nil {
+		return err
+	}
+	dropped, err := e.db.DropIndex(table, attrs...)
+	if err != nil {
+		return err
+	}
+	if !dropped {
+		return fmt.Errorf("engine: no index %s(%s)", table, storage.IndexName(attrs))
 	}
 	e.cache.invalidateTable(table)
 	return nil

@@ -26,9 +26,15 @@ import (
 // join condition, including uncovered equi-key pairs) are re-checked per
 // bucket candidate.
 
-// indexProbeSide resolves the table's live index at Open and evaluates the
-// left key prefix per row (allocation-lean: encodings append onto a reused
-// scratch buffer); shared by IndexJoin, IndexNestJoin, and IndexScan.
+// indexProbeSide holds the index snapshot probed per left row and evaluates
+// the left key prefix (allocation-lean: encodings append onto a reused
+// scratch buffer); shared by IndexJoin, IndexNestJoin, and IndexScan. The
+// planner resolves the *HashIndex at compile time and pre-seeds ix — index
+// buckets are copy-on-write, so the snapshot stays probeable even if the
+// registry entry is dropped mid-query, exactly like a scan's row snapshot.
+// An operator constructed without the pre-resolved handle resolves at Open
+// and surfaces the typed ErrStaleIndex when the registry no longer serves
+// the index (dropped, or the table unsealed, since planning).
 type indexProbeSide struct {
 	ctx *Ctx
 	// table and index locate the persistent index: the scanned extension and
@@ -46,19 +52,21 @@ func (s *indexProbeSide) open() error {
 	if len(s.lkeys) == 0 {
 		return fmt.Errorf("exec: index probe on %s.%s needs at least one key", s.table, s.index)
 	}
-	t, ok := s.ctx.DB.Table(s.table)
-	if !ok {
-		return fmt.Errorf("exec: unknown table %s", s.table)
+	if s.ix == nil {
+		t, ok := s.ctx.DB.Table(s.table)
+		if !ok {
+			return fmt.Errorf("exec: unknown table %s", s.table)
+		}
+		ix, ok := t.Index(s.index)
+		if !ok {
+			return fmt.Errorf("no live index on %s(%s) (table unsealed or index dropped since planning): %w",
+				s.table, s.index, ErrStaleIndex)
+		}
+		s.ix = ix
 	}
-	ix, ok := t.Index(s.index)
-	if !ok {
-		return fmt.Errorf("exec: no live index on %s(%s) (table unsealed or index dropped since planning)",
-			s.table, s.index)
-	}
-	if len(s.lkeys) > len(ix.Attrs()) {
+	if len(s.lkeys) > len(s.ix.Attrs()) {
 		return fmt.Errorf("exec: probe depth %d exceeds index %s(%s)", len(s.lkeys), s.table, s.index)
 	}
-	s.ix = ix
 	return nil
 }
 
@@ -86,7 +94,10 @@ type IndexJoin struct {
 	// Table and Index name the right side: the indexed stored table and the
 	// index's canonical registry name (storage.IndexName of its attributes).
 	Table, Index string
-	LVar, RVar   string
+	// Ix is the index snapshot resolved by the planner at compile time;
+	// nil falls back to registry resolution at Open (typed-stale on miss).
+	Ix         *storage.HashIndex
+	LVar, RVar string
 	// LKeys are the probe-key expressions over LVar (the left halves of the
 	// equi-key pairs the index prefix covers, in index attribute order).
 	LKeys []tmql.Expr
@@ -107,7 +118,7 @@ type IndexJoin struct {
 // Open resolves the index and opens the left input. The right table is never
 // scanned.
 func (j *IndexJoin) Open() error {
-	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, index: j.Index, lvar: j.LVar, lkeys: j.LKeys}
+	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, index: j.Index, lvar: j.LVar, lkeys: j.LKeys, ix: j.Ix}
 	if err := j.probe.open(); err != nil {
 		return err
 	}
@@ -198,18 +209,21 @@ type IndexNestJoin struct {
 	Ctx          *Ctx
 	L            Iterator
 	Table, Index string
-	LVar, RVar   string
-	LKeys        []tmql.Expr
-	Residual     tmql.Expr
-	Fn           tmql.Expr
-	Label        string
+	// Ix is the index snapshot resolved by the planner at compile time;
+	// nil falls back to registry resolution at Open (typed-stale on miss).
+	Ix         *storage.HashIndex
+	LVar, RVar string
+	LKeys      []tmql.Expr
+	Residual   tmql.Expr
+	Fn         tmql.Expr
+	Label      string
 
 	probe indexProbeSide
 }
 
 // Open resolves the index and opens the left input.
 func (j *IndexNestJoin) Open() error {
-	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, index: j.Index, lvar: j.LVar, lkeys: j.LKeys}
+	j.probe = indexProbeSide{ctx: j.Ctx, table: j.Table, index: j.Index, lvar: j.LVar, lkeys: j.LKeys, ix: j.Ix}
 	if err := j.probe.open(); err != nil {
 		return err
 	}

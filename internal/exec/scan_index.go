@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tmdb/internal/faultinject"
+	"tmdb/internal/storage"
 	"tmdb/internal/tmql"
 	"tmdb/internal/value"
 )
@@ -27,6 +28,9 @@ type IndexScan struct {
 	// Table and Index locate the persistent index: the scanned extension and
 	// the index's canonical registry name (storage.IndexName).
 	Table, Index string
+	// Ix is the index snapshot resolved by the planner at compile time;
+	// nil falls back to registry resolution at Open (typed-stale on miss).
+	Ix *storage.HashIndex
 	// Depth is the number of leading index attributes each point covers.
 	Depth int
 	// Points are the key points, each a list of Depth closed expressions.
@@ -50,7 +54,7 @@ func (s *IndexScan) Open() error {
 	// Reuse the probe side's index resolution; key evaluation differs (closed
 	// expressions, evaluated once here rather than per left row).
 	s.probe = indexProbeSide{ctx: s.Ctx, table: s.Table, index: s.Index, lvar: s.Var,
-		lkeys: make([]tmql.Expr, s.Depth)}
+		lkeys: make([]tmql.Expr, s.Depth), ix: s.Ix}
 	if err := s.probe.open(); err != nil {
 		return err
 	}

@@ -1,0 +1,65 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"tmdb/internal/storage"
+	"tmdb/internal/tmql"
+	"tmdb/internal/types"
+)
+
+// TestStaleIndexTyped pins the error taxonomy of index resolution at Open: a
+// registered index that vanished between planning and Open (dropped, or the
+// table unsealed) surfaces ErrStaleIndex — the signal engine.execBound turns
+// into one transparent replan — while an unknown table stays an ordinary
+// untyped failure (the liveness pre-check owns that case).
+func TestStaleIndexTyped(t *testing.T) {
+	db := storage.NewDB()
+	elem := types.Tuple(types.F("a", types.Int))
+	tab := db.MustCreate("T", elem)
+	tab.Seal()
+
+	key, err := tmql.Parse("1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewCtx(db)
+
+	probe := &indexProbeSide{ctx: ctx, table: "T", index: "a", lvar: "x", lkeys: []tmql.Expr{key}}
+	if err := probe.open(); !errors.Is(err, ErrStaleIndex) {
+		t.Errorf("missing index: open() = %v, want ErrStaleIndex", err)
+	}
+
+	unknown := &indexProbeSide{ctx: ctx, table: "nope", index: "a", lvar: "x", lkeys: []tmql.Expr{key}}
+	if err := unknown.open(); err == nil || errors.Is(err, ErrStaleIndex) {
+		t.Errorf("unknown table: open() = %v, want an untyped (non-stale) error", err)
+	}
+
+	// A live index opens. After a drop, a probe side holding the resolved
+	// snapshot reopens fine (compile-time resolution pins the snapshot), while
+	// a fresh name-resolving probe observes the stale error.
+	if err := tab.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	live := &indexProbeSide{ctx: ctx, table: "T", index: "a", lvar: "x", lkeys: []tmql.Expr{key}}
+	if err := live.open(); err != nil {
+		t.Fatalf("live index failed to open: %v", err)
+	}
+	if !tab.DropIndex("a") {
+		t.Fatal("DropIndex reported false")
+	}
+	if err := live.open(); err != nil {
+		t.Errorf("resolved snapshot failed to reopen after drop: %v", err)
+	}
+	fresh := &indexProbeSide{ctx: ctx, table: "T", index: "a", lvar: "x", lkeys: []tmql.Expr{key}}
+	if err := fresh.open(); !errors.Is(err, ErrStaleIndex) {
+		t.Errorf("dropped index: open() = %v, want ErrStaleIndex", err)
+	}
+
+	// The compile-time path: a pre-resolved Ix is served as-is.
+	pre := &indexProbeSide{ctx: ctx, table: "T", index: "a", lvar: "x", lkeys: []tmql.Expr{key}, ix: live.ix}
+	if err := pre.open(); err != nil {
+		t.Errorf("pre-resolved probe failed to open: %v", err)
+	}
+}

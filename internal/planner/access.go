@@ -351,13 +351,13 @@ func (e *Estimator) HasIndexScan(p algebra.Plan) bool {
 // residual when the selection sits directly over the scan) with the
 // intermediate chain nodes — further selections and wrapper Maps — rebuilt
 // above the bucket rows.
-func (p *Planner) compileIndexScan(n *algebra.Select, m IndexScanMatch) (exec.Iterator, error) {
+func (p *Planner) compileIndexScan(n *algebra.Select, m IndexScanMatch, ix *storage.HashIndex) (exec.Iterator, error) {
 	chain, _, ok := AccessChain(n.In)
 	if !ok {
 		return nil, fmt.Errorf("planner: index-scan match without an access chain on %s", n.Describe())
 	}
 	leaf := &exec.IndexScan{
-		Ctx: p.ctx, Table: m.Table, Index: m.Name(), Depth: m.Depth,
+		Ctx: p.ctx, Table: m.Table, Index: m.Name(), Ix: ix, Depth: m.Depth,
 		Points: m.Points,
 	}
 	var it exec.Iterator = leaf

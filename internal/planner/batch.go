@@ -29,13 +29,15 @@ func (p *Planner) CompileBatch(plan algebra.Plan) (exec.BatchIterator, error) {
 	case *algebra.Select:
 		if p.opts.Access == AccessIndex {
 			if m, ok := FindIndexScan(n, p.liveIndexes); ok {
-				// Index scans are bucket probes, not row loops: keep the row
-				// compilation and adapt its output.
-				it, err := p.compileIndexScan(n, m)
-				if err != nil {
-					return nil, err
+				if ix, live := p.resolveIndex(m.Table, m.Name()); live {
+					// Index scans are bucket probes, not row loops: keep the row
+					// compilation and adapt its output.
+					it, err := p.compileIndexScan(n, m, ix)
+					if err != nil {
+						return nil, err
+					}
+					return p.rowsToBatch(it), nil
 				}
-				return p.rowsToBatch(it), nil
 			}
 		}
 		in, err := p.CompileBatch(n.In)
@@ -109,18 +111,20 @@ func (p *Planner) compileBatchJoin(n *algebra.Join) (exec.BatchIterator, error) 
 	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	if p.opts.Joins == ImplIndex {
 		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
-			l, err := p.batchToRows(n.L)
-			if err != nil {
-				return nil, err
+			if ix, live := p.resolveIndex(pr.Table, pr.Name()); live {
+				l, err := p.batchToRows(n.L)
+				if err != nil {
+					return nil, err
+				}
+				return p.rowsToBatch(&exec.IndexJoin{
+					Ctx: p.ctx, Kind: n.Kind, L: l,
+					Table: pr.Table, Index: pr.Name(), Ix: ix,
+					LVar: n.LVar, RVar: n.RVar,
+					LKeys:    probeLKeys(lk, pr),
+					Residual: indexResidual(lk, rk, pr, residual),
+					RElem:    n.R.Elem(),
+				}), nil
 			}
-			return p.rowsToBatch(&exec.IndexJoin{
-				Ctx: p.ctx, Kind: n.Kind, L: l,
-				Table: pr.Table, Index: pr.Name(),
-				LVar: n.LVar, RVar: n.RVar,
-				LKeys:    probeLKeys(lk, pr),
-				Residual: indexResidual(lk, rk, pr, residual),
-				RElem:    n.R.Elem(),
-			}), nil
 		}
 		// No usable index on this operator: auto fallback below.
 	}
@@ -180,18 +184,20 @@ func (p *Planner) compileBatchNestJoin(n *algebra.NestJoin) (exec.BatchIterator,
 	impl := p.opts.Joins
 	if impl == ImplIndex {
 		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
-			l, err := p.batchToRows(n.L)
-			if err != nil {
-				return nil, err
+			if ix, live := p.resolveIndex(pr.Table, pr.Name()); live {
+				l, err := p.batchToRows(n.L)
+				if err != nil {
+					return nil, err
+				}
+				return p.rowsToBatch(&exec.IndexNestJoin{
+					Ctx: p.ctx, L: l,
+					Table: pr.Table, Index: pr.Name(), Ix: ix,
+					LVar: n.LVar, RVar: n.RVar,
+					LKeys:    probeLKeys(lk, pr),
+					Residual: indexResidual(lk, rk, pr, residual),
+					Fn:       n.Fn, Label: n.Label,
+				}), nil
 			}
-			return p.rowsToBatch(&exec.IndexNestJoin{
-				Ctx: p.ctx, L: l,
-				Table: pr.Table, Index: pr.Name(),
-				LVar: n.LVar, RVar: n.RVar,
-				LKeys:    probeLKeys(lk, pr),
-				Residual: indexResidual(lk, rk, pr, residual),
-				Fn:       n.Fn, Label: n.Label,
-			}), nil
 		}
 		impl = ImplAuto // no usable index on this operator
 	}

@@ -143,6 +143,24 @@ func (p *Planner) liveIndexes(table string) [][]string {
 	return t.Indexes()
 }
 
+// resolveIndex fetches the *HashIndex snapshot the compiled operator will
+// probe. Resolving at compile time (rather than Open) pins the query to the
+// index state it was compiled against — buckets are copy-on-write, so the
+// snapshot stays probeable even if the registry entry is dropped mid-query —
+// and a miss (the index vanished between the match and this resolve) lets
+// the caller fall back to the scan/hash family silently, so concurrent
+// CreateIndex/DropIndex churn never fails a query.
+func (p *Planner) resolveIndex(table, name string) (*storage.HashIndex, bool) {
+	if p.ctx == nil || p.ctx.DB == nil {
+		return nil, false
+	}
+	t, ok := p.ctx.DB.Table(table)
+	if !ok {
+		return nil, false
+	}
+	return t.Index(name)
+}
+
 // statsIndexes is the costing-side index oracle, backed by the statistics
 // catalog (which consults the storage registry).
 func (e *Estimator) statsIndexes(table string) [][]string {

@@ -104,9 +104,12 @@ func (p *Planner) Compile(plan algebra.Plan) (exec.Iterator, error) {
 	case *algebra.Select:
 		if p.opts.Access == AccessIndex {
 			if m, ok := FindIndexScan(n, p.liveIndexes); ok {
-				return p.compileIndexScan(n, m)
+				if ix, live := p.resolveIndex(m.Table, m.Name()); live {
+					return p.compileIndexScan(n, m, ix)
+				}
 			}
-			// No usable index on this selection: scan fallback below.
+			// No usable index on this selection (or it vanished before the
+			// resolve): scan fallback below.
 		}
 		in, err := p.Compile(n.In)
 		if err != nil {
@@ -165,14 +168,16 @@ func (p *Planner) compileJoin(n *algebra.Join) (exec.Iterator, error) {
 	lk, rk, residual := ExtractEquiKeys(n.Pred, n.LVar, n.RVar)
 	if p.opts.Joins == ImplIndex {
 		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
-			return &exec.IndexJoin{
-				Ctx: p.ctx, Kind: n.Kind, L: l,
-				Table: pr.Table, Index: pr.Name(),
-				LVar: n.LVar, RVar: n.RVar,
-				LKeys:    probeLKeys(lk, pr),
-				Residual: indexResidual(lk, rk, pr, residual),
-				RElem:    n.R.Elem(),
-			}, nil
+			if ix, live := p.resolveIndex(pr.Table, pr.Name()); live {
+				return &exec.IndexJoin{
+					Ctx: p.ctx, Kind: n.Kind, L: l,
+					Table: pr.Table, Index: pr.Name(), Ix: ix,
+					LVar: n.LVar, RVar: n.RVar,
+					LKeys:    probeLKeys(lk, pr),
+					Residual: indexResidual(lk, rk, pr, residual),
+					RElem:    n.R.Elem(),
+				}, nil
+			}
 		}
 		// No usable index on this operator: auto fallback below.
 	}
@@ -220,14 +225,16 @@ func (p *Planner) compileNestJoin(n *algebra.NestJoin) (exec.Iterator, error) {
 	impl := p.opts.Joins
 	if impl == ImplIndex {
 		if pr, ok := FindIndexProbe(n.R, n.RVar, rk, p.liveIndexes); ok {
-			return &exec.IndexNestJoin{
-				Ctx: p.ctx, L: l,
-				Table: pr.Table, Index: pr.Name(),
-				LVar: n.LVar, RVar: n.RVar,
-				LKeys:    probeLKeys(lk, pr),
-				Residual: indexResidual(lk, rk, pr, residual),
-				Fn:       n.Fn, Label: n.Label,
-			}, nil
+			if ix, live := p.resolveIndex(pr.Table, pr.Name()); live {
+				return &exec.IndexNestJoin{
+					Ctx: p.ctx, L: l,
+					Table: pr.Table, Index: pr.Name(), Ix: ix,
+					LVar: n.LVar, RVar: n.RVar,
+					LKeys:    probeLKeys(lk, pr),
+					Residual: indexResidual(lk, rk, pr, residual),
+					Fn:       n.Fn, Label: n.Label,
+				}, nil
+			}
 		}
 		impl = ImplAuto // no usable index on this operator
 	}

@@ -28,8 +28,9 @@ type Client struct {
 // RetryPolicy bounds the client's automatic retry of transient server
 // rejections. Only idempotent requests are ever retried — POST /query,
 // POST /explain, GET /stats, GET /healthz — and only on the transient codes
-// queue_timeout and draining; mutating endpoints (/session, /prepare) and
-// prepared-statement execution are never re-sent, and non-transient errors
+// queue_timeout and draining; mutating endpoints (/session, /prepare,
+// /insert, /delete, /index/*) and prepared-statement execution are never
+// re-sent, and non-transient errors
 // (query errors, deadline/budget breaches, cancellations) fail immediately.
 type RetryPolicy struct {
 	// MaxAttempts is the total number of tries, first included (1 = no
@@ -232,6 +233,39 @@ func (c *Client) Explain(query, name string, opts *WireOptions) (string, error) 
 		return "", err
 	}
 	return resp.Explain, nil
+}
+
+// Insert inserts a closed TM expression (typically a tuple constructor) into
+// a table, reporting whether it was actually added (false: already present,
+// set semantics). Never retried — insertion is not idempotent.
+func (c *Client) Insert(table, value string) (bool, error) {
+	var resp MutateResponse
+	if err := c.do("POST", "/insert", insertRequest{Table: table, Value: value}, &resp); err != nil {
+		return false, err
+	}
+	return resp.Added, nil
+}
+
+// Delete removes every tuple of the table satisfying the predicate (with
+// varName bound to the candidate tuple), returning the number removed.
+func (c *Client) Delete(table, varName, predicate string) (int, error) {
+	var resp MutateResponse
+	if err := c.do("POST", "/delete", deleteRequest{Table: table, Var: varName, Predicate: predicate}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Deleted, nil
+}
+
+// CreateIndex registers and builds a persistent hash index on the table's
+// ordered attribute list.
+func (c *Client) CreateIndex(table string, attrs ...string) error {
+	return c.do("POST", "/index/create", indexRequest{Table: table, Attrs: attrs}, nil)
+}
+
+// DropIndex unregisters the persistent index on the table's ordered
+// attribute list.
+func (c *Client) DropIndex(table string, attrs ...string) error {
+	return c.do("POST", "/index/drop", indexRequest{Table: table, Attrs: attrs}, nil)
 }
 
 // Stats fetches the server's counters.

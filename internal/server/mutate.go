@@ -1,0 +1,157 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Mutation endpoints: data (POST /insert, /delete) and DDL (POST
+// /index/create, /index/drop) operations over the engine's typed mutation
+// surface. They ride the same drain gate and admission semaphore as queries —
+// a delete's predicate evaluation is engine work like any query — and their
+// errors map through the query taxonomy (422 query_error for unknown tables,
+// bad expressions, missing indexes). None of them are idempotent, so the
+// client's retry policy never replays them (see RetryPolicy).
+
+// insertRequest is the POST /insert body: Value is a closed TM expression
+// (typically a tuple constructor) inserted into Table.
+type insertRequest struct {
+	Table string `json:"table"`
+	Value string `json:"value"`
+}
+
+// deleteRequest is the POST /delete body: every tuple of Table satisfying
+// Predicate — with Var bound to the candidate tuple — is removed.
+type deleteRequest struct {
+	Table     string `json:"table"`
+	Var       string `json:"var"`
+	Predicate string `json:"predicate"`
+}
+
+// indexRequest is the POST /index/create and /index/drop body: the table and
+// the index's ordered attribute list.
+type indexRequest struct {
+	Table string   `json:"table"`
+	Attrs []string `json:"attrs"`
+}
+
+// MutateResponse is the response body of all four mutation endpoints. Added
+// is meaningful for /insert (set semantics: false when the tuple was already
+// present), Deleted for /delete, Index for the DDL pair.
+type MutateResponse struct {
+	RequestID string `json:"request_id"`
+	Table     string `json:"table"`
+	Added     bool   `json:"added,omitempty"`
+	Deleted   int    `json:"deleted,omitempty"`
+	Index     string `json:"index,omitempty"`
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req insertRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Table == "" || req.Value == "" {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "insert needs both table and value")
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	added, err := s.eng.Insert(req.Table, req.Value)
+	if err != nil {
+		s.writeEngineError(w, reqID, err)
+		return
+	}
+	s.inserts.Add(1)
+	writeJSON(w, http.StatusOK, reqID, MutateResponse{RequestID: reqID, Table: req.Table, Added: added})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req deleteRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Table == "" || req.Var == "" || req.Predicate == "" {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "delete needs table, var, and predicate")
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	n, err := s.eng.Delete(req.Table, req.Var, req.Predicate)
+	if err != nil {
+		s.writeEngineError(w, reqID, err)
+		return
+	}
+	s.deletes.Add(1)
+	writeJSON(w, http.StatusOK, reqID, MutateResponse{RequestID: reqID, Table: req.Table, Deleted: n})
+}
+
+func (s *Server) handleIndexCreate(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req indexRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Table == "" || len(req.Attrs) == 0 {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "index create needs table and attrs")
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	if err := s.eng.CreateIndex(req.Table, req.Attrs...); err != nil {
+		s.writeEngineError(w, reqID, err)
+		return
+	}
+	s.indexCreates.Add(1)
+	writeJSON(w, http.StatusOK, reqID, MutateResponse{
+		RequestID: reqID, Table: req.Table, Index: strings.Join(req.Attrs, ","),
+	})
+}
+
+func (s *Server) handleIndexDrop(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	if !s.begin(w, reqID) {
+		return
+	}
+	defer s.drain.leave()
+	var req indexRequest
+	if !decode(w, r, reqID, &req) {
+		return
+	}
+	if req.Table == "" || len(req.Attrs) == 0 {
+		writeError(w, http.StatusBadRequest, reqID, "bad_request", "index drop needs table and attrs")
+		return
+	}
+	if !s.admit(w, r, reqID) {
+		return
+	}
+	defer s.release()
+	if err := s.eng.DropIndex(req.Table, req.Attrs...); err != nil {
+		s.writeEngineError(w, reqID, err)
+		return
+	}
+	s.indexDrops.Add(1)
+	writeJSON(w, http.StatusOK, reqID, MutateResponse{
+		RequestID: reqID, Table: req.Table, Index: strings.Join(req.Attrs, ","),
+	})
+}

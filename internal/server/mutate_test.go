@@ -1,0 +1,137 @@
+package server
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestMutationEndpoints drives the four mutation endpoints through the typed
+// client: an insert becomes visible to queries, a delete removes it, the DDL
+// pair registers and unregisters an index (observable through the stats
+// counters), and the error taxonomy covers unknown tables and missing
+// indexes.
+func TestMutationEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrency: 4})
+	c := NewClient(hs.URL, nil)
+
+	const q = `SELECT y FROM Y y WHERE y.d = 424242`
+	before, err := c.Query(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Rows != 0 {
+		t.Fatalf("sentinel already present: %d rows", before.Rows)
+	}
+
+	added, err := c.Insert("Y", `(a = 2, b = 7, c = {1}, d = 424242)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !added {
+		t.Error("insert of a fresh tuple reported added=false")
+	}
+	// Set semantics: re-inserting the same tuple is a no-op.
+	added, err = c.Insert("Y", `(a = 2, b = 7, c = {1}, d = 424242)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added {
+		t.Error("duplicate insert reported added=true")
+	}
+	after, err := c.Query(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Rows != 1 {
+		t.Errorf("query sees %d rows after insert, want 1", after.Rows)
+	}
+
+	n, err := c.Delete("Y", "y", "y.d = 424242")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("delete removed %d rows, want 1", n)
+	}
+
+	if err := c.CreateIndex("Y", "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("Y", "d"); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserts != 2 || st.Deletes != 1 || st.IndexCreates != 1 || st.IndexDrops != 1 {
+		t.Errorf("mutation counters = %d/%d/%d/%d, want 2/1/1/1",
+			st.Inserts, st.Deletes, st.IndexCreates, st.IndexDrops)
+	}
+
+	// Error taxonomy: unknown table and missing index map to query_error.
+	var se *ServerError
+	if _, err := c.Insert("GHOST", `(a = 1)`); !errors.As(err, &se) || se.Code != "query_error" {
+		t.Errorf("insert into unknown table: err = %v, want query_error", err)
+	}
+	if err := c.DropIndex("Y", "d"); !errors.As(err, &se) || se.Code != "query_error" {
+		t.Errorf("drop of a missing index: err = %v, want query_error", err)
+	}
+	if _, err := c.Delete("Y", "y", "y.d"); !errors.As(err, &se) || se.Code != "query_error" {
+		t.Errorf("non-BOOL delete predicate: err = %v, want query_error", err)
+	}
+}
+
+// TestStatsSnapshotSeq pins the snapshot-identity contract concurrent
+// scrapers rely on: every /stats response carries a unique seq, strictly
+// increasing within any one scraper's sequence of calls, so two uncoordinated
+// scrapers can order their snapshots and compute deltas.
+func TestStatsSnapshotSeq(t *testing.T) {
+	_, hs := newTestServer(t, Config{MaxConcurrency: 4})
+
+	const scrapers, perScraper = 8, 25
+	seqs := make([][]uint64, scrapers)
+	var wg sync.WaitGroup
+	for g := 0; g < scrapers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(hs.URL, nil)
+			for i := 0; i < perScraper; i++ {
+				st, err := c.Stats()
+				if err != nil {
+					t.Errorf("scraper %d: %v", g, err)
+					return
+				}
+				seqs[g] = append(seqs[g], st.Seq)
+				if st.UnixNanos == 0 {
+					t.Errorf("scraper %d: snapshot without a timestamp", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var all []uint64
+	for g, s := range seqs {
+		for i := 1; i < len(s); i++ {
+			if s[i] <= s[i-1] {
+				t.Errorf("scraper %d: seq not strictly increasing: %d then %d", g, s[i-1], s[i])
+			}
+		}
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			t.Errorf("duplicate snapshot seq %d across scrapers", all[i])
+		}
+	}
+	if len(all) != scrapers*perScraper {
+		t.Errorf("collected %d seqs, want %d", len(all), scrapers*perScraper)
+	}
+}

@@ -122,6 +122,17 @@ type Server struct {
 	morselsDispatched atomic.Int64
 	morselsStolen     atomic.Int64
 	schedBusyNs       atomic.Int64
+
+	// mutation counters for /stats: successful data and DDL operations.
+	inserts      atomic.Uint64
+	deletes      atomic.Uint64
+	indexCreates atomic.Uint64
+	indexDrops   atomic.Uint64
+
+	// statsSeq numbers /stats snapshots: each response carries a unique,
+	// strictly increasing seq, so concurrent scrapers can order their
+	// snapshots and compute deltas without coordinating.
+	statsSeq atomic.Uint64
 }
 
 // New returns a server over eng.
@@ -141,6 +152,10 @@ func New(eng *engine.Engine, cfg Config) *Server {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("POST /execute", s.handleExecute)
 	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /index/create", s.handleIndexCreate)
+	mux.HandleFunc("POST /index/drop", s.handleIndexDrop)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -380,9 +395,16 @@ type explainResponse struct {
 	Explain   string `json:"explain"`
 }
 
-// StatsResponse is the GET /stats body.
+// StatsResponse is the GET /stats body. Every counter is cumulative since
+// server start (never reset), so any two snapshots yield a well-defined
+// delta; Seq and UnixNanos identify and order the snapshot itself.
 type StatsResponse struct {
-	RequestID      string            `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// Seq is unique and strictly increasing across /stats responses —
+	// concurrent scrapers can order their snapshots without coordination.
+	// UnixNanos is the wall-clock capture time.
+	Seq            uint64            `json:"seq"`
+	UnixNanos      int64             `json:"unix_nanos"`
 	Sessions       int               `json:"sessions"`
 	Prepared       int               `json:"prepared"`
 	InFlight       int               `json:"in_flight"`
@@ -409,6 +431,12 @@ type StatsResponse struct {
 	MorselsDispatched int64 `json:"morsels_dispatched"`
 	MorselsStolen     int64 `json:"morsels_stolen"`
 	SchedBusyNs       int64 `json:"sched_busy_ns"`
+
+	// Mutations: successful data and DDL operations served.
+	Inserts      uint64 `json:"inserts"`
+	Deletes      uint64 `json:"deletes"`
+	IndexCreates uint64 `json:"index_creates"`
+	IndexDrops   uint64 `json:"index_drops"`
 }
 
 // --- plumbing ---
@@ -744,6 +772,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, reqID, StatsResponse{
 		RequestID:      reqID,
+		Seq:            s.statsSeq.Add(1),
+		UnixNanos:      time.Now().UnixNano(),
 		Sessions:       sessions,
 		Prepared:       prepared,
 		InFlight:       s.InFlight(),
@@ -766,6 +796,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MorselsDispatched: s.morselsDispatched.Load(),
 		MorselsStolen:     s.morselsStolen.Load(),
 		SchedBusyNs:       s.schedBusyNs.Load(),
+
+		Inserts:      s.inserts.Load(),
+		Deletes:      s.deletes.Load(),
+		IndexCreates: s.indexCreates.Load(),
+		IndexDrops:   s.indexDrops.Load(),
 	})
 }
 

@@ -347,6 +347,26 @@ func (t *Table) CreateIndex(attrs ...string) error {
 	return nil
 }
 
+// DropIndex unregisters the index on the given ordered attribute list,
+// reporting whether it existed. The data is unchanged, so the epoch does not
+// advance. An in-flight query that already resolved the *HashIndex keeps
+// probing its snapshot — buckets are copy-on-write — but subsequent Index
+// lookups miss, which exec surfaces as a typed stale-index error and the
+// engine turns into one transparent replan.
+func (t *Table) DropIndex(attrs ...string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(attrs) == 0 {
+		return false
+	}
+	name := IndexName(attrs)
+	if _, ok := t.indexes[name]; !ok {
+		return false
+	}
+	delete(t.indexes, name)
+	return true
+}
+
 // buildIndexLocked builds a fresh index over the current rows. Caller holds
 // the write lock; attribute existence was validated by CreateIndex.
 func (t *Table) buildIndexLocked(attrs []string) *HashIndex {
@@ -485,6 +505,16 @@ func (db *DB) CreateIndex(table string, attrs ...string) error {
 		return fmt.Errorf("storage: unknown table %s", table)
 	}
 	return t.CreateIndex(attrs...)
+}
+
+// DropIndex unregisters the index on the table's ordered attribute list,
+// reporting whether it existed (see Table.DropIndex).
+func (db *DB) DropIndex(table string, attrs ...string) (bool, error) {
+	t, ok := db.Table(table)
+	if !ok {
+		return false, fmt.Errorf("storage: unknown table %s", table)
+	}
+	return t.DropIndex(attrs...), nil
 }
 
 // SealAll seals every table.

@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"tmdb/internal/server"
+)
+
+// ArtifactVersion is the artifact format version (bumped on incompatible
+// schema changes; the gate refuses mismatched versions).
+const ArtifactVersion = 1
+
+// Artifact is the metadata-stamped result of one workload run — the
+// BENCH_workload*.json family (see BENCHMARKS.md). Identity fields let the
+// gate refuse meaningless comparisons: SpecHash ties the run to the exact
+// workload definition, the HostInfo to the machine class.
+type Artifact struct {
+	Version int    `json:"version"`
+	Kind    string `json:"kind"` // always "workload"
+	// Workload identity.
+	Name     string  `json:"name"`
+	SpecHash string  `json:"spec_hash"`
+	Seed     uint64  `json:"seed"`
+	Scale    float64 `json:"scale"`
+	// Provenance.
+	GitRev      string   `json:"git_rev,omitempty"`
+	StartUnixNs int64    `json:"start_unix_ns,omitempty"`
+	Host        HostInfo `json:"host"`
+	// Warning marks a run whose numbers should not gate (e.g. a single-CPU
+	// host); the gate turns comparisons against it into explicit skips.
+	Warning string `json:"warning,omitempty"`
+	// Stages are the per-stage results, in spec order.
+	Stages []StageResult `json:"stages"`
+}
+
+// StageResult is one stage's measured outcome.
+type StageResult struct {
+	Name       string `json:"name"`
+	Clients    int    `json:"clients"`
+	DurationNs int64  `json:"duration_ns"`
+	// Ops counts completed operations (successful or failed); OpsPerSec is
+	// the stage throughput.
+	Ops       int64   `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Latency digests the merged per-client histograms.
+	Latency LatencySummary `json:"latency"`
+	// Errors counts unexplained failures by taxonomy code — a clean run has
+	// an empty map. Allowed counts failures the spec declared expected
+	// (op.allow_errors), kept separate so they are visible but not alarming.
+	Errors  map[string]int64 `json:"errors,omitempty"`
+	Allowed map[string]int64 `json:"allowed_errors,omitempty"`
+	// Stats is the server-side /stats delta across the stage.
+	Stats StatsDelta `json:"stats"`
+}
+
+// errorCount sums the unexplained failures.
+func (r *StageResult) errorCount() int64 {
+	var n int64
+	for _, c := range r.Errors {
+		n += c
+	}
+	return n
+}
+
+// StatsDelta is the change in the server's cumulative /stats counters across
+// a stage — well-defined because every counter is reset-free, and ordered
+// because each snapshot carries a strictly increasing seq.
+type StatsDelta struct {
+	// SeqSpan is how many /stats snapshots the server served between the
+	// stage's two scrapes (including other scrapers' — a sanity signal that
+	// the two snapshots really are distinct and ordered).
+	SeqSpan uint64 `json:"seq_span"`
+
+	Admitted      uint64 `json:"admitted"`
+	QueueTimeouts uint64 `json:"queue_timeouts"`
+	DrainRejects  uint64 `json:"drain_rejects"`
+
+	ClientGone       uint64 `json:"client_gone"`
+	DeadlineExceeded uint64 `json:"deadline_exceeded"`
+	BudgetExceeded   uint64 `json:"budget_exceeded"`
+	Canceled         uint64 `json:"canceled"`
+	Panics           uint64 `json:"panics"`
+
+	PlanCacheHits          uint64 `json:"plan_cache_hits"`
+	PlanCacheMisses        uint64 `json:"plan_cache_misses"`
+	PlanCacheEvictions     uint64 `json:"plan_cache_evictions"`
+	PlanCacheInvalidations uint64 `json:"plan_cache_invalidations"`
+
+	MorselsDispatched int64 `json:"morsels_dispatched"`
+	MorselsStolen     int64 `json:"morsels_stolen"`
+
+	Inserts      uint64 `json:"inserts"`
+	Deletes      uint64 `json:"deletes"`
+	IndexCreates uint64 `json:"index_creates"`
+	IndexDrops   uint64 `json:"index_drops"`
+}
+
+// statsDelta subtracts two snapshots field by field.
+func statsDelta(before, after *server.StatsResponse) StatsDelta {
+	return StatsDelta{
+		SeqSpan: after.Seq - before.Seq,
+
+		Admitted:      after.Admitted - before.Admitted,
+		QueueTimeouts: after.QueueTimeouts - before.QueueTimeouts,
+		DrainRejects:  after.DrainRejects - before.DrainRejects,
+
+		ClientGone:       after.ClientGone - before.ClientGone,
+		DeadlineExceeded: after.DeadlineExceeded - before.DeadlineExceeded,
+		BudgetExceeded:   after.BudgetExceeded - before.BudgetExceeded,
+		Canceled:         after.Canceled - before.Canceled,
+		Panics:           after.Panics - before.Panics,
+
+		PlanCacheHits:          after.PlanCache.Hits - before.PlanCache.Hits,
+		PlanCacheMisses:        after.PlanCache.Misses - before.PlanCache.Misses,
+		PlanCacheEvictions:     after.PlanCache.Evictions - before.PlanCache.Evictions,
+		PlanCacheInvalidations: after.PlanCache.Invalidations - before.PlanCache.Invalidations,
+
+		MorselsDispatched: after.MorselsDispatched - before.MorselsDispatched,
+		MorselsStolen:     after.MorselsStolen - before.MorselsStolen,
+
+		Inserts:      after.Inserts - before.Inserts,
+		Deletes:      after.Deletes - before.Deletes,
+		IndexCreates: after.IndexCreates - before.IndexCreates,
+		IndexDrops:   after.IndexDrops - before.IndexDrops,
+	}
+}
+
+// NewArtifact assembles an artifact for a finished run (StartUnixNs and
+// GitRev are the caller's to stamp — provenance the harness cannot know).
+func NewArtifact(spec *Spec, scale float64, stages []StageResult) *Artifact {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Artifact{
+		Version:  ArtifactVersion,
+		Kind:     "workload",
+		Name:     spec.Name,
+		SpecHash: spec.Hash(),
+		Seed:     spec.Seed,
+		Scale:    scale,
+		Host:     Host(),
+		Stages:   stages,
+	}
+}
+
+// WriteFile writes the artifact as indented JSON.
+func (a *Artifact) WriteFile(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadArtifact reads an artifact file, checking kind and version.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("workload: parsing artifact %s: %w", path, err)
+	}
+	if a.Kind != "workload" {
+		return nil, fmt.Errorf("workload: %s is a %q artifact, want kind \"workload\"", path, a.Kind)
+	}
+	if a.Version != ArtifactVersion {
+		return nil, fmt.Errorf("workload: %s is artifact version %d, this build reads %d", path, a.Version, ArtifactVersion)
+	}
+	return &a, nil
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+)
+
+// Workload gating (cmd/benchdiff -workload): compare two workload artifacts
+// stage by stage — a throughput floor (current ops/s must reach a fraction of
+// the baseline's) and a p99 ceiling (current p99 must stay within a multiple
+// of the baseline's). Mirroring the parallel-speedup gate, the comparison is
+// explicit about not running: incomparable hosts, artifact warnings, or
+// mismatched spec hashes produce a "skipped"/refused outcome with the reason
+// in the gate, never a silent pass.
+//
+// Regenerating an artifact:
+//
+//	go run ./cmd/tmbench -spec workloads/mixed.json -out BENCH_workload_mixed.json
+
+// StageGateResult is one compared stage.
+type StageGateResult struct {
+	Stage string `json:"stage"`
+	// Status is "ok", "failed", or "new" (stage present only in the current
+	// artifact — reported, never gated).
+	Status string `json:"status"`
+	// Throughput comparison: current / baseline ops per second.
+	BaseOpsPerSec float64 `json:"base_ops_per_sec"`
+	CurOpsPerSec  float64 `json:"cur_ops_per_sec"`
+	OpsRatio      float64 `json:"ops_ratio"`
+	// Latency comparison: current p99 / baseline p99 (0 baseline → not
+	// checked).
+	BaseP99Ns int64   `json:"base_p99_ns"`
+	CurP99Ns  int64   `json:"cur_p99_ns"`
+	P99Ratio  float64 `json:"p99_ratio"`
+	// Errors is the current stage's unexplained error count — any nonzero
+	// value fails the stage regardless of throughput.
+	Errors int64 `json:"errors"`
+}
+
+// WorkloadGate is the outcome of comparing two workload artifacts.
+type WorkloadGate struct {
+	// Status is "ok", "failed", or "skipped". Skipped is an explicit outcome,
+	// not a pass: the comparison did not run and Reason says why.
+	Status string `json:"status"`
+	Reason string `json:"reason,omitempty"`
+	// MinOpsRatio is the throughput floor (current/baseline), MaxP99Ratio the
+	// latency ceiling (current/baseline).
+	MinOpsRatio float64           `json:"min_ops_ratio"`
+	MaxP99Ratio float64           `json:"max_p99_ratio"`
+	Checked     []StageGateResult `json:"checked,omitempty"`
+	Failures    int               `json:"failures"`
+	// Missing lists baseline stages absent from the current artifact — a
+	// failure (losing a stage silently would un-gate it).
+	Missing []string `json:"missing,omitempty"`
+}
+
+// GateWorkload compares cur against base. The comparison is refused (error)
+// when the artifacts measure different workloads — mismatched spec hashes or
+// names make every number incomparable — and skipped (explicit status) when
+// either artifact carries a warning or the hosts differ in processor count
+// enough that throughput ratios are noise.
+func GateWorkload(base, cur *Artifact, minOpsRatio, maxP99Ratio float64) (*WorkloadGate, error) {
+	if base.SpecHash != cur.SpecHash {
+		return nil, fmt.Errorf("artifacts measure different workloads: baseline %s (spec %s) vs current %s (spec %s) — regenerate both from the same spec with: go run ./cmd/tmbench -spec workloads/%s.json",
+			base.Name, base.SpecHash, cur.Name, cur.SpecHash, base.Name)
+	}
+	g := &WorkloadGate{MinOpsRatio: minOpsRatio, MaxP99Ratio: maxP99Ratio}
+	switch {
+	case base.Warning != "":
+		g.Status = "skipped"
+		g.Reason = "baseline artifact warning: " + base.Warning
+	case cur.Warning != "":
+		g.Status = "skipped"
+		g.Reason = "current artifact warning: " + cur.Warning
+	case base.Host.GOMAXPROCS != cur.Host.GOMAXPROCS:
+		g.Status = "skipped"
+		g.Reason = fmt.Sprintf("host mismatch: baseline ran at GOMAXPROCS=%d, current at %d — throughput ratios are not comparable",
+			base.Host.GOMAXPROCS, cur.Host.GOMAXPROCS)
+	case base.Scale != cur.Scale:
+		g.Status = "skipped"
+		g.Reason = fmt.Sprintf("scale mismatch: baseline ran at scale %g, current at %g",
+			base.Scale, cur.Scale)
+	}
+	if g.Status == "skipped" {
+		g.Reason += fmt.Sprintf(" — regenerate both on one host with: go run ./cmd/tmbench -spec workloads/%s.json", base.Name)
+		return g, nil
+	}
+
+	g.Status = "ok"
+	baseStages := map[string]*StageResult{}
+	for i := range base.Stages {
+		baseStages[base.Stages[i].Name] = &base.Stages[i]
+	}
+	curNames := map[string]bool{}
+	for i := range cur.Stages {
+		cs := &cur.Stages[i]
+		curNames[cs.Name] = true
+		r := StageGateResult{
+			Stage:        cs.Name,
+			CurOpsPerSec: cs.OpsPerSec,
+			CurP99Ns:     cs.Latency.P99Ns,
+			Errors:       cs.errorCount(),
+		}
+		bs, ok := baseStages[cs.Name]
+		if !ok {
+			r.Status = "new"
+			g.Checked = append(g.Checked, r)
+			continue
+		}
+		r.BaseOpsPerSec = bs.OpsPerSec
+		r.BaseP99Ns = bs.Latency.P99Ns
+		if bs.OpsPerSec > 0 {
+			r.OpsRatio = cs.OpsPerSec / bs.OpsPerSec
+		}
+		if bs.Latency.P99Ns > 0 {
+			r.P99Ratio = float64(cs.Latency.P99Ns) / float64(bs.Latency.P99Ns)
+		}
+		r.Status = "ok"
+		if r.Errors > 0 ||
+			(bs.OpsPerSec > 0 && r.OpsRatio < minOpsRatio) ||
+			(bs.Latency.P99Ns > 0 && r.P99Ratio > maxP99Ratio) {
+			r.Status = "failed"
+			g.Failures++
+		}
+		g.Checked = append(g.Checked, r)
+	}
+	for _, bs := range base.Stages {
+		if !curNames[bs.Name] {
+			g.Missing = append(g.Missing, bs.Name)
+			g.Failures++
+		}
+	}
+	if g.Failures > 0 {
+		g.Status = "failed"
+	}
+	return g, nil
+}
+
+// Print renders the gate outcome.
+func (g *WorkloadGate) Print(w io.Writer) {
+	if g.Status == "skipped" {
+		fmt.Fprintf(w, "workload gate: SKIPPED — %s\n", g.Reason)
+		return
+	}
+	fmt.Fprintf(w, "workload gate (ops floor %.2fx, p99 ceiling %.2fx)\n", g.MinOpsRatio, g.MaxP99Ratio)
+	fmt.Fprintf(w, "%-14s %12s %12s %7s %9s %9s %6s  %s\n",
+		"stage", "base op/s", "cur op/s", "ratio", "base p99", "cur p99", "errs", "status")
+	for _, r := range g.Checked {
+		fmt.Fprintf(w, "%-14s %12.1f %12.1f %6.2fx %9s %9s %6d  %s\n",
+			r.Stage, r.BaseOpsPerSec, r.CurOpsPerSec, r.OpsRatio,
+			fmtNs(r.BaseP99Ns), fmtNs(r.CurP99Ns), r.Errors, r.Status)
+	}
+	for _, name := range g.Missing {
+		fmt.Fprintf(w, "%-14s baseline stage missing from current artifact\n", name)
+	}
+	if g.Failures > 0 {
+		fmt.Fprintf(w, "%d stage(s) outside the gate bounds\n", g.Failures)
+	}
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func gateArtifact(hash string, stages ...StageResult) *Artifact {
+	return &Artifact{
+		Version: ArtifactVersion, Kind: "workload", Name: "mixed",
+		SpecHash: hash, Scale: 1,
+		Host:   HostInfo{GoVersion: "go1.x", GOMAXPROCS: 4, NumCPU: 4},
+		Stages: stages,
+	}
+}
+
+func gateStage(name string, ops float64, p99 int64) StageResult {
+	return StageResult{
+		Name: name, Clients: 2, Ops: 100, OpsPerSec: ops,
+		Latency: LatencySummary{Count: 100, P50Ns: p99 / 2, P95Ns: p99 - 1, P99Ns: p99, MaxNs: p99 * 2},
+	}
+}
+
+func TestGateWorkloadOK(t *testing.T) {
+	base := gateArtifact("abc", gateStage("warm", 1000, 1_000_000), gateStage("churn", 500, 2_000_000))
+	cur := gateArtifact("abc", gateStage("warm", 950, 1_100_000), gateStage("churn", 520, 1_900_000))
+	g, err := GateWorkload(base, cur, 0.8, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Status != "ok" || g.Failures != 0 || len(g.Checked) != 2 {
+		t.Fatalf("gate = %+v", g)
+	}
+}
+
+func TestGateWorkloadFailures(t *testing.T) {
+	base := gateArtifact("abc", gateStage("warm", 1000, 1_000_000), gateStage("churn", 500, 2_000_000))
+
+	t.Run("throughput below floor", func(t *testing.T) {
+		cur := gateArtifact("abc", gateStage("warm", 500, 1_000_000), gateStage("churn", 500, 2_000_000))
+		g, _ := GateWorkload(base, cur, 0.8, 1.5)
+		if g.Status != "failed" || g.Failures != 1 || g.Checked[0].Status != "failed" {
+			t.Fatalf("gate = %+v", g)
+		}
+	})
+	t.Run("p99 above ceiling", func(t *testing.T) {
+		cur := gateArtifact("abc", gateStage("warm", 1000, 5_000_000), gateStage("churn", 500, 2_000_000))
+		g, _ := GateWorkload(base, cur, 0.8, 1.5)
+		if g.Status != "failed" || g.Checked[0].Status != "failed" {
+			t.Fatalf("gate = %+v", g)
+		}
+	})
+	t.Run("unexplained errors fail regardless of speed", func(t *testing.T) {
+		bad := gateStage("warm", 2000, 500_000)
+		bad.Errors = map[string]int64{"internal": 3}
+		cur := gateArtifact("abc", bad, gateStage("churn", 500, 2_000_000))
+		g, _ := GateWorkload(base, cur, 0.8, 1.5)
+		if g.Status != "failed" || g.Checked[0].Errors != 3 {
+			t.Fatalf("gate = %+v", g)
+		}
+	})
+	t.Run("missing stage fails", func(t *testing.T) {
+		cur := gateArtifact("abc", gateStage("warm", 1000, 1_000_000))
+		g, _ := GateWorkload(base, cur, 0.8, 1.5)
+		if g.Status != "failed" || len(g.Missing) != 1 || g.Missing[0] != "churn" {
+			t.Fatalf("gate = %+v", g)
+		}
+	})
+	t.Run("new stage reported not gated", func(t *testing.T) {
+		cur := gateArtifact("abc", gateStage("warm", 1000, 1_000_000),
+			gateStage("churn", 500, 2_000_000), gateStage("extra", 1, 1))
+		g, _ := GateWorkload(base, cur, 0.8, 1.5)
+		if g.Status != "ok" {
+			t.Fatalf("new stage should not fail the gate: %+v", g)
+		}
+		if g.Checked[2].Status != "new" {
+			t.Fatalf("extra stage status = %q, want new", g.Checked[2].Status)
+		}
+	})
+}
+
+func TestGateWorkloadRefusesAndSkips(t *testing.T) {
+	base := gateArtifact("abc", gateStage("warm", 1000, 1_000_000))
+
+	t.Run("spec hash mismatch refused", func(t *testing.T) {
+		cur := gateArtifact("xyz", gateStage("warm", 1000, 1_000_000))
+		if _, err := GateWorkload(base, cur, 0.8, 1.5); err == nil {
+			t.Fatal("mismatched spec hashes compared")
+		} else if !strings.Contains(err.Error(), "different workloads") {
+			t.Errorf("error does not explain the refusal: %v", err)
+		}
+	})
+	skips := []struct {
+		name   string
+		mutate func(b, c *Artifact)
+		why    string
+	}{
+		{"baseline warning", func(b, c *Artifact) { b.Warning = "single CPU" }, "baseline artifact warning"},
+		{"current warning", func(b, c *Artifact) { c.Warning = "single CPU" }, "current artifact warning"},
+		{"gomaxprocs mismatch", func(b, c *Artifact) { c.Host.GOMAXPROCS = 1 }, "host mismatch"},
+		{"scale mismatch", func(b, c *Artifact) { c.Scale = 0.1 }, "scale mismatch"},
+	}
+	for _, tc := range skips {
+		t.Run(tc.name, func(t *testing.T) {
+			b := gateArtifact("abc", gateStage("warm", 1000, 1_000_000))
+			c := gateArtifact("abc", gateStage("warm", 10, 99_000_000)) // terrible numbers: must still skip
+			tc.mutate(b, c)
+			g, err := GateWorkload(b, c, 0.8, 1.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.Status != "skipped" {
+				t.Fatalf("status = %q, want skipped", g.Status)
+			}
+			if !strings.Contains(g.Reason, tc.why) {
+				t.Errorf("reason %q does not name the cause %q", g.Reason, tc.why)
+			}
+			if !strings.Contains(g.Reason, "go run ./cmd/tmbench") {
+				t.Errorf("reason %q lost the regeneration recipe", g.Reason)
+			}
+		})
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload is the declarative workload harness behind cmd/tmbench: a
+// versioned JSON spec describes staged mixes of operations (queries, prepared
+// re-executions, mutations, DDL) run by concurrent clients against the
+// HTTP/JSON server, and the runner records per-stage throughput, HDR-style
+// latency histograms, an error taxonomy, and server /stats deltas into a
+// metadata-stamped artifact cmd/benchdiff can gate on.
+package workload
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hist is an HDR-style log-linear latency histogram: values bucket by
+// power-of-two exponent, each exponent range split into linear sub-buckets,
+// bounding the relative error of any recorded value by ~6% while covering
+// nanoseconds to hours in a fixed footprint of a few KiB. The zero value is ready to use. Not safe for concurrent
+// use — the runner keeps one per client and merges (Merge is commutative
+// and associative, exercised by the unit tests).
+type Hist struct {
+	counts [histBuckets]int64
+	n      int64
+	max    int64
+	sum    int64
+}
+
+const (
+	// histSubBits is log2 of the linear sub-buckets per exponent range.
+	histSubBits  = 5
+	histSub      = 1 << histSubBits // 32
+	histExpMax   = 64 - histSubBits // exponent ranges beyond the linear region
+	histBuckets  = histSub * histExpMax
+	histMaxValue = int64(1)<<62 - 1
+)
+
+// bucketOf maps a non-negative value to its bucket index. Values below
+// histSub land in the exact linear region (bucket == value); above it, the
+// exponent range is bits.Len64(v)-histSubBits and the top histSubBits bits
+// select the sub-bucket (only the upper half of each range's sub-buckets is
+// populated, which keeps the index monotone in v). Bucket widths are 2^exp,
+// so the relative error of any value is at most 1/(histSub/2) ≈ 6%.
+func bucketOf(v int64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(uint64(v)) - histSubBits // ≥ 1 for v ≥ histSub
+	sub := int(v>>uint(exp)) & (histSub - 1)
+	return exp*histSub + sub
+}
+
+// bucketLow returns the smallest value mapping to bucket i — the
+// conservative (under-estimating) representative used by Percentile.
+func bucketLow(i int) int64 {
+	exp := i / histSub
+	sub := int64(i % histSub)
+	if exp == 0 {
+		return sub
+	}
+	return sub << uint(exp)
+}
+
+// Record adds one observation. Negative values clamp to zero, absurd values
+// to the histogram's ceiling — a latency recorder must never panic.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	if v > histMaxValue {
+		v = histMaxValue
+	}
+	h.counts[bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Merge folds other into h (commutative: merging a set of histograms in any
+// order yields identical counts, max, and percentiles).
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *Hist) Count() int64 { return h.n }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Hist) Max() int64 { return h.max }
+
+// Mean returns the exact arithmetic mean (0 when empty) — the sum is
+// tracked exactly, not reconstructed from buckets.
+func (h *Hist) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Percentile returns the value at quantile p in [0, 100]: the lower bound of
+// the bucket containing the ceil(p/100·n)-th observation (so the reported
+// p99 never exceeds the true p99 by more than the bucket's width, and the
+// exact Max is substituted at the top). 0 when empty.
+func (h *Hist) Percentile(p float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(p/100*float64(h.n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank >= h.n {
+		return h.max
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// LatencySummary is the artifact-facing digest of a histogram, in
+// nanoseconds.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  int64   `json:"p50_ns"`
+	P95Ns  int64   `json:"p95_ns"`
+	P99Ns  int64   `json:"p99_ns"`
+	MaxNs  int64   `json:"max_ns"`
+}
+
+// Summary digests the histogram for the artifact.
+func (h *Hist) Summary() LatencySummary {
+	return LatencySummary{
+		Count:  h.n,
+		MeanNs: h.Mean(),
+		P50Ns:  h.Percentile(50),
+		P95Ns:  h.Percentile(95),
+		P99Ns:  h.Percentile(99),
+		MaxNs:  h.max,
+	}
+}
+
+// String renders a short human-readable digest (for logs and the tmbench
+// report).
+func (h *Hist) String() string { return h.Summary().String() }
+
+// String renders the digest for logs and the tmbench report.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("p50=%s p95=%s p99=%s max=%s",
+		fmtNs(s.P50Ns), fmtNs(s.P95Ns), fmtNs(s.P99Ns), fmtNs(s.MaxNs))
+}
+
+// fmtNs renders nanoseconds with a human unit.
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// TestHistEmpty: the zero histogram reports zeros everywhere.
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty hist: count=%d max=%d mean=%f", h.Count(), h.Max(), h.Mean())
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("empty hist p%g = %d, want 0", p, got)
+		}
+	}
+	s := h.Summary()
+	if s != (LatencySummary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+// TestHistSingleSample: one observation is every percentile and the max.
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Record(1500)
+	if h.Count() != 1 || h.Max() != 1500 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if h.Mean() != 1500 {
+		t.Errorf("mean = %f, want 1500", h.Mean())
+	}
+	for _, p := range []float64{1, 50, 99, 100} {
+		if got := h.Percentile(p); got != 1500 {
+			t.Errorf("p%g = %d, want 1500 (rank 1 of 1 is the max)", p, got)
+		}
+	}
+}
+
+// TestHistBucketBoundaries: the linear region is exact, and above it every
+// value maps to a bucket whose lower bound is within the documented ~6%
+// relative error, monotonically.
+func TestHistBucketBoundaries(t *testing.T) {
+	// Linear region: exact.
+	for v := int64(0); v < histSub; v++ {
+		if b := bucketOf(v); bucketLow(b) != v {
+			t.Fatalf("linear region v=%d: bucketLow(bucketOf) = %d", v, bucketLow(b))
+		}
+	}
+	// Power-of-two boundaries and their neighbors, plus random values.
+	checks := []int64{histSub - 1, histSub, histSub + 1, 63, 64, 65, 127, 128, 1<<20 - 1, 1 << 20, 1<<40 + 12345}
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 1000; i++ {
+		checks = append(checks, rng.Int64N(int64(1)<<50))
+	}
+	prev := -1
+	for _, v := range checks {
+		b := bucketOf(v)
+		low := bucketLow(b)
+		if low > v {
+			t.Fatalf("v=%d: bucket lower bound %d exceeds the value", v, low)
+		}
+		if v >= histSub && float64(v-low) > 0.0626*float64(v) {
+			t.Errorf("v=%d: lower bound %d off by more than ~6%%", v, low)
+		}
+		_ = prev
+	}
+	// Monotonicity: increasing values never map to a smaller bucket.
+	last := 0
+	for v := int64(0); v < 100000; v += 7 {
+		b := bucketOf(v)
+		if b < last {
+			t.Fatalf("bucketOf not monotone at v=%d: %d after %d", v, b, last)
+		}
+		last = b
+	}
+}
+
+// TestHistMergeCommutative: merging a set of histograms in any order yields
+// identical counts, max, mean, and percentiles — the property the runner
+// relies on when folding per-client histograms into the stage digest.
+func TestHistMergeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	parts := make([]*Hist, 5)
+	for i := range parts {
+		parts[i] = &Hist{}
+		for j := 0; j < 500; j++ {
+			parts[i].Record(rng.Int64N(10_000_000))
+		}
+	}
+	var fwd, rev, interleaved Hist
+	for _, p := range parts {
+		fwd.Merge(p)
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.Merge(parts[i])
+	}
+	for _, i := range []int{2, 0, 4, 1, 3} {
+		interleaved.Merge(parts[i])
+	}
+	for _, other := range []*Hist{&rev, &interleaved} {
+		if fwd.Count() != other.Count() || fwd.Max() != other.Max() || fwd.Mean() != other.Mean() {
+			t.Fatalf("merge order changed count/max/mean")
+		}
+		for _, p := range []float64{50, 95, 99, 100} {
+			if fwd.Percentile(p) != other.Percentile(p) {
+				t.Errorf("merge order changed p%g: %d vs %d", p, fwd.Percentile(p), other.Percentile(p))
+			}
+		}
+		if fwd.counts != other.counts {
+			t.Error("merge order changed bucket counts")
+		}
+	}
+	// Merging nil and merging an empty histogram are no-ops.
+	before := fwd.Summary()
+	fwd.Merge(nil)
+	fwd.Merge(&Hist{})
+	if fwd.Summary() != before {
+		t.Error("nil/empty merge changed the summary")
+	}
+}
+
+// TestHistPercentileOrder: percentiles are monotone in p and bracket the
+// recorded range.
+func TestHistPercentileOrder(t *testing.T) {
+	var h Hist
+	for v := int64(1); v <= 10000; v++ {
+		h.Record(v * 1000)
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		got := h.Percentile(p)
+		if got < prev {
+			t.Fatalf("p%g = %d < previous %d", p, got, prev)
+		}
+		prev = got
+	}
+	if h.Percentile(100) != h.Max() {
+		t.Errorf("p100 = %d, want max %d", h.Percentile(100), h.Max())
+	}
+	// p50 of the uniform ramp should sit near the middle, within bucket error.
+	p50 := h.Percentile(50)
+	if p50 < 4_500_000 || p50 > 5_500_000 {
+		t.Errorf("p50 = %d, want ≈5_000_000", p50)
+	}
+	// Clamping: negative and absurd values must not panic.
+	h.Record(-5)
+	h.Record(int64(1) << 62)
+	if h.Max() != histMaxValue {
+		t.Errorf("max after clamp = %d, want %d", h.Max(), histMaxValue)
+	}
+}

@@ -1,0 +1,340 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"math/rand/v2"
+
+	"tmdb/internal/datagen"
+	"tmdb/internal/engine"
+	"tmdb/internal/server"
+)
+
+// OpenEngine builds the engine a spec's data section describes. Base sizes
+// per schema are fixed; Data.Scale multiplies the row counts and Data.Skew
+// passes through to the xyz generator. The spec's Seed seeds the data too,
+// so a fixed seed reproduces the dataset exactly.
+func OpenEngine(s *Spec) (*engine.Engine, error) {
+	scale := s.Data.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	n := func(base int) int {
+		v := int(float64(base) * scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	seed := int64(s.Seed)
+	switch s.Data.Schema {
+	case "xyz":
+		cat, db := datagen.XYZ(datagen.Spec{
+			NX: n(120), NY: n(360), NZ: n(240), Keys: n(24),
+			DanglingFrac: 0.25, SetAttrCard: 3, SkewFrac: s.Data.Skew, Seed: seed,
+		})
+		return engine.New(cat, db), nil
+	case "company":
+		cat, db := datagen.Company(n(20), n(160), seed)
+		return engine.New(cat, db), nil
+	case "table1":
+		cat, db := datagen.Table1()
+		return engine.New(cat, db), nil
+	case "rs":
+		cat, db := datagen.RS(n(40), n(100), n(8), 0.3, seed)
+		return engine.New(cat, db), nil
+	}
+	return nil, fmt.Errorf("workload: unknown data schema %q", s.Data.Schema)
+}
+
+// ServerConfig maps the spec's server section onto a server.Config.
+func (s *Spec) ServerConfig() server.Config {
+	return server.Config{
+		MaxConcurrency: s.Server.MaxConcurrency,
+		QueueTimeout:   time.Duration(s.Server.QueueTimeoutMs) * time.Millisecond,
+	}
+}
+
+// Runner drives one spec against a server and produces the artifact's stage
+// results. Base addresses the server's HTTP API (e.g. an httptest.Server URL
+// for in-process runs, or a remote tmserver).
+type Runner struct {
+	Base string
+	Spec *Spec
+	// Scale multiplies every stage's duration and ops budget (CI smoke runs
+	// use a small fraction). 0 means 1.0.
+	Scale float64
+	// Logf, when set, receives one progress line per stage.
+	Logf func(format string, args ...any)
+}
+
+// stageBudget resolves a stage's scaled stop conditions.
+func (r *Runner) stageBudget(st *StageSpec) (time.Duration, int64) {
+	scale := r.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	var d time.Duration
+	if st.DurationMs > 0 {
+		d = time.Duration(float64(st.DurationMs)*scale) * time.Millisecond
+		if d < time.Millisecond {
+			d = time.Millisecond
+		}
+	}
+	var ops int64
+	if st.Ops > 0 {
+		ops = int64(float64(st.Ops) * scale)
+		if ops < 1 {
+			ops = 1
+		}
+	}
+	return d, ops
+}
+
+// Run executes every stage in order and returns their results. The error is
+// non-nil only for harness-level failures (unreachable server, broken
+// prepare); operation-level errors are recorded in the stage's taxonomy.
+func (r *Runner) Run() ([]StageResult, error) {
+	probe := server.NewClient(r.Base, nil)
+	if err := probe.Health(); err != nil {
+		return nil, fmt.Errorf("workload: server not healthy: %w", err)
+	}
+	results := make([]StageResult, 0, len(r.Spec.Stages))
+	for i := range r.Spec.Stages {
+		res, err := r.runStage(i, probe)
+		if err != nil {
+			return results, err
+		}
+		if r.Logf != nil {
+			r.Logf("stage %-12s %6d ops %8.1f op/s  %s  errors=%d",
+				res.Name, res.Ops, res.OpsPerSec, res.Latency, res.errorCount())
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// clientState is one driver goroutine's working set.
+type clientState struct {
+	c    *server.Client
+	rng  *rand.Rand
+	hist Hist
+	// errs / allowed count failures by taxonomy code.
+	errs    map[string]int64
+	allowed map[string]int64
+	ops     int64
+}
+
+func (r *Runner) runStage(idx int, probe *server.Client) (StageResult, error) {
+	st := &r.Spec.Stages[idx]
+	duration, opsBudget := r.stageBudget(st)
+	before, err := probe.Stats()
+	if err != nil {
+		return StageResult{}, fmt.Errorf("workload: stage %s: pre-stats: %w", st.Name, err)
+	}
+
+	// Weighted pick table: cumulative weights over the mix.
+	cum := make([]int, len(st.Mix))
+	total := 0
+	for i, op := range st.Mix {
+		total += op.Weight
+		cum[i] = total
+	}
+
+	var (
+		opsDone  atomic.Int64 // shared ops budget
+		seq      atomic.Int64 // $SEQ source, unique per call within the stage
+		deadline time.Time
+	)
+	start := time.Now()
+	if duration > 0 {
+		deadline = start.Add(duration)
+	}
+
+	clients := make([]*clientState, st.Clients)
+	var wg sync.WaitGroup
+	errCh := make(chan error, st.Clients)
+	for ci := 0; ci < st.Clients; ci++ {
+		cs := &clientState{
+			c:       server.NewClient(r.Base, nil),
+			rng:     rand.New(rand.NewPCG(r.Spec.Seed, uint64(idx)<<32|uint64(ci))),
+			errs:    map[string]int64{},
+			allowed: map[string]int64{},
+		}
+		clients[ci] = cs
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.driveClient(cs, st, cum, total, &opsDone, opsBudget, &seq, deadline); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return StageResult{}, fmt.Errorf("workload: stage %s: %w", st.Name, err)
+	}
+
+	after, err := probe.Stats()
+	if err != nil {
+		return StageResult{}, fmt.Errorf("workload: stage %s: post-stats: %w", st.Name, err)
+	}
+
+	res := StageResult{
+		Name:       st.Name,
+		Clients:    st.Clients,
+		DurationNs: elapsed.Nanoseconds(),
+		Errors:     map[string]int64{},
+		Allowed:    map[string]int64{},
+		Stats:      statsDelta(before, after),
+	}
+	var merged Hist
+	for _, cs := range clients {
+		merged.Merge(&cs.hist)
+		res.Ops += cs.ops
+		for code, n := range cs.errs {
+			res.Errors[code] += n
+		}
+		for code, n := range cs.allowed {
+			res.Allowed[code] += n
+		}
+	}
+	res.Latency = merged.Summary()
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.OpsPerSec = float64(res.Ops) / secs
+	}
+	return res, nil
+}
+
+// driveClient is one goroutine's stage loop: open a session, register the
+// prepared statements, then draw weighted ops until a stop condition.
+// Harness-level failures (session or prepare breakage) abort; per-op errors
+// are recorded and the loop continues.
+func (r *Runner) driveClient(cs *clientState, st *StageSpec, cum []int, total int,
+	opsDone *atomic.Int64, opsBudget int64, seq *atomic.Int64, deadline time.Time) error {
+	if _, err := cs.c.NewSession(server.WireOptions{}); err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+	defer cs.c.CloseSession()
+	for _, p := range r.Spec.Prepare {
+		if _, err := cs.c.Prepare(p.Name, p.Query); err != nil {
+			return fmt.Errorf("prepare %s: %w", p.Name, err)
+		}
+	}
+	for {
+		if opsBudget > 0 && opsDone.Add(1) > opsBudget {
+			return nil
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil
+		}
+		op := &st.Mix[pickWeighted(cs.rng, cum, total)]
+		t0 := time.Now()
+		err := r.execOp(cs.c, op, seq)
+		cs.hist.Record(time.Since(t0).Nanoseconds())
+		cs.ops++
+		if err != nil {
+			code := errCode(err)
+			if allowedCode(op, code) {
+				cs.allowed[code]++
+			} else {
+				cs.errs[code]++
+			}
+		}
+	}
+}
+
+// pickWeighted draws an index from the cumulative weight table.
+func pickWeighted(rng *rand.Rand, cum []int, total int) int {
+	n := rng.IntN(total)
+	for i, c := range cum {
+		if n < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+// execOp performs one operation against the server.
+func (r *Runner) execOp(c *server.Client, op *OpSpec, seq *atomic.Int64) error {
+	switch op.Op {
+	case OpQuery:
+		_, err := c.Query(op.Query, op.Options)
+		return err
+	case OpPrepared:
+		_, err := c.Execute(op.Name, op.Options)
+		return err
+	case OpExplain:
+		_, err := c.Explain(op.Query, "", op.Options)
+		return err
+	case OpInsert:
+		_, err := c.Insert(op.Table, subSeq(op.Value, seq))
+		return err
+	case OpDelete:
+		_, err := c.Delete(op.Table, op.Var, subSeq(op.Predicate, seq))
+		return err
+	case OpIndexCreate:
+		return c.CreateIndex(op.Table, op.Attrs...)
+	case OpIndexDrop:
+		return c.DropIndex(op.Table, op.Attrs...)
+	case OpStats:
+		_, err := c.Stats()
+		return err
+	}
+	return fmt.Errorf("unknown op %q", op.Op)
+}
+
+// subSeq substitutes the $SEQ token with a stage-unique increasing integer.
+// The counter only advances when the template uses it.
+func subSeq(template string, seq *atomic.Int64) string {
+	if !strings.Contains(template, "$SEQ") {
+		return template
+	}
+	return strings.ReplaceAll(template, "$SEQ", strconv.FormatInt(seq.Add(1), 10))
+}
+
+// errCode maps an operation error onto the taxonomy bucket recorded in the
+// artifact: the server's structured code when there is one, "transport"
+// for network-level failures.
+func errCode(err error) string {
+	var se *server.ServerError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return "transport"
+}
+
+// allowedCode reports whether the op's spec explains this error code.
+func allowedCode(op *OpSpec, code string) bool {
+	for _, a := range op.AllowErrors {
+		if a == code {
+			return true
+		}
+	}
+	return false
+}
+
+// HostInfo captures the machine identity stamped into artifacts.
+type HostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
+// Host returns the current process's host info.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}

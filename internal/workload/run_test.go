@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"tmdb/internal/server"
+)
+
+// smokeRun parses a spec, opens the engine and server it describes, and runs
+// it in-process — the same path cmd/tmbench takes.
+func smokeRun(t *testing.T, specJSON string) (*Spec, []StageResult) {
+	t.Helper()
+	spec, err := ParseSpec([]byte(specJSON))
+	if err != nil {
+		t.Fatalf("spec rejected: %v", err)
+	}
+	eng, err := OpenEngine(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(server.New(eng, spec.ServerConfig()))
+	defer hs.Close()
+	r := &Runner{Base: hs.URL, Spec: spec, Logf: t.Logf}
+	stages, err := r.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return spec, stages
+}
+
+// TestRunMixedSmoke drives a small mixed read/write workload end to end and
+// checks the artifact invariants the acceptance criteria name: per-stage
+// throughput, latency percentiles, and zero unexplained error-taxonomy
+// entries.
+func TestRunMixedSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+	spec, stages := smokeRun(t, `{
+	  "version": 1, "name": "smoke-mixed", "seed": 7,
+	  "data": {"schema": "xyz", "scale": 0.2},
+	  "server": {"max_concurrency": 4},
+	  "prepare": [{"name": "point", "query": "SELECT x FROM X x WHERE x.b = 3"}],
+	  "stages": [
+	    {"name": "reads", "clients": 3, "ops": 60, "mix": [
+	      {"op": "query", "weight": 3, "query": "SELECT x FROM X x WHERE x.b = 3"},
+	      {"op": "prepared", "weight": 2, "name": "point"},
+	      {"op": "stats", "weight": 1}
+	    ]},
+	    {"name": "writes", "clients": 2, "ops": 40, "mix": [
+	      {"op": "insert", "weight": 2, "table": "Y", "value": "(a = $SEQ, b = 7, c = {1}, d = 424242)"},
+	      {"op": "delete", "weight": 1, "table": "Y", "var": "y", "predicate": "y.d = 424242"},
+	      {"op": "query", "weight": 1, "query": "SELECT y FROM Y y WHERE y.b = 7"}
+	    ]}
+	  ]
+	}`)
+
+	if len(stages) != 2 {
+		t.Fatalf("got %d stages, want 2", len(stages))
+	}
+	for _, st := range stages {
+		if st.Ops == 0 || st.OpsPerSec <= 0 {
+			t.Errorf("stage %s: ops=%d ops/s=%f", st.Name, st.Ops, st.OpsPerSec)
+		}
+		if st.Latency.Count != st.Ops {
+			t.Errorf("stage %s: histogram count %d != ops %d", st.Name, st.Latency.Count, st.Ops)
+		}
+		if st.Latency.P50Ns <= 0 || st.Latency.P99Ns < st.Latency.P50Ns || st.Latency.MaxNs < st.Latency.P99Ns {
+			t.Errorf("stage %s: implausible latency summary %+v", st.Name, st.Latency)
+		}
+		if n := st.errorCount(); n != 0 {
+			t.Errorf("stage %s: %d unexplained errors: %v", st.Name, n, st.Errors)
+		}
+	}
+	reads, writes := stages[0], stages[1]
+	if reads.Stats.Admitted == 0 {
+		t.Errorf("reads stage admitted no queries: %+v", reads.Stats)
+	}
+	if writes.Stats.Inserts == 0 {
+		t.Errorf("writes stage recorded no inserts in the /stats delta: %+v", writes.Stats)
+	}
+	if reads.Stats.SeqSpan == 0 || writes.Stats.SeqSpan == 0 {
+		t.Errorf("stats snapshots not ordered: reads seq span %d, writes %d",
+			reads.Stats.SeqSpan, writes.Stats.SeqSpan)
+	}
+
+	// The artifact assembles and round-trips.
+	art := NewArtifact(spec, 1, stages)
+	path := t.TempDir() + "/art.json"
+	if err := art.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SpecHash != spec.Hash() || len(back.Stages) != 2 {
+		t.Errorf("round-trip lost identity: %+v", back)
+	}
+
+	// Goroutine-leak check: all drivers and the server must be gone.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestRunDDLUnderLoadSmoke churns index create/drop while queries that want
+// the index run concurrently. The compile-time index snapshot makes this
+// race-free: every operation must succeed, with any residual query_error
+// explained by allow_errors.
+func TestRunDDLUnderLoadSmoke(t *testing.T) {
+	_, stages := smokeRun(t, `{
+	  "version": 1, "name": "smoke-ddl", "seed": 11,
+	  "data": {"schema": "xyz", "scale": 0.2},
+	  "server": {"max_concurrency": 4},
+	  "stages": [
+	    {"name": "ddl-churn", "clients": 4, "ops": 120, "mix": [
+	      {"op": "query", "weight": 4, "query": "SELECT x FROM X x WHERE x.b = 3"},
+	      {"op": "index_create", "weight": 1, "table": "X", "attrs": ["b"], "allow_errors": ["query_error"]},
+	      {"op": "index_drop", "weight": 1, "table": "X", "attrs": ["b"], "allow_errors": ["query_error"]}
+	    ]}
+	  ]
+	}`)
+	st := stages[0]
+	if n := st.errorCount(); n != 0 {
+		t.Fatalf("DDL churn produced %d unexplained errors: %v", n, st.Errors)
+	}
+	if st.Stats.IndexCreates == 0 && st.Stats.IndexDrops == 0 {
+		t.Errorf("no DDL reached the server: %+v", st.Stats)
+	}
+}
+
+// TestRunDeterministicOps: under a fixed seed and an ops budget (no wall
+// clock), two runs draw identical operation sequences, so the server-side
+// mutation counters match exactly.
+func TestRunDeterministicOps(t *testing.T) {
+	const spec = `{
+	  "version": 1, "name": "smoke-det", "seed": 3,
+	  "data": {"schema": "xyz", "scale": 0.2},
+	  "stages": [
+	    {"name": "mix", "clients": 1, "ops": 40, "mix": [
+	      {"op": "query", "weight": 1, "query": "SELECT x FROM X x WHERE x.b = 3"},
+	      {"op": "insert", "weight": 1, "table": "Y", "value": "(a = $SEQ, b = 7, c = {1}, d = 424242)"}
+	    ]}
+	  ]
+	}`
+	_, run1 := smokeRun(t, spec)
+	_, run2 := smokeRun(t, spec)
+	if run1[0].Ops != run2[0].Ops {
+		t.Errorf("ops differ under fixed seed: %d vs %d", run1[0].Ops, run2[0].Ops)
+	}
+	if run1[0].Stats.Inserts != run2[0].Stats.Inserts {
+		t.Errorf("insert counts differ under fixed seed: %d vs %d",
+			run1[0].Stats.Inserts, run2[0].Stats.Inserts)
+	}
+	if run1[0].Stats.Inserts == 0 {
+		t.Error("deterministic run performed no inserts")
+	}
+}

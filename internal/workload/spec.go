@@ -1,0 +1,291 @@
+package workload
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"tmdb/internal/server"
+)
+
+// SpecVersion is the spec format version this package reads and writes.
+const SpecVersion = 1
+
+// Spec is the versioned declarative workload: a dataset, optional server
+// sizing, named prepared statements registered in every client's session,
+// and a sequence of stages each running a weighted operation mix with a
+// fixed client count until a duration or operation budget is exhausted.
+// Specs are committed under workloads/ and validated in CI; parse with
+// ParseSpec, which applies strict decoding and structured validation.
+type Spec struct {
+	// Version must equal SpecVersion.
+	Version int `json:"version"`
+	// Name labels the workload in artifacts and reports.
+	Name string `json:"name"`
+	// Seed drives every pseudo-random choice the runner makes (per-client
+	// operation picks), so a fixed seed reproduces the stage configuration
+	// byte for byte.
+	Seed uint64 `json:"seed"`
+	// Data describes the dataset the server is opened over.
+	Data DataSpec `json:"data"`
+	// Server sizes the in-process server (ignored when benching an external
+	// one).
+	Server ServerSpec `json:"server"`
+	// Prepare lists statements registered in each client's session before
+	// the first stage; "prepared" ops reference them by name.
+	Prepare []PrepareSpec `json:"prepare,omitempty"`
+	// Stages run in order.
+	Stages []StageSpec `json:"stages"`
+}
+
+// DataSpec names the datagen schema and its sizing.
+type DataSpec struct {
+	// Schema: xyz | company | table1 | rs (the datagen generators).
+	Schema string `json:"schema"`
+	// Scale multiplies the schema's base row counts (0 means 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Skew is the xyz generator's hot-key fraction in [0, 1).
+	Skew float64 `json:"skew,omitempty"`
+}
+
+// ServerSpec sizes the in-process server.
+type ServerSpec struct {
+	// MaxConcurrency bounds concurrently executing queries (0 = server
+	// default).
+	MaxConcurrency int `json:"max_concurrency,omitempty"`
+	// QueueTimeoutMs is the admission-queue timeout (0 = server default).
+	QueueTimeoutMs int64 `json:"queue_timeout_ms,omitempty"`
+}
+
+// PrepareSpec is one named prepared statement.
+type PrepareSpec struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+}
+
+// StageSpec is one workload stage.
+type StageSpec struct {
+	// Name labels the stage in artifacts; must be unique within the spec.
+	Name string `json:"name"`
+	// Clients is the number of concurrent driver goroutines.
+	Clients int `json:"clients"`
+	// DurationMs stops the stage after this long; Ops after this many total
+	// operations across clients. At least one must be positive; with both,
+	// whichever trips first ends the stage.
+	DurationMs int64 `json:"duration_ms,omitempty"`
+	Ops        int64 `json:"ops,omitempty"`
+	// Mix is the weighted operation mix each client draws from.
+	Mix []OpSpec `json:"mix"`
+}
+
+// Op kinds accepted in a mix.
+const (
+	OpQuery       = "query"        // one-shot POST /query
+	OpPrepared    = "prepared"     // POST /execute of a Prepare-listed statement
+	OpExplain     = "explain"      // POST /explain
+	OpInsert      = "insert"       // POST /insert ($SEQ in Value substituted per call)
+	OpDelete      = "delete"       // POST /delete ($SEQ in Predicate substituted)
+	OpIndexCreate = "index_create" // POST /index/create
+	OpIndexDrop   = "index_drop"   // POST /index/drop
+	OpStats       = "stats"        // GET /stats (scraper traffic)
+)
+
+// OpSpec is one weighted operation in a stage mix. The $SEQ token in Value
+// and Predicate is replaced per call by a stage-unique increasing integer,
+// so inserts generate distinct tuples and deletes can target them.
+type OpSpec struct {
+	Op     string `json:"op"`
+	Weight int    `json:"weight"`
+	// Query feeds query and explain ops.
+	Query string `json:"query,omitempty"`
+	// Name references a Prepare entry (prepared op).
+	Name string `json:"name,omitempty"`
+	// Table, Value, Var, Predicate, Attrs feed the mutation ops.
+	Table     string   `json:"table,omitempty"`
+	Value     string   `json:"value,omitempty"`
+	Var       string   `json:"var,omitempty"`
+	Predicate string   `json:"predicate,omitempty"`
+	Attrs     []string `json:"attrs,omitempty"`
+	// Options overrides the engine options for this op's requests —
+	// distinct options produce distinct plan-cache keys, which is how the
+	// cache-churn workload provokes evictions.
+	Options *server.WireOptions `json:"options,omitempty"`
+	// AllowErrors lists taxonomy codes this op is expected to produce
+	// (e.g. query_error on an index_drop racing another client's drop).
+	// Allowed codes are counted separately and do not fail the run's
+	// zero-unexplained-errors check.
+	AllowErrors []string `json:"allow_errors,omitempty"`
+}
+
+// ValidationError locates one spec defect: Path is a JSON-ish pointer
+// ("stages[2].mix[0].weight"), Msg says what is wrong.
+type ValidationError struct {
+	Path string
+	Msg  string
+}
+
+func (e ValidationError) Error() string { return e.Path + ": " + e.Msg }
+
+// ValidationErrors joins every defect found in one pass, so a spec author
+// sees all of them at once.
+type ValidationErrors []ValidationError
+
+func (es ValidationErrors) Error() string {
+	msgs := make([]string, len(es))
+	for i, e := range es {
+		msgs[i] = e.Error()
+	}
+	return fmt.Sprintf("invalid workload spec (%d errors):\n  %s", len(es), strings.Join(msgs, "\n  "))
+}
+
+// dataSchemas are the datagen generators a spec may name.
+var dataSchemas = map[string]bool{"xyz": true, "company": true, "table1": true, "rs": true}
+
+// opKinds maps each op to its required fields.
+var opKinds = map[string]bool{
+	OpQuery: true, OpPrepared: true, OpExplain: true, OpInsert: true,
+	OpDelete: true, OpIndexCreate: true, OpIndexDrop: true, OpStats: true,
+}
+
+// Validate checks the spec in one pass and returns every defect found (nil
+// when clean).
+func (s *Spec) Validate() ValidationErrors {
+	var errs ValidationErrors
+	add := func(path, format string, args ...any) {
+		errs = append(errs, ValidationError{Path: path, Msg: fmt.Sprintf(format, args...)})
+	}
+	if s.Version != SpecVersion {
+		add("version", "got %d, this build reads version %d", s.Version, SpecVersion)
+	}
+	if s.Name == "" {
+		add("name", "missing workload name")
+	}
+	if !dataSchemas[s.Data.Schema] {
+		add("data.schema", "unknown schema %q (want xyz, company, table1, or rs)", s.Data.Schema)
+	}
+	if s.Data.Scale < 0 {
+		add("data.scale", "negative scale %g", s.Data.Scale)
+	}
+	if s.Data.Skew < 0 || s.Data.Skew >= 1 {
+		if s.Data.Skew != 0 {
+			add("data.skew", "skew %g outside [0, 1)", s.Data.Skew)
+		}
+	}
+	if s.Server.MaxConcurrency < 0 {
+		add("server.max_concurrency", "negative")
+	}
+	if s.Server.QueueTimeoutMs < 0 {
+		add("server.queue_timeout_ms", "negative")
+	}
+	prepared := map[string]bool{}
+	for i, p := range s.Prepare {
+		path := fmt.Sprintf("prepare[%d]", i)
+		if p.Name == "" {
+			add(path+".name", "missing statement name")
+		} else if prepared[p.Name] {
+			add(path+".name", "duplicate statement %q", p.Name)
+		}
+		prepared[p.Name] = true
+		if p.Query == "" {
+			add(path+".query", "missing query")
+		}
+	}
+	if len(s.Stages) == 0 {
+		add("stages", "a workload needs at least one stage")
+	}
+	stageNames := map[string]bool{}
+	for i, st := range s.Stages {
+		path := fmt.Sprintf("stages[%d]", i)
+		if st.Name == "" {
+			add(path+".name", "missing stage name")
+		} else if stageNames[st.Name] {
+			add(path+".name", "duplicate stage %q (artifact stages are keyed by name)", st.Name)
+		}
+		stageNames[st.Name] = true
+		if st.Clients < 1 {
+			add(path+".clients", "need at least one client, got %d", st.Clients)
+		}
+		if st.DurationMs <= 0 && st.Ops <= 0 {
+			add(path, "need a positive duration_ms or ops budget")
+		}
+		if st.DurationMs < 0 {
+			add(path+".duration_ms", "negative")
+		}
+		if st.Ops < 0 {
+			add(path+".ops", "negative")
+		}
+		if len(st.Mix) == 0 {
+			add(path+".mix", "empty operation mix")
+		}
+		for j, op := range st.Mix {
+			opath := fmt.Sprintf("%s.mix[%d]", path, j)
+			if !opKinds[op.Op] {
+				add(opath+".op", "unknown op %q", op.Op)
+				continue
+			}
+			if op.Weight < 1 {
+				add(opath+".weight", "weight must be >= 1, got %d", op.Weight)
+			}
+			switch op.Op {
+			case OpQuery, OpExplain:
+				if op.Query == "" {
+					add(opath+".query", "%s op needs a query", op.Op)
+				}
+			case OpPrepared:
+				if op.Name == "" {
+					add(opath+".name", "prepared op needs a statement name")
+				} else if !prepared[op.Name] {
+					add(opath+".name", "statement %q is not in the prepare list", op.Name)
+				}
+			case OpInsert:
+				if op.Table == "" || op.Value == "" {
+					add(opath, "insert op needs table and value")
+				}
+			case OpDelete:
+				if op.Table == "" || op.Var == "" || op.Predicate == "" {
+					add(opath, "delete op needs table, var, and predicate")
+				}
+			case OpIndexCreate, OpIndexDrop:
+				if op.Table == "" || len(op.Attrs) == 0 {
+					add(opath, "%s op needs table and attrs", op.Op)
+				}
+			}
+			if op.Options != nil {
+				if _, err := op.Options.Engine(); err != nil {
+					add(opath+".options", "%v", err)
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// ParseSpec strictly decodes and validates a workload spec. Unknown fields
+// are rejected (a typo'd field name must not silently change the workload).
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: parsing spec: %w", err)
+	}
+	if errs := s.Validate(); len(errs) > 0 {
+		return nil, errs
+	}
+	return &s, nil
+}
+
+// Hash returns the spec's identity: the SHA-256 of its canonical JSON
+// re-encoding (field order fixed by the struct, independent of the source
+// file's formatting). Artifacts carry it so a gate can refuse to compare
+// runs of different workloads.
+func (s *Spec) Hash() string {
+	canon, err := json.Marshal(s)
+	if err != nil {
+		return "unhashable"
+	}
+	sum := sha256.Sum256(canon)
+	return hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// goldenSpec is a complete valid v1 spec exercising every section.
+const goldenSpec = `{
+  "version": 1,
+  "name": "golden",
+  "seed": 42,
+  "data": {"schema": "xyz", "scale": 0.5, "skew": 0.2},
+  "server": {"max_concurrency": 4, "queue_timeout_ms": 100},
+  "prepare": [
+    {"name": "point", "query": "SELECT x FROM X x WHERE x.b = 3"}
+  ],
+  "stages": [
+    {
+      "name": "warm",
+      "clients": 2,
+      "ops": 50,
+      "mix": [
+        {"op": "query", "weight": 3, "query": "SELECT x FROM X x WHERE x.b = 3"},
+        {"op": "prepared", "weight": 2, "name": "point"},
+        {"op": "stats", "weight": 1}
+      ]
+    },
+    {
+      "name": "churn",
+      "clients": 2,
+      "duration_ms": 100,
+      "mix": [
+        {"op": "insert", "weight": 2, "table": "Y", "value": "(a = $SEQ, b = 7, c = {1}, d = 424242)"},
+        {"op": "delete", "weight": 1, "table": "Y", "var": "y", "predicate": "y.d = 424242"},
+        {"op": "index_create", "weight": 1, "table": "X", "attrs": ["b"]},
+        {"op": "index_drop", "weight": 1, "table": "X", "attrs": ["b"], "allow_errors": ["query_error"]},
+        {"op": "explain", "weight": 1, "query": "SELECT x FROM X x"}
+      ]
+    }
+  ]
+}`
+
+func TestParseGoldenSpec(t *testing.T) {
+	s, err := ParseSpec([]byte(goldenSpec))
+	if err != nil {
+		t.Fatalf("golden spec rejected: %v", err)
+	}
+	if s.Name != "golden" || s.Seed != 42 || len(s.Stages) != 2 {
+		t.Errorf("parsed spec = %+v", s)
+	}
+	if s.Stages[1].Mix[3].AllowErrors[0] != "query_error" {
+		t.Errorf("allow_errors lost: %+v", s.Stages[1].Mix[3])
+	}
+	// Hash is stable across reformatting: re-parse with different whitespace.
+	reformatted := strings.ReplaceAll(goldenSpec, "\n", " ")
+	s2, err := ParseSpec([]byte(reformatted))
+	if err != nil {
+		t.Fatalf("reformatted spec rejected: %v", err)
+	}
+	if s.Hash() != s2.Hash() {
+		t.Errorf("hash depends on source formatting: %s vs %s", s.Hash(), s2.Hash())
+	}
+	// ...but changes when the workload actually changes.
+	s2.Stages[0].Clients = 99
+	if s.Hash() == s2.Hash() {
+		t.Error("hash did not change with the spec")
+	}
+}
+
+// TestParseSpecRejectsUnknownFields: a typo'd field must fail parse, not
+// silently change the workload.
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	bad := strings.Replace(goldenSpec, `"seed": 42`, `"sede": 42`, 1)
+	if _, err := ParseSpec([]byte(bad)); err == nil {
+		t.Fatal("unknown field accepted")
+	} else if !strings.Contains(err.Error(), "sede") {
+		t.Errorf("error does not name the unknown field: %v", err)
+	}
+}
+
+// TestValidateStructuredErrors: each defect is located by path, and all
+// defects surface in one pass.
+func TestValidateStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+		path   string // expected ValidationError.Path
+		substr string // expected in the message
+	}{
+		{"bad version", func(s *Spec) { s.Version = 2 }, "version", "this build reads"},
+		{"missing name", func(s *Spec) { s.Name = "" }, "name", "missing"},
+		{"bad schema", func(s *Spec) { s.Data.Schema = "tpch" }, "data.schema", "unknown schema"},
+		{"negative scale", func(s *Spec) { s.Data.Scale = -1 }, "data.scale", "negative"},
+		{"skew out of range", func(s *Spec) { s.Data.Skew = 1.5 }, "data.skew", "outside"},
+		{"dup prepare", func(s *Spec) { s.Prepare = append(s.Prepare, s.Prepare[0]) }, "prepare[1].name", "duplicate"},
+		{"dup stage", func(s *Spec) { s.Stages[1].Name = s.Stages[0].Name }, "stages[1].name", "duplicate"},
+		{"zero clients", func(s *Spec) { s.Stages[0].Clients = 0 }, "stages[0].clients", "at least one"},
+		{"no budget", func(s *Spec) { s.Stages[0].Ops = 0 }, "stages[0]", "duration_ms or ops"},
+		{"empty mix", func(s *Spec) { s.Stages[0].Mix = nil }, "stages[0].mix", "empty"},
+		{"unknown op", func(s *Spec) { s.Stages[0].Mix[0].Op = "frobnicate" }, "stages[0].mix[0].op", "unknown op"},
+		{"zero weight", func(s *Spec) { s.Stages[0].Mix[0].Weight = 0 }, "stages[0].mix[0].weight", ">= 1"},
+		{"query without text", func(s *Spec) { s.Stages[0].Mix[0].Query = "" }, "stages[0].mix[0].query", "needs a query"},
+		{"prepared unknown name", func(s *Spec) { s.Stages[0].Mix[1].Name = "ghost" }, "stages[0].mix[1].name", "not in the prepare list"},
+		{"insert missing value", func(s *Spec) { s.Stages[1].Mix[0].Value = "" }, "stages[1].mix[0]", "needs table and value"},
+		{"delete missing predicate", func(s *Spec) { s.Stages[1].Mix[1].Predicate = "" }, "stages[1].mix[1]", "needs table, var, and predicate"},
+		{"index missing attrs", func(s *Spec) { s.Stages[1].Mix[2].Attrs = nil }, "stages[1].mix[2]", "needs table and attrs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := ParseSpec([]byte(goldenSpec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(s)
+			errs := s.Validate()
+			if len(errs) == 0 {
+				t.Fatal("defect not detected")
+			}
+			found := false
+			for _, e := range errs {
+				if e.Path == tc.path && strings.Contains(e.Msg, tc.substr) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no error at %q containing %q; got %v", tc.path, tc.substr, errs)
+			}
+		})
+	}
+}
+
+// TestValidateReportsAllDefectsAtOnce: validation is single-pass but
+// exhaustive — the author sees every problem, not just the first.
+func TestValidateReportsAllDefectsAtOnce(t *testing.T) {
+	s, err := ParseSpec([]byte(goldenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Name = ""
+	s.Data.Schema = "bogus"
+	s.Stages[0].Clients = -1
+	errs := s.Validate()
+	if len(errs) < 3 {
+		t.Fatalf("expected >= 3 defects reported together, got %d: %v", len(errs), errs)
+	}
+	msg := errs.Error()
+	if !strings.Contains(msg, "3 errors") && !strings.Contains(msg, "errors):") {
+		t.Errorf("joined message lost the count: %q", msg)
+	}
+}

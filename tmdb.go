@@ -67,7 +67,10 @@
 //     equality selections σ[x.a = c](X) from the matching bucket without
 //     scanning — probe costs come from per-bucket depth statistics, EXPLAIN
 //     lists both candidate kinds, and the cost-based path picks them when
-//     statistics favor it;
+//     statistics favor it. Engine.DropIndex removes an index; compiled
+//     plans pin a copy-on-write index snapshot at plan time, so dropping
+//     an index under concurrent queries never fails them — affected
+//     cached plans are swept and recompile against the shrunken registry;
 //   - a bounded per-engine plan cache memoizing (bound query, options,
 //     table epochs) → physical plan with LRU eviction (default capacity
 //     256, see Engine.SetPlanCacheCapacity), so repeated queries skip
@@ -205,6 +208,13 @@ type Type = types.Type
 // (see Engine.PlanCacheStats).
 type CacheStats = engine.CacheStats
 
+// SchedStats are one query's morsel-scheduler counters, surfaced on
+// Result.Sched: morsels dispatched and stolen, and per-worker busy time.
+// Stolen > 0 says work stealing actually rebalanced a skewed partition;
+// Options.NoSteal pins morsels to their home worker (an ablation knob —
+// results are identical either way, only the counters move).
+type SchedStats = exec.SchedStats
+
 // Prepared is a parsed-and-bound statement that executes without re-parsing
 // and shares the engine's plan cache (see Engine.Prepare). Safe for
 // concurrent use.
@@ -257,11 +267,15 @@ type ServerConfig = server.Config
 // WireOptions is the JSON form of Options used by the server API.
 type WireOptions = server.WireOptions
 
-// Client is a typed client for the server's HTTP/JSON API.
+// Client is a typed client for the server's HTTP/JSON API: queries,
+// prepared statements, EXPLAIN, stats, and the mutation endpoints
+// (Insert, Delete, CreateIndex, DropIndex).
 type Client = server.Client
 
 // RetryPolicy bounds a Client's automatic retry of transient server
-// rejections (queue_timeout, draining) on idempotent requests.
+// rejections (queue_timeout, draining) on idempotent requests. Mutation
+// requests are never retried automatically: a timed-out insert may have
+// applied, so re-sending is the caller's decision.
 type RetryPolicy = server.RetryPolicy
 
 // NewServer returns an HTTP query server over eng.
